@@ -1,0 +1,18 @@
+#include "bench_util.hpp"
+
+#include "dsp/statistics.hpp"
+#include "fixed/range_selection.hpp"
+
+namespace svt::bench {
+
+double rbf_gamma_scale(std::span<const std::vector<double>> samples) {
+  const auto columns = fixed::to_columns(samples);
+  if (columns.empty()) return 1.0;
+  double var_acc = 0.0;
+  for (const auto& col : columns) var_acc += dsp::variance_population(col);
+  const double mean_var = var_acc / static_cast<double>(columns.size());
+  const double denom = static_cast<double>(columns.size()) * mean_var;
+  return denom > 0.0 ? 1.0 / denom : 1.0;
+}
+
+}  // namespace svt::bench

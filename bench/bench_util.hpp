@@ -1,0 +1,44 @@
+// Shared helpers for the table/figure reproduction benches.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <span>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "svm/kernel.hpp"
+
+namespace svt::bench {
+
+/// Print the standard bench banner with the effective dataset scale.
+inline void print_banner(const char* title, const core::ExperimentConfig& config,
+                         const core::PreparedData& data) {
+  std::printf("== %s ==\n", title);
+  std::printf(
+      "dataset: %zu sessions, %zu windows (%zu ictal), %d windows/session, seed %llu\n",
+      data.dataset.num_sessions(), data.dataset.num_windows(),
+      data.dataset.num_seizure_windows(), config.dataset.windows_per_session,
+      static_cast<unsigned long long>(config.dataset.seed));
+  std::printf("train: C=%g (SVT_C), folds=%s (SVT_FOLDS), SVT_WPS to rescale\n\n",
+              config.train.c,
+              config.max_folds == 0 ? "all" : std::to_string(config.max_folds).c_str());
+}
+
+/// RBF gamma via the usual "scale" heuristic: 1 / (nfeat * mean feature
+/// variance) computed over the raw samples.
+double rbf_gamma_scale(std::span<const std::vector<double>> samples);
+
+/// Wall-clock stopwatch for progress lines.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace svt::bench

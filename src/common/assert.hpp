@@ -1,0 +1,21 @@
+// Internal invariant checking for svmtailor.
+//
+// SVT_ASSERT guards *internal* invariants (bugs in our own code); API-boundary
+// precondition violations throw std::invalid_argument instead, so library
+// users get a recoverable, descriptive error.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace svt::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "svmtailor internal invariant violated: %s (%s:%d)\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace svt::detail
+
+#define SVT_ASSERT(expr) \
+  ((expr) ? static_cast<void>(0) : ::svt::detail::assert_fail(#expr, __FILE__, __LINE__))

@@ -1,0 +1,47 @@
+// Minimal CSV emission for bench outputs.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace svt::common {
+
+/// Accumulates rows and writes a CSV file (used by benches to dump the data
+/// behind every reproduced table/figure next to the printed summary).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  template <typename... Ts>
+  void add_row(const Ts&... values) {
+    std::ostringstream os;
+    os.precision(10);
+    std::size_t i = 0;
+    ((os << (i++ ? "," : "") << values), ...);
+    rows_.push_back(os.str());
+    if (sizeof...(values) != header_.size())
+      throw std::invalid_argument("CsvWriter: column count mismatch");
+  }
+
+  /// Write to `path`; returns false (and stays silent) if the file cannot be
+  /// opened -- benches treat the CSV dump as best-effort.
+  bool write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    for (std::size_t i = 0; i < header_.size(); ++i) out << (i ? "," : "") << header_[i];
+    out << '\n';
+    for (const auto& r : rows_) out << r << '\n';
+    return true;
+  }
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::string> rows_;
+};
+
+}  // namespace svt::common

@@ -1,0 +1,300 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace svt::core {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<std::uint64_t>(v);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  if (end == raw) return fallback;
+  return v;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  return (raw == nullptr || *raw == '\0') ? fallback : std::string(raw);
+}
+
+ExperimentConfig ExperimentConfig::from_env() {
+  ExperimentConfig config;
+  config.dataset.windows_per_session =
+      static_cast<int>(env_u64("SVT_WPS", static_cast<std::uint64_t>(
+                                              config.dataset.windows_per_session)));
+  config.dataset.seed = env_u64("SVT_SEED", config.dataset.seed);
+  config.max_folds = env_u64("SVT_FOLDS", 0);
+  config.csv_dir = env_string("SVT_CSV_DIR", ".");
+  config.train.c = env_double("SVT_C", config.train.c);
+  return config;
+}
+
+std::vector<int> PreparedData::groups() const { return matrix.session_index; }
+
+PreparedData prepare_data(const ExperimentConfig& config) {
+  PreparedData data;
+  data.dataset = ecg::generate_dataset(config.dataset);
+  data.matrix = features::extract_feature_matrix(data.dataset);
+  return data;
+}
+
+namespace {
+
+/// `keep` if non-empty, else the identity index list of length n.
+std::vector<std::size_t> all_indices_or(const std::vector<std::size_t>& keep, std::size_t n) {
+  if (!keep.empty()) return keep;
+  std::vector<std::size_t> idx(n);
+  for (std::size_t j = 0; j < n; ++j) idx[j] = j;
+  return idx;
+}
+
+/// Group vector with sessions beyond `max_folds` marked training-only.
+std::vector<int> capped_groups(const PreparedData& data, std::size_t max_folds) {
+  std::vector<int> groups = data.matrix.session_index;
+  if (max_folds == 0) return groups;
+  for (int& g : groups) {
+    if (g >= static_cast<int>(max_folds)) g = -1;
+  }
+  return groups;
+}
+
+}  // namespace
+
+DesignPointResult evaluate_design_point(const PreparedData& data,
+                                        const ExperimentConfig& config,
+                                        const std::vector<std::size_t>& keep,
+                                        std::size_t sv_budget,
+                                        const std::optional<QuantConfig>& quant,
+                                        std::size_t max_folds_override) {
+  const features::FeatureMatrix matrix =
+      keep.empty() ? data.matrix : data.matrix.select_features(keep);
+
+  TailoringConfig tailoring;
+  tailoring.num_features = 0;  // Selection already applied above.
+  tailoring.sv_budget = sv_budget;
+  tailoring.quant = quant;
+  tailoring.train = config.train;
+  tailoring.post_gains = features::category_gains(all_indices_or(keep, matrix.num_features()));
+  const auto options = make_cv_options(tailoring);
+
+  const std::size_t max_folds =
+      max_folds_override > 0 ? max_folds_override : config.max_folds;
+  const auto groups = capped_groups(data, max_folds);
+  const auto cv =
+      svt::svm::cross_validate(matrix.samples, matrix.labels, groups, options);
+
+  DesignPointResult result;
+  result.sensitivity = cv.averages.sensitivity;
+  result.specificity = cv.averages.specificity;
+  result.geometric_mean = cv.averages.geometric_mean;
+  result.mean_support_vectors = cv.mean_support_vectors();
+
+  hw::PipelineConfig pipeline;
+  pipeline.num_features = matrix.num_features();
+  pipeline.num_support_vectors = std::max<std::size_t>(
+      1, static_cast<std::size_t>(result.mean_support_vectors + 0.5));
+  if (quant) {
+    pipeline.feature_bits = quant->feature_bits;
+    pipeline.alpha_bits = quant->alpha_bits;
+    pipeline.dot_truncate_bits = quant->dot_truncate_bits;
+    pipeline.square_truncate_bits = quant->square_truncate_bits;
+  } else {
+    pipeline.feature_bits = 64;
+    pipeline.alpha_bits = 64;
+  }
+  result.cost = hw::estimate_cost(pipeline);
+  return result;
+}
+
+namespace {
+
+/// One fold's train/test split after feature selection and centring.
+struct FoldData {
+  std::vector<std::vector<double>> train_x, test_x;
+  std::vector<int> train_y, test_y;
+  bool usable = false;
+};
+
+std::vector<FoldData> build_folds(const features::FeatureMatrix& matrix,
+                                  const std::vector<int>& groups,
+                                  const std::vector<double>& gains) {
+  std::set<int> ids;
+  for (int g : groups) {
+    if (g >= 0) ids.insert(g);
+  }
+  std::vector<FoldData> folds;
+  folds.reserve(ids.size());
+  for (int g : ids) {
+    FoldData fold;
+    for (std::size_t i = 0; i < matrix.size(); ++i) {
+      if (groups[i] == g) {
+        fold.test_x.push_back(matrix.samples[i]);
+        fold.test_y.push_back(matrix.labels[i]);
+      } else {
+        fold.train_x.push_back(matrix.samples[i]);
+        fold.train_y.push_back(matrix.labels[i]);
+      }
+    }
+    const bool has_pos =
+        std::find(fold.train_y.begin(), fold.train_y.end(), +1) != fold.train_y.end();
+    const bool has_neg =
+        std::find(fold.train_y.begin(), fold.train_y.end(), -1) != fold.train_y.end();
+    fold.usable = !fold.test_x.empty() && has_pos && has_neg;
+    if (fold.usable) {
+      svt::svm::StandardScaler scaler(svt::svm::ScalerMode::kZScore);
+      scaler.set_post_gains(gains);
+      scaler.fit(fold.train_x);
+      fold.train_x = scaler.transform_all(fold.train_x);
+      fold.test_x = scaler.transform_all(fold.test_x);
+    }
+    folds.push_back(std::move(fold));
+  }
+  return folds;
+}
+
+hw::CostReport cost_at(std::size_t nfeat, double mean_nsv,
+                       const std::optional<QuantConfig>& quant) {
+  hw::PipelineConfig pipeline;
+  pipeline.num_features = nfeat;
+  pipeline.num_support_vectors =
+      std::max<std::size_t>(1, static_cast<std::size_t>(mean_nsv + 0.5));
+  if (quant) {
+    pipeline.feature_bits = quant->feature_bits;
+    pipeline.alpha_bits = quant->alpha_bits;
+    pipeline.dot_truncate_bits = quant->dot_truncate_bits;
+    pipeline.square_truncate_bits = quant->square_truncate_bits;
+  } else {
+    pipeline.feature_bits = 64;
+    pipeline.alpha_bits = 64;
+  }
+  return hw::estimate_cost(pipeline);
+}
+
+}  // namespace
+
+std::vector<DesignPointResult> sweep_sv_budgets(const PreparedData& data,
+                                                const ExperimentConfig& config,
+                                                const std::vector<std::size_t>& keep,
+                                                const std::vector<std::size_t>& budgets,
+                                                const std::optional<QuantConfig>& quant) {
+  for (std::size_t b = 1; b < budgets.size(); ++b) {
+    if (budgets[b] >= budgets[b - 1])
+      throw std::invalid_argument("sweep_sv_budgets: budgets must be strictly decreasing");
+  }
+  const features::FeatureMatrix matrix =
+      keep.empty() ? data.matrix : data.matrix.select_features(keep);
+  const auto groups = capped_groups(data, config.max_folds);
+  const auto gains = features::category_gains(all_indices_or(keep, matrix.num_features()));
+  auto folds = build_folds(matrix, groups, gains);
+
+  std::vector<std::vector<svt::svm::ConfusionMatrix>> confusions(budgets.size());
+  std::vector<std::vector<double>> sv_counts(budgets.size());
+
+  for (auto& fold : folds) {
+    if (!fold.usable) continue;
+    auto model = svt::svm::train_svm(fold.train_x, fold.train_y,
+                                     svt::svm::quadratic_kernel(), config.train);
+    std::vector<std::vector<double>> live_x = fold.train_x;
+    std::vector<int> live_y = fold.train_y;
+    for (std::size_t b = 0; b < budgets.size(); ++b) {
+      if (model.num_support_vectors() > budgets[b]) {
+        BudgetParams bp;
+        bp.budget = budgets[b];
+        model = budget_support_vectors(model, live_x, live_y, config.train, bp,
+                                       /*report=*/nullptr, &live_x, &live_y);
+      }
+      std::vector<int> predicted(fold.test_x.size());
+      if (quant) {
+        const auto engine = QuantizedModel::build(model, *quant);
+        for (std::size_t i = 0; i < fold.test_x.size(); ++i)
+          predicted[i] = engine.classify(fold.test_x[i]);
+      } else {
+        for (std::size_t i = 0; i < fold.test_x.size(); ++i)
+          predicted[i] = model.predict(fold.test_x[i]);
+      }
+      confusions[b].push_back(svt::svm::tally(fold.test_y, predicted));
+      sv_counts[b].push_back(static_cast<double>(model.num_support_vectors()));
+    }
+  }
+
+  std::vector<DesignPointResult> results(budgets.size());
+  for (std::size_t b = 0; b < budgets.size(); ++b) {
+    const auto avg = svt::svm::average_over_folds(confusions[b]);
+    results[b].sensitivity = avg.sensitivity;
+    results[b].specificity = avg.specificity;
+    results[b].geometric_mean = avg.geometric_mean;
+    double acc = 0.0;
+    for (double v : sv_counts[b]) acc += v;
+    results[b].mean_support_vectors =
+        sv_counts[b].empty() ? 0.0 : acc / static_cast<double>(sv_counts[b].size());
+    results[b].cost = cost_at(matrix.num_features(), results[b].mean_support_vectors, quant);
+  }
+  return results;
+}
+
+std::vector<DesignPointResult> sweep_quant_configs(const PreparedData& data,
+                                                   const ExperimentConfig& config,
+                                                   const std::vector<std::size_t>& keep,
+                                                   std::size_t sv_budget,
+                                                   const std::vector<QuantConfig>& configs) {
+  const features::FeatureMatrix matrix =
+      keep.empty() ? data.matrix : data.matrix.select_features(keep);
+  const auto groups = capped_groups(data, config.max_folds);
+  const auto gains = features::category_gains(all_indices_or(keep, matrix.num_features()));
+  auto folds = build_folds(matrix, groups, gains);
+
+  std::vector<std::vector<svt::svm::ConfusionMatrix>> confusions(configs.size());
+  std::vector<double> sv_counts;
+
+  for (auto& fold : folds) {
+    if (!fold.usable) continue;
+    auto model = svt::svm::train_svm(fold.train_x, fold.train_y,
+                                     svt::svm::quadratic_kernel(), config.train);
+    if (sv_budget > 0 && model.num_support_vectors() > sv_budget) {
+      BudgetParams bp;
+      bp.budget = sv_budget;
+      model = budget_support_vectors(model, fold.train_x, fold.train_y, config.train, bp);
+    }
+    sv_counts.push_back(static_cast<double>(model.num_support_vectors()));
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      const auto engine = QuantizedModel::build(model, configs[c]);
+      std::vector<int> predicted(fold.test_x.size());
+      for (std::size_t i = 0; i < fold.test_x.size(); ++i)
+        predicted[i] = engine.classify(fold.test_x[i]);
+      confusions[c].push_back(svt::svm::tally(fold.test_y, predicted));
+    }
+  }
+
+  double mean_nsv = 0.0;
+  for (double v : sv_counts) mean_nsv += v;
+  if (!sv_counts.empty()) mean_nsv /= static_cast<double>(sv_counts.size());
+
+  std::vector<DesignPointResult> results(configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    const auto avg = svt::svm::average_over_folds(confusions[c]);
+    results[c].sensitivity = avg.sensitivity;
+    results[c].specificity = avg.specificity;
+    results[c].geometric_mean = avg.geometric_mean;
+    results[c].mean_support_vectors = mean_nsv;
+    results[c].cost = cost_at(matrix.num_features(), mean_nsv, configs[c]);
+  }
+  return results;
+}
+
+}  // namespace svt::core

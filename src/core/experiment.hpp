@@ -1,0 +1,96 @@
+// Shared experiment scaffolding for the benches: dataset/feature preparation
+// with environment-variable scaling, and the per-design-point evaluation
+// loops behind every table and figure.
+//
+// Environment knobs (all optional):
+//   SVT_WPS    windows per session (default 30; the paper's 140 h of data
+//              correspond to ~116).
+//   SVT_FOLDS  number of leave-one-session-out folds evaluated (default all
+//              24; lower it for quick runs).
+//   SVT_SEED   dataset generation seed (default 42).
+//   SVT_CSV_DIR  where benches drop their CSV dumps (default ".").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/quantize.hpp"
+#include "core/tailoring.hpp"
+#include "ecg/dataset.hpp"
+#include "features/extractor.hpp"
+#include "hw/accelerator_model.hpp"
+#include "svm/cross_validation.hpp"
+
+namespace svt::core {
+
+struct ExperimentConfig {
+  ecg::DatasetParams dataset;
+  svt::svm::TrainParams train;
+  std::size_t max_folds = 0;  ///< 0 = all sessions.
+  std::string csv_dir = ".";
+
+  /// Defaults overridden by the SVT_* environment variables.
+  static ExperimentConfig from_env();
+};
+
+/// Dataset + extracted features, ready for cross-validation.
+struct PreparedData {
+  ecg::Dataset dataset;
+  features::FeatureMatrix matrix;
+
+  /// Group ids for cross_validate, truncated to `max_folds` distinct
+  /// sessions when requested (remaining sessions keep training-only roles).
+  std::vector<int> groups() const;
+};
+
+/// Generate the cohort and extract all 53 features (deterministic).
+PreparedData prepare_data(const ExperimentConfig& config);
+
+/// Evaluate one design point with leave-one-session-out CV.
+struct DesignPointResult {
+  double sensitivity = 0.0;
+  double specificity = 0.0;
+  double geometric_mean = 0.0;
+  double mean_support_vectors = 0.0;
+  hw::CostReport cost;  ///< At the mean SV count of the folds.
+};
+
+/// `keep`: feature subset (empty = all). `sv_budget`: 0 = unbudgeted.
+/// `quant`: nullopt = float inference (costed as the 64-bit design point).
+DesignPointResult evaluate_design_point(const PreparedData& data,
+                                        const ExperimentConfig& config,
+                                        const std::vector<std::size_t>& keep,
+                                        std::size_t sv_budget,
+                                        const std::optional<QuantConfig>& quant,
+                                        std::size_t max_folds_override = 0);
+
+/// Figure-5 sweep: progressively tighter SV budgets. Budgets must be strictly
+/// decreasing; each fold trains once and the budgeting continues from the
+/// previous budget's surviving training set (which is exactly the paper's
+/// iterative-removal procedure, observed at several stop points). Results are
+/// aligned with `budgets`. `quant` optionally evaluates each budget through
+/// the fixed-point engine.
+std::vector<DesignPointResult> sweep_sv_budgets(const PreparedData& data,
+                                                const ExperimentConfig& config,
+                                                const std::vector<std::size_t>& keep,
+                                                const std::vector<std::size_t>& budgets,
+                                                const std::optional<QuantConfig>& quant = {});
+
+/// Figure-6 sweep: evaluate many quantisation configs against the *same*
+/// per-fold trained (and optionally budgeted) models. Results align with
+/// `configs`.
+std::vector<DesignPointResult> sweep_quant_configs(const PreparedData& data,
+                                                   const ExperimentConfig& config,
+                                                   const std::vector<std::size_t>& keep,
+                                                   std::size_t sv_budget,
+                                                   const std::vector<QuantConfig>& configs);
+
+/// Read a size_t / uint64 environment variable (returns fallback if unset or
+/// unparseable).
+std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+double env_double(const char* name, double fallback);
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace svt::core

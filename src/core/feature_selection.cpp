@@ -1,0 +1,86 @@
+#include "core/feature_selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+#include "dsp/statistics.hpp"
+#include "fixed/range_selection.hpp"
+
+namespace svt::core {
+
+std::vector<std::vector<double>> correlation_matrix(
+    std::span<const std::vector<double>> samples) {
+  if (samples.empty()) throw std::invalid_argument("correlation_matrix: empty input");
+  const auto columns = fixed::to_columns(samples);
+  const std::size_t n = columns.size();
+  std::vector<std::vector<double>> rho(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    rho[i][i] = 1.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double r = dsp::pearson(columns[i], columns[j]);
+      rho[i][j] = r;
+      rho[j][i] = r;
+    }
+  }
+  return rho;
+}
+
+std::vector<std::size_t> SelectionOrder::keep_set(std::size_t k) const {
+  const std::size_t total = removal_order.size();
+  if (k == 0 || k > total) throw std::invalid_argument("keep_set: k outside [1, num_features]");
+  // The last k entries of the removal order survive; report them sorted.
+  std::vector<std::size_t> kept(removal_order.end() - static_cast<std::ptrdiff_t>(k),
+                                removal_order.end());
+  std::sort(kept.begin(), kept.end());
+  return kept;
+}
+
+SelectionOrder rank_features_by_redundancy(std::span<const std::vector<double>> samples) {
+  const auto full_rho = correlation_matrix(samples);
+  const std::size_t n = full_rho.size();
+
+  std::vector<std::size_t> alive(n);
+  std::iota(alive.begin(), alive.end(), 0);
+
+  SelectionOrder order;
+  order.removal_order.reserve(n);
+
+  // Iterate: aggregate |rho| over the surviving set, drop the max. The
+  // pairwise coefficients do not change as features are removed (Pearson is
+  // pairwise), so restricting the *aggregation* to survivors is equivalent
+  // to recomputing the matrix each round, at a fraction of the cost.
+  while (alive.size() > 1) {
+    double worst_score = -1.0;
+    std::size_t worst_pos = 0;
+    for (std::size_t p = 0; p < alive.size(); ++p) {
+      double agg = 0.0;
+      for (std::size_t q = 0; q < alive.size(); ++q) {
+        if (p != q) agg += std::abs(full_rho[alive[p]][alive[q]]);
+      }
+      if (agg > worst_score) {
+        worst_score = agg;
+        worst_pos = p;
+      }
+    }
+    order.removal_order.push_back(alive[worst_pos]);
+    alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(worst_pos));
+  }
+  order.removal_order.push_back(alive.front());
+  SVT_ASSERT(order.removal_order.size() == n);
+  return order;
+}
+
+SelectionOrder random_removal_order(std::size_t num_features, std::uint64_t seed) {
+  SelectionOrder order;
+  order.removal_order.resize(num_features);
+  std::iota(order.removal_order.begin(), order.removal_order.end(), 0);
+  std::mt19937_64 rng(seed);
+  std::shuffle(order.removal_order.begin(), order.removal_order.end(), rng);
+  return order;
+}
+
+}  // namespace svt::core

@@ -1,0 +1,171 @@
+#include "core/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+#include "fixed/fixed_point.hpp"
+#include "fixed/range_selection.hpp"
+#include "hw/arith_model.hpp"
+
+namespace svt::core {
+
+namespace {
+
+/// Saturate a 128-bit value into `bits` signed bits.
+__int128 saturate128(__int128 v, int bits) {
+  SVT_ASSERT(bits >= 2 && bits <= 126);
+  const __int128 hi = ((__int128)1 << (bits - 1)) - 1;
+  const __int128 lo = -((__int128)1 << (bits - 1));
+  if (v > hi) return hi;
+  if (v < lo) return lo;
+  return v;
+}
+
+}  // namespace
+
+QuantizedModel QuantizedModel::build(const svt::svm::SvmModel& model, const QuantConfig& config) {
+  using svt::svm::KernelType;
+  if (model.kernel.type != KernelType::kPolynomial || model.kernel.degree != 2)
+    throw std::invalid_argument("QuantizedModel: kernel must be quadratic polynomial");
+  if (model.num_support_vectors() == 0)
+    throw std::invalid_argument("QuantizedModel: model has no support vectors");
+  if (config.feature_bits < 2 || config.feature_bits > 20)
+    throw std::invalid_argument("QuantizedModel: feature_bits outside [2,20]");
+  if (config.alpha_bits < 2 || config.alpha_bits > 32)
+    throw std::invalid_argument("QuantizedModel: alpha_bits outside [2,32]");
+  if (config.dot_truncate_bits < 0 || config.square_truncate_bits < 0)
+    throw std::invalid_argument("QuantizedModel: negative truncation");
+
+  QuantizedModel qm;
+  qm.config_ = config;
+
+  const std::size_t nfeat = model.num_features();
+  const std::size_t nsv = model.num_support_vectors();
+
+  // --- Eq. 6 per-feature ranges over the SV set ------------------------------
+  const auto sv_columns = fixed::to_columns(model.support_vectors);
+  qm.ranges_ = fixed::select_feature_ranges(sv_columns);
+  qm.max_range_log2_ = *std::max_element(qm.ranges_.begin(), qm.ranges_.end());
+  if (config.homogeneous) {
+    std::fill(qm.ranges_.begin(), qm.ranges_.end(), qm.max_range_log2_);
+  }
+  qm.product_shifts_.resize(nfeat);
+  for (std::size_t j = 0; j < nfeat; ++j)
+    qm.product_shifts_[j] = 2 * (qm.max_range_log2_ - qm.ranges_[j]);
+
+  // --- Hardware design point / stage widths -----------------------------------
+  qm.pipeline_.num_features = nfeat;
+  qm.pipeline_.num_support_vectors = nsv;
+  qm.pipeline_.feature_bits = config.feature_bits;
+  qm.pipeline_.alpha_bits = config.alpha_bits;
+  qm.pipeline_.dot_truncate_bits = config.dot_truncate_bits;
+  qm.pipeline_.square_truncate_bits = config.square_truncate_bits;
+  // Width-driven truncation: discard however many extra LSBs are needed for
+  // the squarer input to fit 31 bits (kin * kin must be exact in int64). A
+  // real accelerator would make the same choice to bound the squarer array.
+  {
+    const int mac1_bits = 2 * config.feature_bits +
+                          hw::clog2(std::max<std::size_t>(nfeat, 1)) + 1;
+    const int needed = mac1_bits - 31;
+    if (needed > config.dot_truncate_bits) qm.pipeline_.dot_truncate_bits = needed;
+  }
+  qm.config_.dot_truncate_bits = qm.pipeline_.dot_truncate_bits;
+  qm.pipeline_.validate();
+  SVT_ASSERT(qm.pipeline_.kernel_input_bits() <= 31);
+
+  // --- Quantise SVs -------------------------------------------------------------
+  qm.q_support_vectors_.resize(nsv, std::vector<std::int64_t>(nfeat));
+  for (std::size_t i = 0; i < nsv; ++i) {
+    for (std::size_t j = 0; j < nfeat; ++j) {
+      const fixed::QuantFormat fmt{config.feature_bits, qm.ranges_[j]};
+      qm.q_support_vectors_[i][j] = fmt.quantize(model.support_vectors[i][j]);
+    }
+  }
+
+  // --- Quantise alpha_y with one global power-of-two range ---------------------
+  double alpha_max = 0.0;
+  for (double a : model.alpha_y) alpha_max = std::max(alpha_max, std::abs(a));
+  int ra = 0;
+  if (alpha_max > 0.0) ra = static_cast<int>(std::ceil(std::log2(alpha_max)));
+  // Keep ra so that alpha_max < 2^ra (strictly); equality needs one more bit.
+  while (std::ldexp(1.0, ra) <= alpha_max) ++ra;
+  qm.alpha_range_log2_ = ra;
+  const fixed::QuantFormat alpha_fmt{config.alpha_bits, ra};
+  qm.q_alpha_y_.resize(nsv);
+  for (std::size_t i = 0; i < nsv; ++i) qm.q_alpha_y_[i] = alpha_fmt.quantize(model.alpha_y[i]);
+
+  // --- Fixed scale anchors -------------------------------------------------------
+  // lsb of the widest feature format; dot products are aligned to lsb_max^2.
+  const double lsb_max = std::ldexp(1.0, qm.max_range_log2_ - config.feature_bits + 1);
+  const double dot_scale = lsb_max * lsb_max;
+  qm.q_one_ = fixed::saturate(
+      static_cast<std::int64_t>(std::llround(model.kernel.coef0 / dot_scale)),
+      qm.pipeline_.mac1_accumulator_bits());
+
+  const double kernel_in_scale =
+      dot_scale * std::ldexp(1.0, qm.config_.dot_truncate_bits);
+  const double kernel_out_scale =
+      kernel_in_scale * kernel_in_scale * std::ldexp(1.0, qm.config_.square_truncate_bits);
+  qm.acc2_scale_ = kernel_out_scale * alpha_fmt.lsb();
+
+  const long double bias_q = static_cast<long double>(model.bias) / qm.acc2_scale_;
+  qm.q_bias_ = saturate128(static_cast<__int128>(llroundl(bias_q)),
+                           std::min(126, qm.pipeline_.mac2_accumulator_bits()));
+  return qm;
+}
+
+std::vector<std::int64_t> QuantizedModel::quantize_input(std::span<const double> x) const {
+  if (x.size() != num_features())
+    throw std::invalid_argument("QuantizedModel: feature-count mismatch");
+  std::vector<std::int64_t> qx(x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    const fixed::QuantFormat fmt{config_.feature_bits, ranges_[j]};
+    qx[j] = fmt.quantize(x[j]);
+  }
+  return qx;
+}
+
+__int128 QuantizedModel::decision_accumulator(std::span<const std::int64_t> qx) const {
+  const int mac1_bits = pipeline_.mac1_accumulator_bits();
+  const int kin_bits = pipeline_.kernel_input_bits();
+  const int kout_bits = pipeline_.kernel_output_bits();
+  const int mac2_bits = std::min(126, pipeline_.mac2_accumulator_bits());
+
+  __int128 acc2 = q_bias_;
+  for (std::size_t i = 0; i < q_support_vectors_.size(); ++i) {
+    const auto& qsv = q_support_vectors_[i];
+    // MAC1: dot product with per-feature scale-back shifts, saturating.
+    std::int64_t acc1 = 0;
+    for (std::size_t j = 0; j < qsv.size(); ++j) {
+      const std::int64_t product = qx[j] * qsv[j];  // <= 2^(2*Dbits-2): fits easily.
+      acc1 = fixed::saturate(acc1 + (product >> product_shifts_[j]), mac1_bits);
+    }
+    acc1 = fixed::saturate(acc1 + q_one_, mac1_bits);
+
+    // Truncate, square, truncate.
+    const std::int64_t kin =
+        fixed::saturate(acc1 >> config_.dot_truncate_bits, kin_bits);
+    const std::int64_t square = kin * kin;  // kin <= 31 bits: exact in int64.
+    const std::int64_t kout =
+        fixed::saturate(square >> config_.square_truncate_bits, kout_bits);
+
+    // MAC2: alpha_y-weighted accumulation (int128: product can exceed 63 bits).
+    const __int128 term = static_cast<__int128>(q_alpha_y_[i]) * kout;
+    acc2 = saturate128(acc2 + term, mac2_bits);
+  }
+  return acc2;
+}
+
+int QuantizedModel::classify(std::span<const double> x) const {
+  const auto qx = quantize_input(x);
+  return decision_accumulator(qx) >= 0 ? +1 : -1;
+}
+
+double QuantizedModel::dequantized_decision(std::span<const double> x) const {
+  const auto qx = quantize_input(x);
+  return static_cast<double>(decision_accumulator(qx)) * acc2_scale_;
+}
+
+}  // namespace svt::core

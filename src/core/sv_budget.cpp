@@ -1,0 +1,125 @@
+#include "core/sv_budget.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace svt::core {
+
+using svt::svm::SvmModel;
+
+SvmModel budget_support_vectors(const SvmModel& model,
+                                std::span<const std::vector<double>> samples,
+                                std::span<const int> labels,
+                                const svt::svm::TrainParams& train_params,
+                                const BudgetParams& budget_params, BudgetReport* report,
+                                std::vector<std::vector<double>>* surviving_x,
+                                std::vector<int>* surviving_y) {
+  if (budget_params.budget == 0)
+    throw std::invalid_argument("budget_support_vectors: zero budget");
+  if (samples.empty() || samples.size() != labels.size())
+    throw std::invalid_argument("budget_support_vectors: bad training set");
+
+  // Work on an index view of the training set so removals are cheap.
+  std::vector<std::vector<double>> train_x(samples.begin(), samples.end());
+  std::vector<int> train_y(labels.begin(), labels.end());
+
+  SvmModel current = model;
+  std::size_t rounds = 0;
+  std::size_t removed_total = 0;
+
+  while (current.num_support_vectors() > budget_params.budget &&
+         rounds < budget_params.max_rounds) {
+    ++rounds;
+    const auto norms = current.sv_norms();
+
+    // Rank this model's SVs by the Eq. 5 norm, ascending, *within each
+    // class*. Class-weighted C-SVC makes alpha magnitudes incomparable
+    // across classes (the positive box bound is Nneg/Npos times larger), so
+    // a single global ranking would amputate one side of the margin; the
+    // paper's unweighted setting does not have this failure mode. Removal is
+    // then split across classes in proportion to their SV counts.
+    std::vector<std::size_t> pos_rank, neg_rank;
+    for (std::size_t i = 0; i < norms.size(); ++i)
+      (current.alpha_y[i] > 0.0 ? pos_rank : neg_rank).push_back(i);
+    const auto by_norm = [&](std::size_t a, std::size_t b) { return norms[a] < norms[b]; };
+    std::sort(pos_rank.begin(), pos_rank.end(), by_norm);
+    std::sort(neg_rank.begin(), neg_rank.end(), by_norm);
+
+    const std::size_t nsv = current.num_support_vectors();
+    const std::size_t overshoot = nsv - budget_params.budget;
+    const auto batch = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(static_cast<double>(overshoot) *
+                                              budget_params.batch_fraction)));
+    const std::size_t to_remove = std::min(batch, overshoot);
+    std::size_t remove_pos = static_cast<std::size_t>(
+        std::round(static_cast<double>(to_remove) * static_cast<double>(pos_rank.size()) /
+                   static_cast<double>(nsv)));
+    remove_pos = std::min(remove_pos, pos_rank.size() > 1 ? pos_rank.size() - 1 : 0);
+    std::size_t remove_neg = std::min(to_remove - remove_pos,
+                                      neg_rank.size() > 1 ? neg_rank.size() - 1 : 0);
+
+    std::vector<std::size_t> victims;
+    victims.insert(victims.end(), pos_rank.begin(),
+                   pos_rank.begin() + static_cast<std::ptrdiff_t>(remove_pos));
+    victims.insert(victims.end(), neg_rank.begin(),
+                   neg_rank.begin() + static_cast<std::ptrdiff_t>(remove_neg));
+
+    // Remove those SVs from the training set (matched by exact feature
+    // values; SVs are copies of training rows, so equality is exact).
+    std::size_t removed_now = 0;
+    for (std::size_t v : victims) {
+      const auto& victim = current.support_vectors[v];
+      for (std::size_t i = 0; i < train_x.size(); ++i) {
+        if (train_x[i] == victim) {
+          train_x.erase(train_x.begin() + static_cast<std::ptrdiff_t>(i));
+          train_y.erase(train_y.begin() + static_cast<std::ptrdiff_t>(i));
+          ++removed_now;
+          break;
+        }
+      }
+    }
+    removed_total += removed_now;
+    if (removed_now == 0) break;  // Nothing matched: cannot make progress.
+
+    const bool has_pos = std::find(train_y.begin(), train_y.end(), +1) != train_y.end();
+    const bool has_neg = std::find(train_y.begin(), train_y.end(), -1) != train_y.end();
+    if (!has_pos || !has_neg) break;  // Budget unreachable without killing a class.
+
+    current = svt::svm::train_svm(train_x, train_y, model.kernel, train_params);
+  }
+
+  if (report != nullptr) {
+    report->rounds = rounds;
+    report->removed_samples = removed_total;
+    report->final_support_vectors = current.num_support_vectors();
+  }
+  if (surviving_x != nullptr) *surviving_x = std::move(train_x);
+  if (surviving_y != nullptr) *surviving_y = std::move(train_y);
+  return current;
+}
+
+SvmModel truncate_support_vectors(const SvmModel& model, std::size_t budget) {
+  if (budget == 0) throw std::invalid_argument("truncate_support_vectors: zero budget");
+  if (model.num_support_vectors() <= budget) return model;
+  const auto norms = model.sv_norms();
+  std::vector<std::size_t> rank(norms.size());
+  std::iota(rank.begin(), rank.end(), 0);
+  std::sort(rank.begin(), rank.end(),
+            [&](std::size_t a, std::size_t b) { return norms[a] > norms[b]; });
+  SvmModel out;
+  out.kernel = model.kernel;
+  out.bias = model.bias;
+  out.support_vectors.reserve(budget);
+  out.alpha_y.reserve(budget);
+  for (std::size_t r = 0; r < budget; ++r) {
+    out.support_vectors.push_back(model.support_vectors[rank[r]]);
+    out.alpha_y.push_back(model.alpha_y[rank[r]]);
+  }
+  return out;
+}
+
+}  // namespace svt::core

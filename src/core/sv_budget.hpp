@@ -1,0 +1,59 @@
+// Support-vector budgeting (paper Section III, "Reducing the number of
+// support vectors").
+//
+// Counters the "curse of kernelization" by bounding the SV set: iteratively
+// remove the least significant support vector -- the one minimising the norm
+// of paper Eq. 5, ||SV_i|| = ||alpha_i||^2 * k(x_i, x_i) -- *from the
+// training set*, and retrain. We batch removals between retrainings (the
+// removal of one low-norm SV almost never changes which other SVs have low
+// norms), which keeps sweep costs tractable without changing the fixed point
+// of the procedure.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "svm/model.hpp"
+#include "svm/trainer.hpp"
+
+namespace svt::svm {
+struct TrainParams;
+}
+
+namespace svt::core {
+
+struct BudgetParams {
+  std::size_t budget = 68;       ///< Target maximum SV count.
+  double batch_fraction = 0.05;  ///< Fraction of the SV overshoot removed per round.
+  std::size_t max_rounds = 400;  ///< Safety bound on retraining rounds.
+};
+
+struct BudgetReport {
+  std::size_t rounds = 0;
+  std::size_t removed_samples = 0;
+  std::size_t final_support_vectors = 0;
+};
+
+/// Budget a trained model. `samples`/`labels` must be the (scaled) training
+/// set the model was trained on; the function removes low-norm SVs from that
+/// set and retrains until the SV count is within budget (or max_rounds is
+/// hit, returning the best-effort model). Throws std::invalid_argument on
+/// empty inputs or a zero budget.
+/// If `surviving_x`/`surviving_y` are non-null they receive the reduced
+/// training set after budgeting, so progressively tighter budgets (the
+/// Figure-5 sweep) can continue from where the previous budget stopped.
+svt::svm::SvmModel budget_support_vectors(const svt::svm::SvmModel& model,
+                                          std::span<const std::vector<double>> samples,
+                                          std::span<const int> labels,
+                                          const svt::svm::TrainParams& train_params,
+                                          const BudgetParams& budget_params,
+                                          BudgetReport* report = nullptr,
+                                          std::vector<std::vector<double>>* surviving_x = nullptr,
+                                          std::vector<int>* surviving_y = nullptr);
+
+/// Ablation baseline: truncate the SV set to the `budget` highest-norm SVs
+/// *without retraining* (keeps kernel/bias). Used to show that retraining
+/// after removal is what preserves classification performance.
+svt::svm::SvmModel truncate_support_vectors(const svt::svm::SvmModel& model, std::size_t budget);
+
+}  // namespace svt::core

@@ -1,0 +1,145 @@
+#include "core/tailoring.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace svt::core {
+
+using svt::svm::CvOptions;
+using svt::svm::StandardScaler;
+using svt::svm::SvmModel;
+
+int TailoredDetector::classify(std::span<const double> raw_features) const {
+  std::vector<double> x;
+  x.reserve(selected_.size());
+  for (std::size_t j : selected_) {
+    if (j >= raw_features.size())
+      throw std::invalid_argument("TailoredDetector::classify: feature vector too short");
+    x.push_back(raw_features[j]);
+  }
+  scaler_.transform_inplace(x);
+  if (quantized_) return quantized_->classify(x);
+  return model_.predict(x);
+}
+
+double TailoredDetector::decision_value(std::span<const double> raw_features) const {
+  std::vector<double> x;
+  x.reserve(selected_.size());
+  for (std::size_t j : selected_) {
+    if (j >= raw_features.size())
+      throw std::invalid_argument("TailoredDetector::decision_value: feature vector too short");
+    x.push_back(raw_features[j]);
+  }
+  scaler_.transform_inplace(x);
+  return model_.decision_value(x);
+}
+
+hw::CostReport TailoredDetector::hardware_cost(const hw::TechModel& tech) const {
+  hw::PipelineConfig config;
+  config.num_features = model_.num_features();
+  config.num_support_vectors = model_.num_support_vectors();
+  if (quant_config_) {
+    config.feature_bits = quant_config_->feature_bits;
+    config.alpha_bits = quant_config_->alpha_bits;
+    config.dot_truncate_bits = quant_config_->dot_truncate_bits;
+    config.square_truncate_bits = quant_config_->square_truncate_bits;
+  } else {
+    config.feature_bits = 64;  // Float reference costed as the 64-bit design.
+    config.alpha_bits = 64;
+  }
+  return hw::estimate_cost(config, tech);
+}
+
+TailoredDetector tailor_detector(std::span<const std::vector<double>> samples,
+                                 std::span<const int> labels, const TailoringConfig& config) {
+  if (samples.empty() || samples.size() != labels.size())
+    throw std::invalid_argument("tailor_detector: bad training set");
+  const std::size_t total_features = samples.front().size();
+  if (config.num_features > total_features)
+    throw std::invalid_argument("tailor_detector: num_features exceeds available features");
+
+  TailoredDetector detector;
+
+  // 1. Feature selection on the raw training matrix.
+  if (!config.explicit_features.empty()) {
+    for (std::size_t j : config.explicit_features) {
+      if (j >= total_features)
+        throw std::invalid_argument("tailor_detector: explicit feature index out of range");
+    }
+    detector.selected_ = config.explicit_features;
+  } else if (config.num_features == 0 || config.num_features == total_features) {
+    detector.selected_.resize(total_features);
+    for (std::size_t j = 0; j < total_features; ++j) detector.selected_[j] = j;
+  } else {
+    const auto order = rank_features_by_redundancy(samples);
+    detector.selected_ = order.keep_set(config.num_features);
+  }
+
+  std::vector<std::vector<double>> reduced;
+  reduced.reserve(samples.size());
+  for (const auto& row : samples) {
+    std::vector<double> r;
+    r.reserve(detector.selected_.size());
+    for (std::size_t j : detector.selected_) r.push_back(row[j]);
+    reduced.push_back(std::move(r));
+  }
+
+  // 2. Normalise and train.
+  detector.scaler_ = StandardScaler(config.scaler_mode);
+  if (!config.post_gains.empty()) {
+    if (config.post_gains.size() != detector.selected_.size())
+      throw std::invalid_argument("tailor_detector: post_gains size mismatch");
+    detector.scaler_.set_post_gains(config.post_gains);
+  }
+  detector.scaler_.fit(reduced);
+  const auto scaled = detector.scaler_.transform_all(reduced);
+  std::vector<int> y(labels.begin(), labels.end());
+  detector.model_ = svt::svm::train_svm(scaled, y, config.kernel, config.train);
+
+  // 3. SV budgeting.
+  if (config.sv_budget > 0 && detector.model_.num_support_vectors() > config.sv_budget) {
+    BudgetParams bp;
+    bp.budget = config.sv_budget;
+    detector.model_ =
+        budget_support_vectors(detector.model_, scaled, y, config.train, bp);
+  }
+
+  // 4. Fixed-point quantisation.
+  detector.quant_config_ = config.quant;
+  if (config.quant) detector.quantized_ = QuantizedModel::build(detector.model_, *config.quant);
+  return detector;
+}
+
+CvOptions make_cv_options(const TailoringConfig& config) {
+  CvOptions options;
+  options.kernel = config.kernel;
+  options.train = config.train;
+  options.standardize = true;
+  options.scaler_mode = config.scaler_mode;
+  options.post_gains = config.post_gains;
+  if (config.sv_budget > 0) {
+    const auto budget = config.sv_budget;
+    const auto train_params = config.train;
+    options.transform = [budget, train_params](const SvmModel& model,
+                                               std::span<const std::vector<double>> x,
+                                               std::span<const int> y) {
+      if (model.num_support_vectors() <= budget) return model;
+      BudgetParams bp;
+      bp.budget = budget;
+      return budget_support_vectors(model, x, y, train_params, bp);
+    };
+  }
+  if (config.quant) {
+    const QuantConfig quant = *config.quant;
+    options.classifier = [quant](const SvmModel& model, std::span<const std::vector<double>>,
+                                 std::span<const int>) -> svt::svm::ClassifierFn {
+      auto engine = std::make_shared<QuantizedModel>(QuantizedModel::build(model, quant));
+      return [engine](std::span<const double> x) { return engine->classify(x); };
+    };
+  }
+  return options;
+}
+
+}  // namespace svt::core

@@ -1,0 +1,66 @@
+// Digital filters used by the ECG acquisition path (Pan-Tompkins QRS
+// detection) and by the EDR preprocessing.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace svt::dsp {
+
+/// Second-order IIR section (biquad), direct form I.
+/// y[n] = b0 x[n] + b1 x[n-1] + b2 x[n-2] - a1 y[n-1] - a2 y[n-2].
+class Biquad {
+ public:
+  Biquad() = default;
+  Biquad(double b0, double b1, double b2, double a1, double a2);
+
+  /// Process one sample, updating internal state.
+  double process(double x);
+
+  /// Reset internal state to zero.
+  void reset();
+
+  /// Filter a whole series (stateless convenience; resets first).
+  std::vector<double> filter(std::span<const double> x);
+
+  double b0() const { return b0_; }
+  double b1() const { return b1_; }
+  double b2() const { return b2_; }
+  double a1() const { return a1_; }
+  double a2() const { return a2_; }
+
+ private:
+  double b0_ = 1.0, b1_ = 0.0, b2_ = 0.0;
+  double a1_ = 0.0, a2_ = 0.0;
+  double x1_ = 0.0, x2_ = 0.0, y1_ = 0.0, y2_ = 0.0;
+};
+
+/// Butterworth 2nd-order low-pass biquad (bilinear transform).
+/// Throws if cutoff_hz <= 0 or cutoff_hz >= fs_hz/2.
+Biquad butterworth_lowpass(double cutoff_hz, double fs_hz);
+
+/// Butterworth 2nd-order high-pass biquad.
+Biquad butterworth_highpass(double cutoff_hz, double fs_hz);
+
+/// Band-pass as a high-pass/low-pass cascade. Throws unless
+/// 0 < lo_hz < hi_hz < fs_hz/2.
+std::vector<double> bandpass_filter(std::span<const double> x, double lo_hz, double hi_hz,
+                                    double fs_hz);
+
+/// Centred moving average of odd window length (edges use shrunken windows).
+/// Throws if window == 0 or window is even.
+std::vector<double> moving_average(std::span<const double> x, std::size_t window);
+
+/// Centred moving median of odd window length (edges use shrunken windows).
+std::vector<double> moving_median(std::span<const double> x, std::size_t window);
+
+/// Five-point derivative used by Pan-Tompkins:
+/// y[n] = (2x[n] + x[n-1] - x[n-3] - 2x[n-4]) / 8 (scaled by fs).
+std::vector<double> five_point_derivative(std::span<const double> x, double fs_hz);
+
+/// Moving-window integration (rectangular, trailing) of given length in
+/// samples; Pan-Tompkins stage. Throws if window == 0.
+std::vector<double> moving_window_integrate(std::span<const double> x, std::size_t window);
+
+}  // namespace svt::dsp

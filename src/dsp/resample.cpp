@@ -1,0 +1,59 @@
+#include "dsp/resample.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace svt::dsp {
+
+namespace {
+
+void validate_series(std::span<const double> times_s, std::span<const double> values,
+                     const char* what) {
+  if (times_s.size() != values.size())
+    throw std::invalid_argument(std::string(what) + ": size mismatch");
+  if (times_s.size() < 2)
+    throw std::invalid_argument(std::string(what) + ": need at least 2 samples");
+  for (std::size_t i = 1; i < times_s.size(); ++i) {
+    if (times_s[i] <= times_s[i - 1])
+      throw std::invalid_argument(std::string(what) + ": times must be strictly increasing");
+  }
+}
+
+}  // namespace
+
+double interpolate_at(std::span<const double> times_s, std::span<const double> values,
+                      double query_time_s) {
+  validate_series(times_s, values, "interpolate_at");
+  if (query_time_s <= times_s.front()) return values.front();
+  if (query_time_s >= times_s.back()) return values.back();
+  // First element strictly greater than the query.
+  const auto it = std::upper_bound(times_s.begin(), times_s.end(), query_time_s);
+  const auto hi = static_cast<std::size_t>(std::distance(times_s.begin(), it));
+  const std::size_t lo = hi - 1;
+  const double span = times_s[hi] - times_s[lo];
+  SVT_ASSERT(span > 0.0);
+  const double frac = (query_time_s - times_s[lo]) / span;
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+UniformSeries resample_linear(std::span<const double> times_s, std::span<const double> values,
+                              double fs_hz) {
+  validate_series(times_s, values, "resample_linear");
+  if (fs_hz <= 0.0) throw std::invalid_argument("resample_linear: fs_hz <= 0");
+  UniformSeries out;
+  out.fs_hz = fs_hz;
+  out.start_time_s = times_s.front();
+  const double duration = times_s.back() - times_s.front();
+  const auto n = static_cast<std::size_t>(std::floor(duration * fs_hz)) + 1;
+  out.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = out.start_time_s + static_cast<double>(i) / fs_hz;
+    out.values[i] = interpolate_at(times_s, values, t);
+  }
+  return out;
+}
+
+}  // namespace svt::dsp

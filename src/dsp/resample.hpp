@@ -1,0 +1,36 @@
+// Resampling of unevenly-sampled series.
+//
+// RR-interval tachograms and beat-indexed EDR series are unevenly sampled in
+// time (one sample per heartbeat); spectral analysis (Welch, AR) requires a
+// uniform grid. This module provides linear-interpolation resampling onto a
+// uniform rate, the standard preprocessing in HRV analysis.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace svt::dsp {
+
+/// A uniformly resampled series: value[i] sampled at start_time_s + i/fs_hz.
+struct UniformSeries {
+  std::vector<double> values;
+  double fs_hz = 0.0;
+  double start_time_s = 0.0;
+
+  double duration_s() const {
+    return fs_hz > 0.0 ? static_cast<double>(values.size()) / fs_hz : 0.0;
+  }
+};
+
+/// Linearly interpolate the samples (t[i], v[i]) onto a uniform grid at fs_hz
+/// spanning [t.front(), t.back()]. Times must be strictly increasing.
+/// Throws on size mismatch, fewer than 2 samples, non-increasing times or
+/// fs_hz <= 0.
+UniformSeries resample_linear(std::span<const double> times_s, std::span<const double> values,
+                              double fs_hz);
+
+/// Linear interpolation at a single query time (clamps outside the range).
+double interpolate_at(std::span<const double> times_s, std::span<const double> values,
+                      double query_time_s);
+
+}  // namespace svt::dsp

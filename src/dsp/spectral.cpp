@@ -1,0 +1,136 @@
+#include "dsp/spectral.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/statistics.hpp"
+
+namespace svt::dsp {
+
+double PsdEstimate::resolution_hz() const {
+  if (frequency_hz.size() < 2) return 0.0;
+  return frequency_hz[1] - frequency_hz[0];
+}
+
+namespace {
+
+/// One-sided PSD of a single windowed segment, normalised so that summing
+/// power * df recovers the windowed signal power (standard periodogram
+/// normalisation: |X[k]|^2 / (fs * sum w^2), with interior bins doubled).
+PsdEstimate segment_psd(std::span<const double> x, double fs_hz, std::span<const double> w) {
+  SVT_ASSERT(x.size() == w.size());
+  std::vector<double> tapered(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) tapered[i] = x[i] * w[i];
+  const std::size_t nfft = next_power_of_two(tapered.size());
+  const auto mag2 = magnitude_squared_spectrum(tapered, nfft);
+  const double norm = fs_hz * window_power(w);
+  PsdEstimate psd;
+  psd.frequency_hz.resize(mag2.size());
+  psd.power.resize(mag2.size());
+  const double df = fs_hz / static_cast<double>(nfft);
+  for (std::size_t k = 0; k < mag2.size(); ++k) {
+    psd.frequency_hz[k] = df * static_cast<double>(k);
+    double p = mag2[k] / norm;
+    const bool interior = k != 0 && k != mag2.size() - 1;
+    if (interior) p *= 2.0;  // One-sided estimate folds the negative axis.
+    psd.power[k] = p;
+  }
+  return psd;
+}
+
+}  // namespace
+
+PsdEstimate periodogram(std::span<const double> x, double fs_hz, WindowType window) {
+  if (x.empty()) throw std::invalid_argument("periodogram: empty input");
+  if (fs_hz <= 0.0) throw std::invalid_argument("periodogram: fs_hz <= 0");
+  const auto w = make_window(window, x.size());
+  return segment_psd(x, fs_hz, w);
+}
+
+PsdEstimate welch_psd(std::span<const double> x, double fs_hz, const WelchParams& params) {
+  if (x.empty()) throw std::invalid_argument("welch_psd: empty input");
+  if (fs_hz <= 0.0) throw std::invalid_argument("welch_psd: fs_hz <= 0");
+  if (params.segment_length == 0) throw std::invalid_argument("welch_psd: segment_length == 0");
+  if (params.overlap_fraction < 0.0 || params.overlap_fraction >= 1.0)
+    throw std::invalid_argument("welch_psd: overlap_fraction outside [0,1)");
+
+  const std::size_t seg = std::min(params.segment_length, x.size());
+  auto hop = static_cast<std::size_t>(
+      std::max(1.0, std::round(static_cast<double>(seg) * (1.0 - params.overlap_fraction))));
+  const auto w = make_window(params.window, seg);
+
+  PsdEstimate acc;
+  std::size_t count = 0;
+  for (std::size_t start = 0; start + seg <= x.size(); start += hop) {
+    std::vector<double> segment(x.begin() + static_cast<std::ptrdiff_t>(start),
+                                x.begin() + static_cast<std::ptrdiff_t>(start + seg));
+    if (params.detrend_segments) remove_mean(segment);
+    PsdEstimate p = segment_psd(segment, fs_hz, w);
+    if (count == 0) {
+      acc = std::move(p);
+    } else {
+      SVT_ASSERT(acc.power.size() == p.power.size());
+      for (std::size_t k = 0; k < acc.power.size(); ++k) acc.power[k] += p.power[k];
+    }
+    ++count;
+  }
+  if (count == 0) {
+    // Series shorter than one segment: single periodogram over everything.
+    std::vector<double> whole(x.begin(), x.end());
+    if (params.detrend_segments) remove_mean(whole);
+    return segment_psd(whole, fs_hz, make_window(params.window, whole.size()));
+  }
+  for (double& p : acc.power) p /= static_cast<double>(count);
+  return acc;
+}
+
+double band_power(const PsdEstimate& psd, double f_lo, double f_hi) {
+  if (f_hi < f_lo) throw std::invalid_argument("band_power: f_hi < f_lo");
+  const double df = psd.resolution_hz();
+  if (df <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t k = 0; k < psd.frequency_hz.size(); ++k) {
+    const double f = psd.frequency_hz[k];
+    if (f >= f_lo && f < f_hi) acc += psd.power[k] * df;
+  }
+  return acc;
+}
+
+double total_power(const PsdEstimate& psd) {
+  const double df = psd.resolution_hz();
+  double acc = 0.0;
+  for (double p : psd.power) acc += p * df;
+  return acc;
+}
+
+double peak_frequency(const PsdEstimate& psd, double f_lo, double f_hi) {
+  double best_f = f_lo;
+  double best_p = -1.0;
+  for (std::size_t k = 0; k < psd.frequency_hz.size(); ++k) {
+    const double f = psd.frequency_hz[k];
+    if (f >= f_lo && f < f_hi && psd.power[k] > best_p) {
+      best_p = psd.power[k];
+      best_f = f;
+    }
+  }
+  return best_f;
+}
+
+double spectral_edge_frequency(const PsdEstimate& psd, double fraction) {
+  if (fraction <= 0.0 || fraction > 1.0)
+    throw std::invalid_argument("spectral_edge_frequency: fraction outside (0,1]");
+  const double total = total_power(psd);
+  if (total <= 0.0) return 0.0;
+  const double df = psd.resolution_hz();
+  double acc = 0.0;
+  for (std::size_t k = 0; k < psd.power.size(); ++k) {
+    acc += psd.power[k] * df;
+    if (acc >= fraction * total) return psd.frequency_hz[k];
+  }
+  return psd.frequency_hz.empty() ? 0.0 : psd.frequency_hz.back();
+}
+
+}  // namespace svt::dsp

@@ -1,0 +1,60 @@
+// Power spectral density estimation (periodogram and Welch's method) and
+// band-power utilities.
+//
+// The paper's PSD feature group (features 25-53) is the spectral density of
+// the ECG-derived respiration series "in various bands"; this module provides
+// the Welch estimator and band integration those features are built on.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/window.hpp"
+
+namespace svt::dsp {
+
+/// A one-sided PSD estimate: power[k] corresponds to frequency_hz[k].
+struct PsdEstimate {
+  std::vector<double> frequency_hz;
+  std::vector<double> power;  ///< Units: input^2 / Hz.
+
+  /// Frequency resolution (spacing between bins) in Hz.
+  double resolution_hz() const;
+};
+
+/// One-sided periodogram of a (detrended) real series sampled at fs_hz.
+/// Throws on empty input or fs_hz <= 0.
+PsdEstimate periodogram(std::span<const double> x, double fs_hz,
+                        WindowType window = WindowType::kHann);
+
+/// Parameters for Welch's averaged-periodogram method.
+struct WelchParams {
+  std::size_t segment_length = 256;   ///< Samples per segment.
+  double overlap_fraction = 0.5;      ///< In [0,1); 0.5 = 50% overlap.
+  WindowType window = WindowType::kHann;
+  bool detrend_segments = true;       ///< Remove per-segment mean.
+};
+
+/// Welch PSD estimate. If the series is shorter than one segment, falls back
+/// to a single periodogram over the whole series. Throws on empty input,
+/// fs_hz <= 0, segment_length == 0 or overlap outside [0,1).
+PsdEstimate welch_psd(std::span<const double> x, double fs_hz, const WelchParams& params = {});
+
+/// Integrated power in [f_lo, f_hi) via trapezoid-free bin summation
+/// (power * resolution for bins whose centre falls in the band).
+/// Throws if f_hi < f_lo.
+double band_power(const PsdEstimate& psd, double f_lo, double f_hi);
+
+/// Total power over the whole estimate.
+double total_power(const PsdEstimate& psd);
+
+/// Frequency of the largest PSD bin within [f_lo, f_hi). Returns f_lo if the
+/// band contains no bins.
+double peak_frequency(const PsdEstimate& psd, double f_lo, double f_hi);
+
+/// Spectral edge frequency: smallest f such that the cumulative power up to f
+/// reaches `fraction` (in (0,1]) of the total power.
+double spectral_edge_frequency(const PsdEstimate& psd, double fraction);
+
+}  // namespace svt::dsp

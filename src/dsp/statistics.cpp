@@ -1,0 +1,207 @@
+#include "dsp/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace svt::dsp {
+
+namespace {
+
+void require_non_empty(std::span<const double> x, const char* what) {
+  if (x.empty()) throw std::invalid_argument(std::string(what) + ": empty input");
+}
+
+}  // namespace
+
+double mean(std::span<const double> x) {
+  require_non_empty(x, "mean");
+  return std::accumulate(x.begin(), x.end(), 0.0) / static_cast<double>(x.size());
+}
+
+double variance_population(std::span<const double> x) {
+  require_non_empty(x, "variance_population");
+  const double m = mean(x);
+  double acc = 0.0;
+  for (double v : x) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(x.size());
+}
+
+double variance_sample(std::span<const double> x) {
+  if (x.size() < 2) throw std::invalid_argument("variance_sample: need at least 2 samples");
+  const double m = mean(x);
+  double acc = 0.0;
+  for (double v : x) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(x.size() - 1);
+}
+
+double stddev_population(std::span<const double> x) { return std::sqrt(variance_population(x)); }
+
+double stddev_sample(std::span<const double> x) { return std::sqrt(variance_sample(x)); }
+
+double rms(std::span<const double> x) {
+  require_non_empty(x, "rms");
+  double acc = 0.0;
+  for (double v : x) acc += v * v;
+  return std::sqrt(acc / static_cast<double>(x.size()));
+}
+
+double min_value(std::span<const double> x) {
+  require_non_empty(x, "min_value");
+  return *std::min_element(x.begin(), x.end());
+}
+
+double max_value(std::span<const double> x) {
+  require_non_empty(x, "max_value");
+  return *std::max_element(x.begin(), x.end());
+}
+
+double percentile(std::span<const double> x, double p) {
+  require_non_empty(x, "percentile");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of [0,100]");
+  std::vector<double> sorted(x.begin(), x.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> x) { return percentile(x, 50.0); }
+
+double iqr(std::span<const double> x) { return percentile(x, 75.0) - percentile(x, 25.0); }
+
+double skewness(std::span<const double> x) {
+  require_non_empty(x, "skewness");
+  const double m = mean(x);
+  double m2 = 0.0, m3 = 0.0;
+  for (double v : x) {
+    const double d = v - m;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m2 /= static_cast<double>(x.size());
+  m3 /= static_cast<double>(x.size());
+  if (m2 <= 0.0) return 0.0;
+  return m3 / std::pow(m2, 1.5);
+}
+
+double kurtosis_excess(std::span<const double> x) {
+  require_non_empty(x, "kurtosis_excess");
+  const double m = mean(x);
+  double m2 = 0.0, m4 = 0.0;
+  for (double v : x) {
+    const double d = v - m;
+    m2 += d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= static_cast<double>(x.size());
+  m4 /= static_cast<double>(x.size());
+  if (m2 <= 0.0) return 0.0;
+  return m4 / (m2 * m2) - 3.0;
+}
+
+double covariance_population(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("covariance_population: size mismatch");
+  require_non_empty(x, "covariance_population");
+  const double mx = mean(x);
+  const double my = mean(y);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += (x[i] - mx) * (y[i] - my);
+  return acc / static_cast<double>(x.size());
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  const double cov = covariance_population(x, y);
+  const double sx = stddev_population(x);
+  const double sy = stddev_population(y);
+  if (sx <= 0.0 || sy <= 0.0) return 0.0;
+  return cov / (sx * sy);
+}
+
+std::vector<double> successive_differences(std::span<const double> x) {
+  if (x.size() < 2) throw std::invalid_argument("successive_differences: need at least 2 samples");
+  std::vector<double> d(x.size() - 1);
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) d[i] = x[i + 1] - x[i];
+  return d;
+}
+
+double rmssd(std::span<const double> x) {
+  const auto d = successive_differences(x);
+  return rms(d);
+}
+
+double fraction_successive_diff_above(std::span<const double> x, double threshold) {
+  const auto d = successive_differences(x);
+  std::size_t count = 0;
+  for (double v : d) {
+    if (std::abs(v) > threshold) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(d.size());
+}
+
+std::vector<double> autocorrelation(std::span<const double> x, std::size_t max_lag) {
+  require_non_empty(x, "autocorrelation");
+  if (max_lag >= x.size()) throw std::invalid_argument("autocorrelation: max_lag >= size");
+  std::vector<double> r(max_lag + 1, 0.0);
+  const auto n = x.size();
+  for (std::size_t k = 0; k <= max_lag; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i + k < n; ++i) acc += x[i] * x[i + k];
+    r[k] = acc / static_cast<double>(n);
+  }
+  return r;
+}
+
+void remove_mean(std::vector<double>& x) {
+  if (x.empty()) return;
+  const double m = mean(x);
+  for (double& v : x) v -= m;
+}
+
+void remove_linear_trend(std::vector<double>& x) {
+  const auto n = x.size();
+  if (n < 2) return;
+  // Least-squares fit of x[i] = a*i + b over i = 0..n-1.
+  const double nn = static_cast<double>(n);
+  const double sum_i = nn * (nn - 1.0) / 2.0;
+  const double sum_ii = (nn - 1.0) * nn * (2.0 * nn - 1.0) / 6.0;
+  double sum_x = 0.0, sum_ix = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum_x += x[i];
+    sum_ix += static_cast<double>(i) * x[i];
+  }
+  const double denom = nn * sum_ii - sum_i * sum_i;
+  if (denom == 0.0) return;
+  const double a = (nn * sum_ix - sum_i * sum_x) / denom;
+  const double b = (sum_x - a * sum_i) / nn;
+  for (std::size_t i = 0; i < n; ++i) x[i] -= a * static_cast<double>(i) + b;
+}
+
+double histogram_entropy(std::span<const double> x, std::size_t bins) {
+  if (bins == 0) throw std::invalid_argument("histogram_entropy: bins == 0");
+  require_non_empty(x, "histogram_entropy");
+  const double lo = min_value(x);
+  const double hi = max_value(x);
+  if (hi <= lo) return 0.0;
+  std::vector<std::size_t> hist(bins, 0);
+  for (double v : x) {
+    auto bin = static_cast<std::size_t>((v - lo) / (hi - lo) * static_cast<double>(bins));
+    if (bin >= bins) bin = bins - 1;
+    ++hist[bin];
+  }
+  double h = 0.0;
+  for (std::size_t c : hist) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(x.size());
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace svt::dsp

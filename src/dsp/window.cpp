@@ -1,0 +1,49 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace svt::dsp {
+
+std::string window_name(WindowType type) {
+  switch (type) {
+    case WindowType::kRectangular: return "rectangular";
+    case WindowType::kHann: return "hann";
+    case WindowType::kHamming: return "hamming";
+    case WindowType::kBlackman: return "blackman";
+  }
+  return "unknown";
+}
+
+std::vector<double> make_window(WindowType type, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("make_window: n == 0");
+  std::vector<double> w(n, 1.0);
+  if (n == 1 || type == WindowType::kRectangular) return w;
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / denom;
+    switch (type) {
+      case WindowType::kRectangular: break;
+      case WindowType::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(2.0 * std::numbers::pi * t);
+        break;
+      case WindowType::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(2.0 * std::numbers::pi * t);
+        break;
+      case WindowType::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(2.0 * std::numbers::pi * t) +
+               0.08 * std::cos(4.0 * std::numbers::pi * t);
+        break;
+    }
+  }
+  return w;
+}
+
+double window_power(std::span<const double> w) {
+  double acc = 0.0;
+  for (double v : w) acc += v * v;
+  return acc;
+}
+
+}  // namespace svt::dsp

@@ -1,0 +1,22 @@
+// Window (taper) functions for spectral estimation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace svt::dsp {
+
+enum class WindowType { kRectangular, kHann, kHamming, kBlackman };
+
+/// Human-readable name of a window type.
+std::string window_name(WindowType type);
+
+/// Window coefficients of the given length (symmetric form). Throws on n == 0.
+std::vector<double> make_window(WindowType type, std::size_t n);
+
+/// Sum of squared window coefficients (used for PSD normalisation).
+double window_power(std::span<const double> w);
+
+}  // namespace svt::dsp

@@ -1,0 +1,76 @@
+#include "ecg/ecg_synth.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace svt::ecg {
+
+namespace {
+
+/// Add a Gaussian bump centred at time c (seconds) to the waveform.
+void add_gaussian(std::vector<double>& samples, double fs_hz, double amplitude, double center_s,
+                  double width_s) {
+  if (width_s <= 0.0) return;
+  const double span = 4.0 * width_s;
+  const auto lo = static_cast<std::ptrdiff_t>(std::floor((center_s - span) * fs_hz));
+  const auto hi = static_cast<std::ptrdiff_t>(std::ceil((center_s + span) * fs_hz));
+  for (std::ptrdiff_t i = std::max<std::ptrdiff_t>(lo, 0);
+       i <= hi && i < static_cast<std::ptrdiff_t>(samples.size()); ++i) {
+    const double t = static_cast<double>(i) / fs_hz;
+    const double d = (t - center_s) / width_s;
+    samples[static_cast<std::size_t>(i)] += amplitude * std::exp(-0.5 * d * d);
+  }
+}
+
+}  // namespace
+
+EcgWaveform synthesize_ecg(const RrSeries& rr, const RespirationSeries& respiration,
+                           const EcgSynthParams& params, std::mt19937_64& rng) {
+  if (rr.size() == 0) throw std::invalid_argument("synthesize_ecg: empty tachogram");
+  if (params.fs_hz <= 0.0) throw std::invalid_argument("synthesize_ecg: fs_hz <= 0");
+
+  EcgWaveform out;
+  out.fs_hz = params.fs_hz;
+  const double duration = rr.beat_times_s.back() + 1.0;
+  out.samples_mv.assign(static_cast<std::size_t>(duration * params.fs_hz), 0.0);
+
+  std::normal_distribution<double> gauss(0.0, 1.0);
+
+  for (std::size_t b = 0; b < rr.size(); ++b) {
+    const double t_r = rr.beat_times_s[b];           // R peak time.
+    const double rr_cur = rr.rr_s[b];
+    const auto& m = params.morphology;
+
+    // Respiration-driven R amplitude modulation (the EDR mechanism).
+    double resp_value = 0.0;
+    if (!respiration.values.empty()) {
+      auto idx = static_cast<std::size_t>(t_r * respiration.fs_hz);
+      if (idx >= respiration.values.size()) idx = respiration.values.size() - 1;
+      resp_value = respiration.values[idx];
+    }
+    const double r_amp = m.r.amplitude_mv * (1.0 + params.edr_modulation * resp_value);
+
+    add_gaussian(out.samples_mv, params.fs_hz, r_amp, t_r, m.r.width_s);
+    add_gaussian(out.samples_mv, params.fs_hz, m.q.amplitude_mv, t_r - 0.025, m.q.width_s);
+    add_gaussian(out.samples_mv, params.fs_hz, m.s.amplitude_mv, t_r + 0.030, m.s.width_s);
+    add_gaussian(out.samples_mv, params.fs_hz, m.t.amplitude_mv, t_r + m.t.center_fraction * rr_cur,
+                 m.t.width_s);
+    add_gaussian(out.samples_mv, params.fs_hz, m.p.amplitude_mv, t_r + m.p.center_fraction * rr_cur,
+                 m.p.width_s);
+  }
+
+  // Baseline wander (two slow sinusoids) + white measurement noise.
+  for (std::size_t i = 0; i < out.samples_mv.size(); ++i) {
+    const double t = static_cast<double>(i) / params.fs_hz;
+    out.samples_mv[i] += params.baseline_wander_mv *
+                             (std::sin(2.0 * std::numbers::pi * 0.05 * t) +
+                              0.5 * std::sin(2.0 * std::numbers::pi * 0.12 * t + 1.3)) +
+                         params.noise_sigma_mv * gauss(rng);
+  }
+  return out;
+}
+
+}  // namespace svt::ecg

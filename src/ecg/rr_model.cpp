@@ -1,0 +1,249 @@
+#include "ecg/rr_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace svt::ecg {
+
+double ictal_intensity(const PatientProfile& patient, std::span<const SeizureEvent> seizures,
+                       double t_s) {
+  double intensity = 0.0;
+  for (const auto& sz : seizures) {
+    double v = 0.0;
+    if (t_s < sz.onset_s) {
+      const double lead = sz.onset_s - t_s;
+      if (lead < patient.preictal_ramp_s && patient.preictal_ramp_s > 0.0)
+        v = 1.0 - lead / patient.preictal_ramp_s;
+    } else if (t_s < sz.end_s()) {
+      v = 1.0;
+    } else {
+      const double since = t_s - sz.end_s();
+      if (patient.postictal_tau_s > 0.0) v = std::exp(-since / patient.postictal_tau_s);
+    }
+    intensity = std::max(intensity, v * sz.intensity);
+  }
+  return intensity;
+}
+
+double arousal_intensity(std::span<const ArousalEvent> arousals, double t_s) {
+  constexpr double kRampS = 10.0;
+  constexpr double kDecayTauS = 30.0;
+  double intensity = 0.0;
+  for (const auto& ar : arousals) {
+    double v = 0.0;
+    if (t_s >= ar.onset_s && t_s < ar.end_s()) {
+      v = std::min(1.0, (t_s - ar.onset_s) / kRampS);
+    } else if (t_s >= ar.end_s()) {
+      v = std::exp(-(t_s - ar.end_s()) / kDecayTauS);
+    }
+    intensity = std::max(intensity, v * ar.magnitude);
+  }
+  return intensity;
+}
+
+namespace {
+
+/// Shared slow-state processes for one session: an Ornstein-Uhlenbeck HR
+/// drift and a slowly wandering respiration rate. Both are sampled on a
+/// coarse 1 Hz grid and linearly interpolated, so RR and respiration
+/// generation see consistent (but independent per call) dynamics.
+struct SlowProcesses {
+  std::vector<double> hr_drift_bpm;   // 1 Hz grid.
+  std::vector<double> resp_rate_hz;   // 1 Hz grid.
+  std::vector<double> resp_depth;     // 1 Hz grid, multiplicative (~1).
+
+  static SlowProcesses generate(const PatientProfile& p, double duration_s,
+                                std::mt19937_64& rng) {
+    const auto n = static_cast<std::size_t>(std::ceil(duration_s)) + 2;
+    SlowProcesses sp;
+    sp.hr_drift_bpm.resize(n);
+    sp.resp_rate_hz.resize(n);
+    sp.resp_depth.resize(n);
+    std::normal_distribution<double> gauss(0.0, 1.0);
+    // OU process: dX = -X/tau dt + sigma*sqrt(2/tau) dW, dt = 1 s.
+    const double tau_hr = 120.0;
+    const double tau_resp = 300.0;
+    const double tau_depth = 240.0;
+    double x = gauss(rng) * p.hr_drift_sigma_bpm;
+    double r = 0.0;
+    double d = 0.0;
+    const double resp_sigma = 0.02;
+    // Respiration-depth wander: a strong window-scale common mode. It is
+    // what makes *all* EDR band powers rise and fall together (the PSD
+    // block redundancy of the paper's Figure 3) without carrying any class
+    // information (the class signal lives in the respiratory *rate*).
+    const double depth_sigma = 0.30;
+    for (std::size_t i = 0; i < n; ++i) {
+      sp.hr_drift_bpm[i] = x;
+      sp.resp_rate_hz[i] = p.resp_rate_hz + r;
+      sp.resp_depth[i] = std::exp(d);
+      x += -x / tau_hr + p.hr_drift_sigma_bpm * std::sqrt(2.0 / tau_hr) * gauss(rng);
+      r += -r / tau_resp + resp_sigma * std::sqrt(2.0 / tau_resp) * gauss(rng);
+      d += -d / tau_depth + depth_sigma * std::sqrt(2.0 / tau_depth) * gauss(rng);
+    }
+    return sp;
+  }
+
+  double at(const std::vector<double>& grid, double t_s) const {
+    if (grid.empty()) return 0.0;
+    const double pos = std::clamp(t_s, 0.0, static_cast<double>(grid.size() - 1));
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const std::size_t hi = std::min(lo + 1, grid.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return grid[lo] * (1.0 - frac) + grid[hi] * frac;
+  }
+
+  double hr_drift(double t_s) const { return at(hr_drift_bpm, t_s); }
+  double resp_rate(double t_s) const { return at(resp_rate_hz, t_s); }
+  double depth(double t_s) const { return at(resp_depth, t_s); }
+};
+
+void require_params(const SessionSignalParams& params, const char* what) {
+  if (params.duration_s <= 0.0)
+    throw std::invalid_argument(std::string(what) + ": duration_s <= 0");
+  if (params.respiration_fs_hz <= 0.0)
+    throw std::invalid_argument(std::string(what) + ": respiration_fs_hz <= 0");
+}
+
+}  // namespace
+
+double artifact_intensity(std::span<const ArtifactEvent> artifacts, double t_s) {
+  double intensity = 0.0;
+  for (const auto& ar : artifacts) {
+    if (t_s >= ar.onset_s && t_s < ar.end_s()) intensity = std::max(intensity, ar.severity);
+  }
+  return intensity;
+}
+
+RrSeries generate_rr_series(const PatientProfile& patient, const SessionEvents& events,
+                            const SessionSignalParams& params, std::mt19937_64& rng) {
+  require_params(params, "generate_rr_series");
+  const auto slow = SlowProcesses::generate(patient, params.duration_s, rng);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+  RrSeries out;
+  out.beat_times_s.reserve(static_cast<std::size_t>(params.duration_s * 2.5));
+  out.rr_s.reserve(out.beat_times_s.capacity());
+
+  double t = 0.0;
+  double resp_phase = 0.0;
+  bool pending_compensatory = false;
+  while (t < params.duration_s) {
+    const double k = ictal_intensity(patient, events.seizures, t);
+    const double a = arousal_intensity(events.arousals, t);
+    const double art = artifact_intensity(events.artifacts, t);
+    const double hrv_scale =
+        std::max(0.1, 1.0 - k * (1.0 - patient.ictal_hrv_suppression) -
+                          a * (1.0 - patient.arousal_hrv_suppression));
+
+    const double resp_rate = slow.resp_rate(t) + k * patient.ictal_resp_rate_delta_hz +
+                             a * patient.arousal_resp_rate_delta_hz;
+
+    double hr = patient.baseline_hr_bpm + slow.hr_drift(t) +
+                k * patient.signed_ictal_hr_delta_bpm() + a * patient.arousal_hr_delta_bpm +
+                hrv_scale * patient.lf_amplitude_bpm *
+                    std::sin(2.0 * std::numbers::pi * 0.095 * t) +
+                hrv_scale * patient.hf_amplitude_bpm * std::sin(resp_phase);
+    hr = std::clamp(hr, 30.0, 220.0);
+
+    // Artifact episodes inflate the beat-to-beat jitter (electrode motion,
+    // fiducial-point wander in the QRS detector).
+    const double noise_sigma =
+        patient.rr_noise_sigma_s *
+        (1.0 + art * (patient.artifact_rr_noise_multiplier - 1.0));
+    double rr = 60.0 / hr + noise_sigma * gauss(rng);
+
+    // Occasional ectopic (premature) beat followed by a compensatory pause.
+    if (pending_compensatory) {
+      rr *= 1.45;
+      pending_compensatory = false;
+    } else if (uniform(rng) < patient.ectopic_rate_per_min * rr / 60.0) {
+      rr *= 0.60;
+      pending_compensatory = true;
+    }
+    // Missed beats during artifacts: the detector skips an R peak and the
+    // apparent RR doubles.
+    if (art > 0.0 && uniform(rng) < art * patient.artifact_missed_beat_prob) rr *= 2.0;
+    rr = std::clamp(rr, 0.25, 2.5);
+
+    t += rr;
+    resp_phase += 2.0 * std::numbers::pi * resp_rate * rr;
+    out.beat_times_s.push_back(t);
+    out.rr_s.push_back(rr);
+  }
+  return out;
+}
+
+RespirationSeries generate_respiration(const PatientProfile& patient,
+                                       const SessionEvents& events,
+                                       const SessionSignalParams& params, std::mt19937_64& rng) {
+  require_params(params, "generate_respiration");
+  const auto slow = SlowProcesses::generate(patient, params.duration_s, rng);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+
+  RespirationSeries out;
+  out.fs_hz = params.respiration_fs_hz;
+  const auto n = static_cast<std::size_t>(params.duration_s * params.respiration_fs_hz);
+  out.values.resize(n);
+
+  double phase = 0.0;
+  double amp_mod = 0.0;  // Slow amplitude wander (AR(1) at sample rate).
+  const double dt = 1.0 / params.respiration_fs_hz;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * dt;
+    const double k = ictal_intensity(patient, events.seizures, t);
+    const double a = arousal_intensity(events.arousals, t);
+    const double art = artifact_intensity(events.artifacts, t);
+    const double rate = slow.resp_rate(t) + k * patient.ictal_resp_rate_delta_hz +
+                        a * patient.arousal_resp_rate_delta_hz;
+    phase += 2.0 * std::numbers::pi * rate * dt;
+
+    const double irregularity =
+        0.08 + k * patient.ictal_resp_irregularity + 0.30 * a + 0.3 * art;
+    amp_mod = 0.995 * amp_mod + irregularity * 0.1 * gauss(rng);
+    const double amplitude = patient.resp_amplitude * slow.depth(t) * (1.0 + amp_mod);
+
+    // The broadband noise floor scales with the instantaneous signal
+    // amplitude (EDR is an amplitude-demodulated signal, so its derivation
+    // noise is multiplicative). This couples *all* PSD bands to the common
+    // amplitude process, giving the EDR band powers the strong mutual
+    // correlation the paper's Figure 3 shows for the PSD feature block.
+    const double noise_scale = std::max(0.2, amplitude / patient.resp_amplitude);
+    out.values[i] =
+        amplitude * std::sin(phase) + noise_scale * patient.resp_noise_sigma * gauss(rng);
+  }
+  return out;
+}
+
+RrSeries slice_rr(const RrSeries& rr, double start_s, double end_s) {
+  if (end_s < start_s) throw std::invalid_argument("slice_rr: end < start");
+  RrSeries out;
+  for (std::size_t i = 0; i < rr.size(); ++i) {
+    const double t = rr.beat_times_s[i];
+    if (t >= start_s && t < end_s) {
+      out.beat_times_s.push_back(t - start_s);
+      out.rr_s.push_back(rr.rr_s[i]);
+    }
+  }
+  return out;
+}
+
+RespirationSeries slice_respiration(const RespirationSeries& resp, double start_s, double end_s) {
+  if (end_s < start_s) throw std::invalid_argument("slice_respiration: end < start");
+  RespirationSeries out;
+  out.fs_hz = resp.fs_hz;
+  const auto lo = static_cast<std::size_t>(std::max(0.0, start_s * resp.fs_hz));
+  const auto hi = std::min(resp.values.size(),
+                           static_cast<std::size_t>(std::max(0.0, end_s * resp.fs_hz)));
+  if (lo < hi)
+    out.values.assign(resp.values.begin() + static_cast<std::ptrdiff_t>(lo),
+                      resp.values.begin() + static_cast<std::ptrdiff_t>(hi));
+  return out;
+}
+
+}  // namespace svt::ecg

@@ -1,0 +1,85 @@
+// Beat-to-beat RR-interval and respiration generator.
+//
+// Produces, for one recording session, the two physiological series every
+// downstream feature group consumes:
+//  * the RR tachogram (beat times + RR intervals), driven by a heart-rate
+//    process composed of a slow Ornstein-Uhlenbeck drift, a Mayer-wave LF
+//    oscillation (~0.1 Hz), respiratory sinus arrhythmia locked to the
+//    respiration phase, white jitter, occasional ectopic beats, and the
+//    patient's ictal signature around each seizure;
+//  * the respiration signal (uniformly sampled), whose rate/amplitude also
+//    respond to seizures -- this doubles as the ground-truth EDR for the fast
+//    (RR-level) dataset path.
+#pragma once
+
+#include <random>
+#include <span>
+#include <vector>
+
+#include "ecg/patient.hpp"
+
+namespace svt::ecg {
+
+/// RR tachogram: beat_times_s[i] is the time of beat i, rr_s[i] the interval
+/// that *ended* at that beat. Both series have equal length.
+struct RrSeries {
+  std::vector<double> beat_times_s;
+  std::vector<double> rr_s;
+
+  std::size_t size() const { return rr_s.size(); }
+  double duration_s() const { return beat_times_s.empty() ? 0.0 : beat_times_s.back(); }
+};
+
+/// Uniformly sampled respiration (and, by substitution, EDR) signal.
+struct RespirationSeries {
+  std::vector<double> values;
+  double fs_hz = 4.0;
+
+  double duration_s() const {
+    return fs_hz > 0.0 ? static_cast<double>(values.size()) / fs_hz : 0.0;
+  }
+};
+
+/// Session-level generator parameters.
+struct SessionSignalParams {
+  double duration_s = 3600.0;
+  double respiration_fs_hz = 4.0;
+};
+
+/// Everything that happens in one session besides baseline physiology.
+struct SessionEvents {
+  std::vector<SeizureEvent> seizures;
+  std::vector<ArousalEvent> arousals;
+  std::vector<ArtifactEvent> artifacts;
+};
+
+/// Ictal modulation factor: 0 away from seizures, ramping up across the
+/// pre-ictal window, `intensity` during the seizure, exponential decay
+/// afterwards. Exposed for tests and for the waveform synthesiser.
+double ictal_intensity(const PatientProfile& patient, std::span<const SeizureEvent> seizures,
+                       double t_s);
+
+/// Arousal modulation factor (10 s ramp-in, 30 s decay, scaled by each
+/// event's magnitude).
+double arousal_intensity(std::span<const ArousalEvent> arousals, double t_s);
+
+/// Artifact severity at time t (box profile, scaled by each event's severity).
+double artifact_intensity(std::span<const ArtifactEvent> artifacts, double t_s);
+
+/// Generate the RR tachogram for one session. Deterministic given the rng
+/// state. Throws std::invalid_argument on non-positive duration.
+RrSeries generate_rr_series(const PatientProfile& patient, const SessionEvents& events,
+                            const SessionSignalParams& params, std::mt19937_64& rng);
+
+/// Generate the respiration signal for one session (same ictal timeline).
+RespirationSeries generate_respiration(const PatientProfile& patient,
+                                       const SessionEvents& events,
+                                       const SessionSignalParams& params, std::mt19937_64& rng);
+
+/// Extract the sub-series of a tachogram falling in [start_s, end_s).
+RrSeries slice_rr(const RrSeries& rr, double start_s, double end_s);
+
+/// Extract the sub-series of a respiration signal falling in [start_s, end_s).
+RespirationSeries slice_respiration(const RespirationSeries& resp, double start_s, double end_s);
+
+}  // namespace svt::ecg

@@ -1,0 +1,17 @@
+#include "features/ar_features.hpp"
+
+#include "dsp/ar_model.hpp"
+#include "dsp/statistics.hpp"
+
+namespace svt::features {
+
+std::array<double, kNumArFeatures> compute_ar_features(const ecg::RespirationSeries& edr) {
+  std::array<double, kNumArFeatures> f{};
+  if (edr.values.size() <= kArOrder + 1) return f;
+  if (dsp::stddev_population(edr.values) <= 0.0) return f;
+  const auto model = dsp::ar_burg(edr.values, kArOrder);
+  for (std::size_t i = 0; i < kNumArFeatures; ++i) f[i] = model.coefficients[i];
+  return f;
+}
+
+}  // namespace svt::features

@@ -1,0 +1,21 @@
+// Auto-regressive EDR features (paper features 16-24).
+//
+// The linear coefficients a1..a9 of an AR(9) model of the ECG-derived
+// respiration series, estimated with Burg's method (robust on the short
+// 3-minute windows the paper uses).
+#pragma once
+
+#include <array>
+
+#include "ecg/rr_model.hpp"
+#include "features/feature_types.hpp"
+
+namespace svt::features {
+
+inline constexpr std::size_t kArOrder = kNumArFeatures;  // AR(9).
+
+/// AR(9) coefficients of the EDR series (all-zero if the window is too short
+/// or the series is constant).
+std::array<double, kNumArFeatures> compute_ar_features(const ecg::RespirationSeries& edr);
+
+}  // namespace svt::features

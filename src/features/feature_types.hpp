@@ -1,0 +1,51 @@
+// Feature catalogue shared by the extractor, the selection algorithm and the
+// plots/benches.
+//
+// The paper's baseline set has 53 features in four groups (Section III):
+//   1-8   heart-rate analysis (HRV time domain),
+//   9-15  Lorentz (Poincare) plot geometry,
+//   16-24 auto-regressive model coefficients of the EDR series,
+//   25-53 power-spectral-density analysis of the EDR series.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace svt::features {
+
+enum class FeatureCategory { kHrv, kLorentz, kAr, kPsd };
+
+/// Printable group name matching the paper's Figure 3 legend.
+std::string category_name(FeatureCategory c);
+
+struct FeatureInfo {
+  std::size_t index = 0;  ///< 0-based position in the feature vector.
+  std::string name;
+  FeatureCategory category = FeatureCategory::kHrv;
+};
+
+inline constexpr std::size_t kNumHrvFeatures = 8;
+inline constexpr std::size_t kNumLorentzFeatures = 7;
+inline constexpr std::size_t kNumArFeatures = 9;
+inline constexpr std::size_t kNumPsdFeatures = 29;
+inline constexpr std::size_t kNumFeatures =
+    kNumHrvFeatures + kNumLorentzFeatures + kNumArFeatures + kNumPsdFeatures;  // 53
+
+/// Full catalogue, ordered as in the feature vector.
+const std::vector<FeatureInfo>& feature_catalog();
+
+/// Category of the feature at a 0-based index. Throws std::out_of_range.
+FeatureCategory category_of(std::size_t index);
+
+/// Category-typical magnitude gain (a power of two) applied after per-feature
+/// normalisation: HRV 8x, Lorentz 4x, PSD 2x, AR 1x. This preserves the
+/// *heterogeneous feature ranges* of raw physiological units -- the property
+/// the paper's per-feature power-of-two scaling (Eq. 6) exists to exploit --
+/// while keeping the kernel numerically well-conditioned for training.
+double category_gain(FeatureCategory c);
+
+/// Convenience: gains for a subset of feature indices (full catalogue order).
+std::vector<double> category_gains(const std::vector<std::size_t>& feature_indices);
+
+}  // namespace svt::features

@@ -1,0 +1,33 @@
+#include "features/hrv_features.hpp"
+
+#include <cmath>
+
+#include "dsp/statistics.hpp"
+
+namespace svt::features {
+
+std::array<double, kNumHrvFeatures> compute_hrv_features(const ecg::RrSeries& rr) {
+  std::array<double, kNumHrvFeatures> f{};
+  if (rr.size() < 4) return f;
+  const std::span<const double> x(rr.rr_s);
+
+  std::vector<double> hr(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) hr[i] = 60.0 / x[i];
+
+  // Units follow HRV-analysis convention (intervals in milliseconds, rates
+  // in bpm, fractions in percent). The resulting *heterogeneous* feature
+  // magnitudes are what the paper's per-feature power-of-two ranges exist
+  // to handle, so they are preserved deliberately (see svm::ScalerMode).
+  const double mean_nn = dsp::mean(x);
+  f[0] = dsp::mean(hr);                                     // [bpm]
+  f[1] = mean_nn * 1e3;                                     // [ms]
+  f[2] = dsp::stddev_sample(x) * 1e3;                       // SDNN [ms]
+  f[3] = dsp::rmssd(x) * 1e3;                               // RMSSD [ms]
+  f[4] = dsp::fraction_successive_diff_above(x, 0.050) * 100.0;  // pNN50 [%]
+  f[5] = mean_nn > 0.0 ? dsp::stddev_sample(x) / mean_nn * 100.0 : 0.0;  // CVNN [%]
+  f[6] = dsp::stddev_sample(hr);                            // [bpm]
+  f[7] = dsp::iqr(x) * 1e3;                                 // [ms]
+  return f;
+}
+
+}  // namespace svt::features

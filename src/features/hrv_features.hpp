@@ -1,0 +1,25 @@
+// HRV time-domain features (paper features 1-8).
+#pragma once
+
+#include <array>
+
+#include "ecg/rr_model.hpp"
+#include "features/feature_types.hpp"
+
+namespace svt::features {
+
+/// Features, in order (conventional HRV units -- ms / bpm / percent):
+///  0 mean heart rate [bpm]
+///  1 mean NN (RR) interval [ms]
+///  2 SDNN: standard deviation of RR [ms]
+///  3 RMSSD: RMS of successive RR differences [ms]
+///  4 pNN50: percent of successive differences > 50 ms
+///  5 CVNN: SDNN / meanNN [%]
+///  6 SD of instantaneous heart rate [bpm]
+///  7 RR inter-quartile range [ms]
+///
+/// Windows with fewer than 4 beats yield all-zero features (an unusable
+/// window; the generator never produces one, but the API stays total).
+std::array<double, kNumHrvFeatures> compute_hrv_features(const ecg::RrSeries& rr);
+
+}  // namespace svt::features

@@ -1,0 +1,38 @@
+#include "features/lorentz_features.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/statistics.hpp"
+
+namespace svt::features {
+
+std::array<double, kNumLorentzFeatures> compute_lorentz_features(const ecg::RrSeries& rr) {
+  std::array<double, kNumLorentzFeatures> f{};
+  if (rr.size() < 4) return f;
+  const auto& x = rr.rr_s;
+
+  // Rotate successive pairs by 45 degrees: u along the identity line,
+  // v perpendicular to it. SD1 = std(v), SD2 = std(u).
+  std::vector<double> u(x.size() - 1), v(x.size() - 1);
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    u[i] = (x[i + 1] + x[i]) / std::numbers::sqrt2;
+    v[i] = (x[i + 1] - x[i]) / std::numbers::sqrt2;
+  }
+  const double sd1 = dsp::stddev_sample(v) * 1e3;  // [ms]
+  const double sd2 = dsp::stddev_sample(u) * 1e3;  // [ms]
+
+  f[0] = sd1;
+  f[1] = sd2;
+  f[2] = sd2 > 0.0 ? sd1 / sd2 : 0.0;
+  f[3] = std::numbers::pi * sd1 * sd2 / 100.0;  // Ellipse area [10^2 ms^2].
+  f[4] = sd1 > 0.0 ? sd2 / sd1 : 0.0;           // CSI.
+  const double prod = 16.0 * sd1 * sd2;
+  f[5] = prod > 0.0 ? std::log10(prod) : 0.0;   // CVI.
+  const double cu = dsp::mean(u);
+  const double cv = dsp::mean(v);
+  f[6] = std::sqrt(cu * cu + cv * cv) * 1e3;    // Centroid distance [ms].
+  return f;
+}
+
+}  // namespace svt::features

@@ -1,0 +1,37 @@
+#include "features/psd_features.hpp"
+
+#include <cmath>
+
+#include "dsp/spectral.hpp"
+#include "dsp/statistics.hpp"
+
+namespace svt::features {
+
+std::array<double, kNumPsdFeatures> compute_psd_features(const ecg::RespirationSeries& edr) {
+  std::array<double, kNumPsdFeatures> f{};
+  if (edr.values.size() < 32 || edr.fs_hz <= 0.0) return f;
+  if (dsp::stddev_population(edr.values) <= 0.0) return f;
+
+  dsp::WelchParams wp;
+  wp.segment_length = 256;
+  wp.overlap_fraction = 0.5;
+  const auto psd = dsp::welch_psd(edr.values, edr.fs_hz, wp);
+
+  constexpr double kEps = 1e-12;
+  const double nyquist = edr.fs_hz / 2.0;
+  const double band_width = nyquist / static_cast<double>(kNumPsdBands);
+  for (std::size_t b = 0; b < kNumPsdBands; ++b) {
+    const double lo = band_width * static_cast<double>(b);
+    const double hi = lo + band_width;
+    f[b] = std::log10(dsp::band_power(psd, lo, hi) + kEps);
+  }
+  f[25] = std::log10(dsp::total_power(psd) + kEps);
+  const double low = dsp::band_power(psd, 0.10, 0.25);
+  const double high = dsp::band_power(psd, 0.25, 0.50);
+  f[26] = std::log10((low + kEps) / (high + kEps));
+  f[27] = dsp::peak_frequency(psd, 0.05, 0.60);
+  f[28] = dsp::spectral_edge_frequency(psd, 0.95);
+  return f;
+}
+
+}  // namespace svt::features

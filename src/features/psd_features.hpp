@@ -1,0 +1,27 @@
+// Power-spectral-density EDR features (paper features 25-53).
+//
+// Welch PSD of the EDR series (4 Hz sampling -> 0..2 Hz one-sided), summarised
+// as 25 log band powers over equal-width bands covering [0, 2) Hz plus four
+// spectral summaries. Neighbouring narrow bands of a smooth respiratory
+// spectrum are strongly correlated, which reproduces the paper's Figure-3
+// observation that "most PSD features encode information redundantly".
+#pragma once
+
+#include <array>
+
+#include "ecg/rr_model.hpp"
+#include "features/feature_types.hpp"
+
+namespace svt::features {
+
+inline constexpr std::size_t kNumPsdBands = 25;
+
+/// Features, in order:
+///  0..24  log10(band power + eps) over 25 equal bands spanning [0, fs/2)
+///  25     log10(total power + eps)
+///  26     low/high respiratory band power ratio ([0.1,0.25) / [0.25,0.5) Hz)
+///  27     peak (dominant respiratory) frequency in [0.05, 0.6) Hz
+///  28     95% spectral edge frequency
+std::array<double, kNumPsdFeatures> compute_psd_features(const ecg::RespirationSeries& edr);
+
+}  // namespace svt::features

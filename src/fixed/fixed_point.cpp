@@ -1,0 +1,100 @@
+#include "fixed/fixed_point.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace svt::fixed {
+
+namespace {
+
+void require_width(int bits, const char* what) {
+  if (bits < 2 || bits > 63)
+    throw std::invalid_argument(std::string(what) + ": bits must be in [2,63]");
+}
+
+}  // namespace
+
+std::int64_t max_signed_value(int bits) {
+  require_width(bits, "max_signed_value");
+  return (std::int64_t{1} << (bits - 1)) - 1;
+}
+
+std::int64_t min_signed_value(int bits) {
+  require_width(bits, "min_signed_value");
+  return -(std::int64_t{1} << (bits - 1));
+}
+
+std::int64_t saturate(std::int64_t v, int bits) {
+  const std::int64_t hi = max_signed_value(bits);
+  const std::int64_t lo = min_signed_value(bits);
+  if (v > hi) return hi;
+  if (v < lo) return lo;
+  return v;
+}
+
+bool fits(std::int64_t v, int bits) {
+  return v >= min_signed_value(bits) && v <= max_signed_value(bits);
+}
+
+std::int64_t truncate_lsbs(std::int64_t v, int shift) {
+  if (shift < 0 || shift > 62) throw std::invalid_argument("truncate_lsbs: shift outside [0,62]");
+  return v >> shift;  // Arithmetic shift: implementation-defined pre-C++20, defined in C++20.
+}
+
+std::int64_t round_shift_right(std::int64_t v, int shift) {
+  if (shift < 0 || shift > 62)
+    throw std::invalid_argument("round_shift_right: shift outside [0,62]");
+  if (shift == 0) return v;
+  const std::int64_t half = std::int64_t{1} << (shift - 1);
+  return (v + half) >> shift;
+}
+
+int signed_bit_width(std::int64_t v) {
+  // Width w such that v fits in w signed bits: smallest w with
+  // -2^(w-1) <= v <= 2^(w-1)-1.
+  if (v == 0 || v == -1) return 1;
+  std::uint64_t mag = v < 0 ? ~static_cast<std::uint64_t>(v) : static_cast<std::uint64_t>(v);
+  int w = 1;
+  while (mag != 0) {
+    mag >>= 1;
+    ++w;
+  }
+  return w;
+}
+
+double QuantFormat::lsb() const {
+  return std::ldexp(1.0, range_log2 - bits + 1);
+}
+
+std::int64_t QuantFormat::quantize(double v) const {
+  validate(*this);
+  const double scaled = v / lsb();
+  if (std::isnan(scaled)) return 0;
+  // Round to nearest, then saturate to the signed width.
+  double r = std::nearbyint(scaled);
+  const auto hi = static_cast<double>(max_signed_value(bits));
+  const auto lo = static_cast<double>(min_signed_value(bits));
+  if (r > hi) r = hi;
+  if (r < lo) r = lo;
+  return static_cast<std::int64_t>(r);
+}
+
+double QuantFormat::dequantize(std::int64_t q) const {
+  validate(*this);
+  return static_cast<double>(q) * lsb();
+}
+
+double QuantFormat::max_real() const { return static_cast<double>(max_signed_value(bits)) * lsb(); }
+
+std::string QuantFormat::describe() const {
+  return "Q(" + std::to_string(bits) + " bits, R=" + std::to_string(range_log2) + ")";
+}
+
+void validate(const QuantFormat& fmt) {
+  if (fmt.bits < 2 || fmt.bits > 63)
+    throw std::invalid_argument("QuantFormat: bits must be in [2,63]");
+}
+
+}  // namespace svt::fixed

@@ -1,0 +1,56 @@
+#include "fixed/range_selection.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+#include "dsp/statistics.hpp"
+
+namespace svt::fixed {
+
+int select_range_log2(double mean, double stddev, int r_min, int r_max,
+                      double sigma_headroom) {
+  if (r_min > r_max) throw std::invalid_argument("select_range_log2: r_min > r_max");
+  if (stddev < 0.0) throw std::invalid_argument("select_range_log2: negative stddev");
+  if (sigma_headroom <= 0.0)
+    throw std::invalid_argument("select_range_log2: sigma_headroom <= 0");
+  const double spread = sigma_headroom * stddev;
+  for (int r = r_min; r <= r_max; ++r) {
+    const double bound = std::ldexp(1.0, r);  // 2^r
+    // Paper Eq. 6 (with headroom, see header): avg - h*sigma > -2^R and
+    // avg + h*sigma < 2^R - 1. The "- 1" reflects the asymmetric two's-
+    // complement range; at real-valued granularity it reduces to strict
+    // inequality.
+    if (mean - spread > -bound && mean + spread < bound) return r;
+  }
+  return r_max;
+}
+
+std::vector<int> select_feature_ranges(std::span<const std::vector<double>> columns, int r_min,
+                                       int r_max, double sigma_headroom) {
+  std::vector<int> ranges;
+  ranges.reserve(columns.size());
+  for (const auto& col : columns) {
+    if (col.empty()) throw std::invalid_argument("select_feature_ranges: empty feature column");
+    const double m = dsp::mean(col);
+    const double s = dsp::stddev_population(col);
+    ranges.push_back(select_range_log2(m, s, r_min, r_max, sigma_headroom));
+  }
+  return ranges;
+}
+
+std::vector<std::vector<double>> to_columns(std::span<const std::vector<double>> rows) {
+  if (rows.empty()) return {};
+  const std::size_t nfeat = rows.front().size();
+  for (const auto& r : rows) {
+    if (r.size() != nfeat) throw std::invalid_argument("to_columns: ragged rows");
+  }
+  std::vector<std::vector<double>> cols(nfeat);
+  for (auto& c : cols) c.reserve(rows.size());
+  for (const auto& r : rows) {
+    for (std::size_t j = 0; j < nfeat; ++j) cols[j].push_back(r[j]);
+  }
+  return cols;
+}
+
+}  // namespace svt::fixed

@@ -1,0 +1,39 @@
+// Per-feature power-of-two range selection (paper Eq. 6).
+//
+// The paper restricts each feature j to a range [-2^Rj, 2^Rj] where Rj is the
+// smallest integer satisfying
+//      avg(Fj) - sigma(Fj) > -2^Rj   and   avg(Fj) + sigma(Fj) < 2^Rj - 1
+// with avg/sigma computed over the values the feature takes *in the SV set*.
+// Powers of two make up/down-scaling a shift instead of a divide. Values
+// outside the range (in SVs or in the test vector) saturate.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace svt::fixed {
+
+/// Smallest R satisfying Eq. 6 for a feature column with the given mean and
+/// standard deviation. R is clamped to [r_min, r_max] (the hardware stores R
+/// in a small scale-factor memory, so its own width is bounded).
+///
+/// `sigma_headroom`: Eq. 6 literally brackets avg +- 1 sigma, which for the
+/// paper's raw physiological features (whose means sit many sigmas above
+/// zero) leaves several sigmas of slack below the power-of-two bound. Our
+/// features are mean-centred, so the equivalent condition brackets
+/// avg +- sigma_headroom * sigma (default 4); without it nearly a third of
+/// all values would saturate and classification would collapse.
+int select_range_log2(double mean, double stddev, int r_min = -8, int r_max = 20,
+                      double sigma_headroom = 4.0);
+
+/// Eq. 6 ranges for every feature column of a sample matrix.
+/// `columns[j]` holds all values of feature j (e.g. across the SV set).
+std::vector<int> select_feature_ranges(std::span<const std::vector<double>> columns,
+                                       int r_min = -8, int r_max = 20,
+                                       double sigma_headroom = 4.0);
+
+/// Convenience: column extraction from row-major samples
+/// (samples[i] = feature vector of sample i; all rows must have equal size).
+std::vector<std::vector<double>> to_columns(std::span<const std::vector<double>> rows);
+
+}  // namespace svt::fixed

@@ -1,0 +1,45 @@
+#include "hw/arith_model.hpp"
+
+#include <stdexcept>
+
+namespace svt::hw {
+
+namespace {
+void require_widths(int b1, int b2, const char* what) {
+  if (b1 <= 0 || b2 <= 0) throw std::invalid_argument(std::string(what) + ": non-positive width");
+}
+}  // namespace
+
+double multiplier_area_um2(int b1, int b2, const TechModel& tech) {
+  require_widths(b1, b2, "multiplier_area_um2");
+  return tech.mult_area_floor_um2 +
+         tech.mult_area_um2_per_bit2 * static_cast<double>(b1) * static_cast<double>(b2);
+}
+
+double adder_area_um2(int bits, const TechModel& tech) {
+  if (bits <= 0) throw std::invalid_argument("adder_area_um2: non-positive width");
+  return tech.adder_area_um2_per_bit * static_cast<double>(bits);
+}
+
+double multiply_energy_pj(int b1, int b2, const TechModel& tech) {
+  require_widths(b1, b2, "multiply_energy_pj");
+  return tech.mult_energy_pj_per_bit2 * static_cast<double>(b1) * static_cast<double>(b2) +
+         tech.mult_energy_pj_per_bit * static_cast<double>(b1 + b2);
+}
+
+double mac_energy_pj(int b1, int b2, const TechModel& tech) {
+  return multiply_energy_pj(b1, b2, tech) + tech.stage_op_overhead_pj;
+}
+
+int clog2(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("clog2: n == 0");
+  int bits = 0;
+  std::size_t v = n - 1;
+  while (v != 0) {
+    v >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace svt::hw

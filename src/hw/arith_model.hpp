@@ -1,0 +1,28 @@
+// Arithmetic operator cost models (array multipliers, adders, registers).
+#pragma once
+
+#include <cstddef>
+
+#include "hw/tech_model.hpp"
+
+namespace svt::hw {
+
+/// Area of a b1 x b2 array multiplier in um^2. Throws std::invalid_argument
+/// on non-positive widths.
+double multiplier_area_um2(int b1, int b2, const TechModel& tech);
+
+/// Area of a `bits`-wide adder with its pipeline register, um^2.
+double adder_area_um2(int bits, const TechModel& tech);
+
+/// Switching energy of one b1 x b2 multiply in pJ (quadratic array term +
+/// linear wiring/glitch term).
+double multiply_energy_pj(int b1, int b2, const TechModel& tech);
+
+/// Energy of one multiply-accumulate op: multiply + stage overhead
+/// (accumulator flop + forwarding).
+double mac_energy_pj(int b1, int b2, const TechModel& tech);
+
+/// ceil(log2(n)) for n >= 1 (0 for n == 1); accumulator growth helper.
+int clog2(std::size_t n);
+
+}  // namespace svt::hw

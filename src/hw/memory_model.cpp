@@ -1,0 +1,25 @@
+#include "hw/memory_model.hpp"
+
+#include <cmath>
+
+namespace svt::hw {
+
+double SramMacro::area_um2(const TechModel& tech) const {
+  const auto bits = capacity_bits();
+  if (bits == 0) return 0.0;
+  return static_cast<double>(bits) * tech.sram_area_um2_per_bit + tech.sram_periphery_um2;
+}
+
+double SramMacro::read_energy_pj(const TechModel& tech) const {
+  const auto bits = capacity_bits();
+  if (bits == 0) return 0.0;
+  const double base = tech.sram_access_fixed_pj +
+                      tech.sram_access_pj_per_bit * static_cast<double>(bits_per_word);
+  const double capacity_factor =
+      1.0 + tech.sram_capacity_slope *
+                std::pow(static_cast<double>(bits) / tech.sram_reference_bits,
+                         tech.sram_capacity_exponent);
+  return base * capacity_factor;
+}
+
+}  // namespace svt::hw

@@ -1,0 +1,26 @@
+// CACTI-flavoured SRAM macro model.
+#pragma once
+
+#include <cstddef>
+
+#include "hw/tech_model.hpp"
+
+namespace svt::hw {
+
+/// One on-chip SRAM macro storing `words` entries of `bits_per_word` bits.
+struct SramMacro {
+  std::size_t words = 0;
+  std::size_t bits_per_word = 0;
+
+  std::size_t capacity_bits() const { return words * bits_per_word; }
+
+  /// Macro area in um^2 (bitcells + periphery floor). Zero-capacity macros
+  /// cost nothing (the design simply omits them).
+  double area_um2(const TechModel& tech) const;
+
+  /// Energy of one full-word read in pJ, including the CACTI-style
+  /// capacity-dependent wordline/bitline term.
+  double read_energy_pj(const TechModel& tech) const;
+};
+
+}  // namespace svt::hw

@@ -1,0 +1,69 @@
+// Leave-one-group-out cross-validation driver.
+//
+// The paper evaluates every design point over 24 folds, each holding out one
+// recording session. This driver is generic over (samples, labels, group ids)
+// and over two customisation hooks used by the tailoring experiments:
+//  * `transform`  -- post-processes the trained model per fold (e.g. SV
+//    budgeting with retraining needs the fold's training data);
+//  * `classifier` -- builds the per-fold inference function (e.g. the
+//    fixed-point engine quantises the fold's model before predicting).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "svm/metrics.hpp"
+#include "svm/model.hpp"
+#include "svm/scaler.hpp"
+#include "svm/trainer.hpp"
+
+namespace svt::svm {
+
+/// Per-fold inference function over a *scaled* feature vector.
+using ClassifierFn = std::function<int(std::span<const double>)>;
+
+/// Builds a ClassifierFn from the fold's trained model and (scaled) training
+/// data. Default: SvmModel::predict.
+using ClassifierFactory = std::function<ClassifierFn(
+    const SvmModel&, std::span<const std::vector<double>>, std::span<const int>)>;
+
+/// Post-processes the fold's trained model (scaled training data provided so
+/// the hook can retrain).
+using ModelTransform = std::function<SvmModel(
+    const SvmModel&, std::span<const std::vector<double>>, std::span<const int>)>;
+
+struct CvOptions {
+  Kernel kernel = quadratic_kernel();
+  TrainParams train;
+  bool standardize = true;
+  ScalerMode scaler_mode = ScalerMode::kZScore;
+  std::vector<double> post_gains;  ///< See StandardScaler::set_post_gains.
+  ModelTransform transform;      ///< Optional.
+  ClassifierFactory classifier;  ///< Optional.
+};
+
+struct FoldOutcome {
+  int group = 0;
+  ConfusionMatrix confusion;
+  std::size_t num_support_vectors = 0;
+  bool trained = false;  ///< False if the training split had a single class.
+};
+
+struct CvResult {
+  std::vector<FoldOutcome> folds;
+  FoldAverages averages;
+
+  /// Mean SV count over successfully trained folds (drives the HW model).
+  double mean_support_vectors() const;
+};
+
+/// Run leave-one-group-out CV. `groups[i]` is the fold id of sample i.
+/// Folds whose training split lacks one of the classes are skipped (marked
+/// trained=false). Throws std::invalid_argument on size mismatches.
+CvResult cross_validate(std::span<const std::vector<double>> samples,
+                        std::span<const int> labels, std::span<const int> groups,
+                        const CvOptions& options);
+
+}  // namespace svt::svm

@@ -1,0 +1,56 @@
+#include "svm/kernel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace svt::svm {
+
+double dot(std::span<const double> x, std::span<const double> z) {
+  if (x.size() != z.size()) throw std::invalid_argument("dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * z[i];
+  return acc;
+}
+
+double Kernel::operator()(std::span<const double> x, std::span<const double> z) const {
+  switch (type) {
+    case KernelType::kLinear:
+      return dot(x, z);
+    case KernelType::kPolynomial: {
+      if (degree < 1) throw std::invalid_argument("Kernel: polynomial degree < 1");
+      return std::pow(dot(x, z) + coef0, degree);
+    }
+    case KernelType::kRbf: {
+      if (x.size() != z.size()) throw std::invalid_argument("Kernel: size mismatch");
+      double d2 = 0.0;
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        const double d = x[i] - z[i];
+        d2 += d * d;
+      }
+      return std::exp(-gamma * d2);
+    }
+  }
+  throw std::invalid_argument("Kernel: unknown type");
+}
+
+std::string Kernel::name() const {
+  switch (type) {
+    case KernelType::kLinear: return "linear";
+    case KernelType::kPolynomial:
+      if (degree == 2) return "quadratic";
+      if (degree == 3) return "cubic";
+      return "poly-" + std::to_string(degree);
+    case KernelType::kRbf: return "gaussian";
+  }
+  return "unknown";
+}
+
+Kernel linear_kernel() { return Kernel{KernelType::kLinear, 1, 0.0, 0.0}; }
+
+Kernel quadratic_kernel() { return Kernel{KernelType::kPolynomial, 2, 1.0, 0.0}; }
+
+Kernel cubic_kernel() { return Kernel{KernelType::kPolynomial, 3, 1.0, 0.0}; }
+
+Kernel gaussian_kernel(double gamma) { return Kernel{KernelType::kRbf, 0, 0.0, gamma}; }
+
+}  // namespace svt::svm

@@ -1,0 +1,41 @@
+// SVM kernel functions.
+//
+// The paper compares linear, quadratic, cubic and Gaussian kernels (Table I)
+// and settles on the quadratic polynomial k(x,z) = (x.z + 1)^2, whose
+// inference maps onto the Figure-2 hardware pipeline (MAC1 -> +1 -> square).
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace svt::svm {
+
+enum class KernelType { kLinear, kPolynomial, kRbf };
+
+/// Kernel description. For polynomial: (x.z + coef0)^degree. For RBF:
+/// exp(-gamma * |x-z|^2).
+struct Kernel {
+  KernelType type = KernelType::kPolynomial;
+  int degree = 2;
+  double coef0 = 1.0;
+  double gamma = 0.1;
+
+  /// Evaluate k(x, z). Throws std::invalid_argument on size mismatch.
+  double operator()(std::span<const double> x, std::span<const double> z) const;
+
+  /// Human-readable name ("linear", "quadratic", "cubic", "poly-d", "rbf").
+  std::string name() const;
+
+  bool operator==(const Kernel&) const = default;
+};
+
+/// Convenience factories matching Table I.
+Kernel linear_kernel();
+Kernel quadratic_kernel();
+Kernel cubic_kernel();
+Kernel gaussian_kernel(double gamma);
+
+/// Plain dot product (exposed for the fixed-point pipeline and tests).
+double dot(std::span<const double> x, std::span<const double> z);
+
+}  // namespace svt::svm

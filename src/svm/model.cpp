@@ -1,0 +1,75 @@
+#include "svm/model.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace svt::svm {
+
+double SvmModel::decision_value(std::span<const double> x) const {
+  double acc = bias;
+  for (std::size_t i = 0; i < support_vectors.size(); ++i)
+    acc += alpha_y[i] * kernel(x, support_vectors[i]);
+  return acc;
+}
+
+int SvmModel::predict(std::span<const double> x) const {
+  return decision_value(x) >= 0.0 ? +1 : -1;
+}
+
+std::vector<double> SvmModel::sv_norms() const {
+  std::vector<double> norms(support_vectors.size());
+  for (std::size_t i = 0; i < support_vectors.size(); ++i) {
+    const double a = alpha_y[i];
+    norms[i] = a * a * kernel(support_vectors[i], support_vectors[i]);
+  }
+  return norms;
+}
+
+void SvmModel::save(std::ostream& os) const {
+  os << "svmtailor-model v1\n";
+  os << "kernel " << static_cast<int>(kernel.type) << ' ' << kernel.degree << ' '
+     << std::setprecision(17) << kernel.coef0 << ' ' << kernel.gamma << '\n';
+  os << "bias " << std::setprecision(17) << bias << '\n';
+  os << "nsv " << support_vectors.size() << '\n';
+  os << "nfeat " << num_features() << '\n';
+  for (std::size_t i = 0; i < support_vectors.size(); ++i) {
+    os << std::setprecision(17) << alpha_y[i];
+    for (double v : support_vectors[i]) os << ' ' << std::setprecision(17) << v;
+    os << '\n';
+  }
+}
+
+SvmModel SvmModel::load(std::istream& is) {
+  std::string magic, version;
+  is >> magic >> version;
+  if (magic != "svmtailor-model" || version != "v1")
+    throw std::invalid_argument("SvmModel::load: bad header");
+  SvmModel m;
+  std::string tag;
+  int ktype = 0;
+  is >> tag >> ktype >> m.kernel.degree >> m.kernel.coef0 >> m.kernel.gamma;
+  if (tag != "kernel") throw std::invalid_argument("SvmModel::load: expected 'kernel'");
+  m.kernel.type = static_cast<KernelType>(ktype);
+  is >> tag >> m.bias;
+  if (tag != "bias") throw std::invalid_argument("SvmModel::load: expected 'bias'");
+  std::size_t nsv = 0, nfeat = 0;
+  is >> tag >> nsv;
+  if (tag != "nsv") throw std::invalid_argument("SvmModel::load: expected 'nsv'");
+  is >> tag >> nfeat;
+  if (tag != "nfeat") throw std::invalid_argument("SvmModel::load: expected 'nfeat'");
+  m.support_vectors.resize(nsv, std::vector<double>(nfeat));
+  m.alpha_y.resize(nsv);
+  for (std::size_t i = 0; i < nsv; ++i) {
+    is >> m.alpha_y[i];
+    for (std::size_t j = 0; j < nfeat; ++j) is >> m.support_vectors[i][j];
+  }
+  if (!is) throw std::invalid_argument("SvmModel::load: truncated model");
+  return m;
+}
+
+}  // namespace svt::svm

@@ -1,0 +1,41 @@
+// Trained SVM model (paper Eq. 1): the support vectors, their signed weights
+// alpha_i * y_i, the bias b and the kernel. Provides float inference and
+// text serialisation; the fixed-point engine (svt::core) quantises this.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "svm/kernel.hpp"
+
+namespace svt::svm {
+
+struct SvmModel {
+  Kernel kernel;
+  std::vector<std::vector<double>> support_vectors;
+  std::vector<double> alpha_y;  ///< alpha_i * y_i per SV, in (-C, C).
+  double bias = 0.0;
+
+  std::size_t num_support_vectors() const { return support_vectors.size(); }
+  std::size_t num_features() const {
+    return support_vectors.empty() ? 0 : support_vectors.front().size();
+  }
+
+  /// Decision value f(x) = sum_i alpha_y_i k(x, sv_i) + b (paper Eq. 1
+  /// before the sign). Throws std::invalid_argument on size mismatch.
+  double decision_value(std::span<const double> x) const;
+
+  /// Class label: sign of the decision value (+1 / -1; 0 maps to +1).
+  int predict(std::span<const double> x) const;
+
+  /// The per-SV importance norm used for budgeting (paper Eq. 5):
+  /// ||SV_i|| = ||alpha_i||^2 * k(x_i, x_i).
+  std::vector<double> sv_norms() const;
+
+  /// Text serialisation (round-trippable).
+  void save(std::ostream& os) const;
+  static SvmModel load(std::istream& is);
+};
+
+}  // namespace svt::svm

@@ -1,0 +1,60 @@
+#include "svm/scaler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace svt::svm {
+
+void StandardScaler::fit(std::span<const std::vector<double>> samples) {
+  if (samples.empty()) throw std::invalid_argument("StandardScaler::fit: empty input");
+  const std::size_t nfeat = samples.front().size();
+  for (const auto& row : samples) {
+    if (row.size() != nfeat) throw std::invalid_argument("StandardScaler::fit: ragged rows");
+  }
+  mean_.assign(nfeat, 0.0);
+  std_.assign(nfeat, 0.0);
+  const double n = static_cast<double>(samples.size());
+  for (const auto& row : samples) {
+    for (std::size_t j = 0; j < nfeat; ++j) mean_[j] += row[j];
+  }
+  for (double& m : mean_) m /= n;
+  for (const auto& row : samples) {
+    for (std::size_t j = 0; j < nfeat; ++j) {
+      const double d = row[j] - mean_[j];
+      std_[j] += d * d;
+    }
+  }
+  for (double& s : std_) s = std::sqrt(s / n);
+}
+
+void StandardScaler::transform_inplace(std::vector<double>& sample) const {
+  if (!fitted()) throw std::invalid_argument("StandardScaler: not fitted");
+  if (sample.size() != mean_.size())
+    throw std::invalid_argument("StandardScaler::transform: size mismatch");
+  if (!gains_.empty() && gains_.size() != mean_.size())
+    throw std::invalid_argument("StandardScaler::transform: post_gains size mismatch");
+  for (std::size_t j = 0; j < sample.size(); ++j) {
+    if (mode_ == ScalerMode::kCenterOnly) {
+      sample[j] -= mean_[j];
+    } else {
+      sample[j] = std_[j] > 0.0 ? (sample[j] - mean_[j]) / std_[j] : 0.0;
+    }
+    if (!gains_.empty()) sample[j] *= gains_[j];
+  }
+}
+
+std::vector<double> StandardScaler::transform(std::span<const double> sample) const {
+  std::vector<double> out(sample.begin(), sample.end());
+  transform_inplace(out);
+  return out;
+}
+
+std::vector<std::vector<double>> StandardScaler::transform_all(
+    std::span<const std::vector<double>> samples) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(samples.size());
+  for (const auto& row : samples) out.push_back(transform(row));
+  return out;
+}
+
+}  // namespace svt::svm

@@ -1,0 +1,60 @@
+// Feature standardisation.
+//
+// Fitted on the training fold only and applied to both folds -- the usual
+// guard against test-set leakage. Two modes:
+//  * kZScore     -- subtract mean, divide by std (constant features -> 0);
+//  * kCenterOnly -- subtract mean, keep natural per-feature scales. This is
+//    the project default: the paper's per-feature power-of-two ranges
+//    (Eq. 6) exist precisely because physiological features span wildly
+//    different magnitudes, and full z-scoring would erase that heterogeneity
+//    (making the homogeneous-scaling ablation of Figures 6/7 meaningless).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace svt::svm {
+
+enum class ScalerMode { kZScore, kCenterOnly };
+
+class StandardScaler {
+ public:
+  StandardScaler() = default;
+  explicit StandardScaler(ScalerMode mode) : mode_(mode) {}
+
+  /// Fit means/stds per column. Throws std::invalid_argument on empty input
+  /// or ragged rows.
+  void fit(std::span<const std::vector<double>> samples);
+
+  /// Transform one sample in place. Throws if not fitted or size mismatch.
+  void transform_inplace(std::vector<double>& sample) const;
+
+  /// Transform a copy.
+  std::vector<double> transform(std::span<const double> sample) const;
+
+  /// Transform a whole matrix.
+  std::vector<std::vector<double>> transform_all(
+      std::span<const std::vector<double>> samples) const;
+
+  /// Fixed per-feature gains applied *after* normalisation (empty = none).
+  /// Used to express category-typical magnitude conventions: the inference
+  /// hardware sees features whose ranges differ across categories, which is
+  /// what the paper's per-feature power-of-two scaling exists to handle.
+  /// Must match the feature count at transform time.
+  void set_post_gains(std::vector<double> gains) { gains_ = std::move(gains); }
+  const std::vector<double>& post_gains() const { return gains_; }
+
+  bool fitted() const { return !mean_.empty(); }
+  std::size_t num_features() const { return mean_.size(); }
+  ScalerMode mode() const { return mode_; }
+  const std::vector<double>& means() const { return mean_; }
+  const std::vector<double>& stds() const { return std_; }
+
+ private:
+  ScalerMode mode_ = ScalerMode::kZScore;
+  std::vector<double> mean_;
+  std::vector<double> std_;
+  std::vector<double> gains_;
+};
+
+}  // namespace svt::svm

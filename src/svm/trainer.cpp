@@ -1,0 +1,269 @@
+#include "svm/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <list>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+
+namespace svt::svm {
+
+namespace {
+
+/// Kernel-row cache with LRU eviction. Rows are stored as float (the SMO
+/// update tolerates that precision; alphas and gradients stay double).
+/// Values are divided by `scale` so cached entries stay O(1) regardless of
+/// the kernel's magnitude -- float storage would otherwise destroy the
+/// relative precision that the working-set second-order terms need.
+class KernelCache {
+ public:
+  KernelCache(std::span<const std::vector<double>> samples, const Kernel& kernel, double scale,
+              std::size_t budget_bytes)
+      : samples_(samples), kernel_(kernel), scale_(scale > 0.0 ? scale : 1.0) {
+    const std::size_t row_bytes = samples.size() * sizeof(float);
+    capacity_rows_ = std::max<std::size_t>(2, row_bytes > 0 ? budget_bytes / row_bytes : 2);
+  }
+
+  /// Row i of the kernel matrix K(i, *).
+  const std::vector<float>& row(std::size_t i) {
+    if (auto it = map_.find(i); it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.values;
+    }
+    if (map_.size() >= capacity_rows_) {
+      const std::size_t victim = lru_.back();
+      lru_.pop_back();
+      map_.erase(victim);
+    }
+    lru_.push_front(i);
+    Entry entry;
+    entry.lru_it = lru_.begin();
+    entry.values.resize(samples_.size());
+    for (std::size_t j = 0; j < samples_.size(); ++j)
+      entry.values[j] = static_cast<float>(kernel_(samples_[i], samples_[j]) / scale_);
+    auto [it, inserted] = map_.emplace(i, std::move(entry));
+    SVT_ASSERT(inserted);
+    return it->second.values;
+  }
+
+ private:
+  struct Entry {
+    std::vector<float> values;
+    std::list<std::size_t>::iterator lru_it;
+  };
+  std::span<const std::vector<double>> samples_;
+  const Kernel& kernel_;
+  double scale_ = 1.0;
+  std::size_t capacity_rows_ = 0;
+  std::unordered_map<std::size_t, Entry> map_;
+  std::list<std::size_t> lru_;
+};
+
+}  // namespace
+
+SvmModel train_svm(std::span<const std::vector<double>> samples, std::span<const int> labels,
+                   const Kernel& kernel, const TrainParams& params, TrainReport* report) {
+  const std::size_t n = samples.size();
+  if (n == 0) throw std::invalid_argument("train_svm: empty training set");
+  if (labels.size() != n) throw std::invalid_argument("train_svm: labels/samples size mismatch");
+  const std::size_t nfeat = samples.front().size();
+  std::size_t npos = 0, nneg = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (samples[i].size() != nfeat) throw std::invalid_argument("train_svm: ragged samples");
+    if (labels[i] == +1) {
+      ++npos;
+    } else if (labels[i] == -1) {
+      ++nneg;
+    } else {
+      throw std::invalid_argument("train_svm: labels must be +1/-1");
+    }
+  }
+  if (npos == 0 || nneg == 0)
+    throw std::invalid_argument("train_svm: both classes must be present");
+  if (params.c <= 0.0) throw std::invalid_argument("train_svm: c <= 0");
+
+  const double wpos = params.positive_weight > 0.0
+                          ? params.positive_weight
+                          : static_cast<double>(nneg) / static_cast<double>(npos);
+
+  // Solve the dual on the *normalised* kernel K' = K / mean(diag K): the
+  // problem is equivalent (alphas scale by the inverse factor, undone when
+  // the model is emitted), `c` becomes a scale-free regularisation knob, and
+  // cached float kernel rows stay well-conditioned.
+  double knorm = 1.0;
+  if (params.scale_c_by_kernel) {
+    double diag_acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) diag_acc += kernel(samples[i], samples[i]);
+    const double mean_diag = diag_acc / static_cast<double>(n);
+    if (mean_diag > 0.0) knorm = mean_diag;
+  }
+  std::vector<double> cost(n);
+  for (std::size_t i = 0; i < n; ++i) cost[i] = labels[i] == +1 ? params.c * wpos : params.c;
+
+  KernelCache cache(samples, kernel, knorm, /*budget_bytes=*/512u << 20);
+
+  // Dual problem: min 1/2 a^T Q a - e^T a, 0 <= a_i <= C_i, y^T a = 0,
+  // with Q_ij = y_i y_j K_ij. grad_i = (Q a)_i - 1.
+  std::vector<double> alpha(n, 0.0);
+  std::vector<double> grad(n, -1.0);
+  const auto y = [&](std::size_t i) { return static_cast<double>(labels[i]); };
+
+  // Kernel diagonal (double precision; the second-order selection needs it).
+  std::vector<double> kdiag(n);
+  for (std::size_t t = 0; t < n; ++t) kdiag[t] = kernel(samples[t], samples[t]) / knorm;
+
+  std::size_t iter = 0;
+  bool converged = false;
+  for (; iter < params.max_iterations; ++iter) {
+    // Working-set selection (libsvm WSS2): i is the maximal violator in
+    // I_up; j maximises the second-order objective decrease among violating
+    // members of I_low.
+    double g_max = -std::numeric_limits<double>::infinity();
+    double g_min = std::numeric_limits<double>::infinity();
+    std::ptrdiff_t i_sel = -1;
+    for (std::size_t t = 0; t < n; ++t) {
+      const bool in_up = (y(t) > 0 && alpha[t] < cost[t]) || (y(t) < 0 && alpha[t] > 0.0);
+      const double v = -y(t) * grad[t];
+      if (in_up && v > g_max) {
+        g_max = v;
+        i_sel = static_cast<std::ptrdiff_t>(t);
+      }
+    }
+    if (i_sel < 0) {
+      converged = true;
+      break;
+    }
+    const auto i = static_cast<std::size_t>(i_sel);
+    const auto& ki = cache.row(i);
+    const double kii = kdiag[i];
+
+    std::ptrdiff_t j_sel = -1;
+    double best_gain = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const bool in_low = (y(t) > 0 && alpha[t] > 0.0) || (y(t) < 0 && alpha[t] < cost[t]);
+      if (!in_low) continue;
+      const double v = -y(t) * grad[t];
+      g_min = std::min(g_min, v);
+      const double diff = g_max - v;
+      if (diff <= 0.0) continue;
+      double eta = kii + kdiag[t] - 2.0 * static_cast<double>(ki[t]);
+      if (eta <= 1e-12) eta = 1e-12;
+      const double gain = diff * diff / eta;
+      if (gain > best_gain) {
+        best_gain = gain;
+        j_sel = static_cast<std::ptrdiff_t>(t);
+      }
+    }
+    if (j_sel < 0 || g_max - g_min < params.tolerance) {
+      converged = g_max - g_min < params.tolerance;
+      break;
+    }
+    const auto j = static_cast<std::size_t>(j_sel);
+    const auto& kj = cache.row(j);
+
+    double eta = kii + kdiag[j] - 2.0 * static_cast<double>(ki[j]);
+    if (eta <= 1e-12) eta = 1e-12;
+
+    // Unconstrained step along the feasible direction d_i = y_i, d_j = -y_j
+    // (which preserves the equality constraint), then clip to the box.
+    const double vj = -y(j) * grad[j];
+    const double step = (g_max - vj) / eta;
+    const double yi = y(i), yj = y(j);
+    double ai_new, aj_new;
+    if (yi == yj) {
+      const double sum = alpha[i] + alpha[j];
+      ai_new = alpha[i] + yi * step;
+      ai_new = std::clamp(ai_new, std::max(0.0, sum - cost[j]), std::min(cost[i], sum));
+      aj_new = sum - ai_new;
+    } else {
+      const double diff = alpha[i] - alpha[j];
+      ai_new = alpha[i] + yi * step;
+      ai_new = std::clamp(ai_new, std::max(0.0, diff), std::min(cost[i], cost[j] + diff));
+      aj_new = ai_new - diff;
+    }
+    // Snap to the box bounds: an alpha left a few ulps away from its bound
+    // would otherwise be re-selected as an eternal "violator" with no room
+    // to move (the equality constraint absorbs the ~1e-12 relative drift).
+    const auto snap = [](double v, double hi) {
+      if (v < hi * 1e-12) return 0.0;
+      if (v > hi * (1.0 - 1e-12)) return hi;
+      return v;
+    };
+    ai_new = snap(ai_new, cost[i]);
+    aj_new = snap(aj_new, cost[j]);
+
+    const double dai = ai_new - alpha[i];
+    const double daj = aj_new - alpha[j];
+    if (std::abs(dai) < 1e-16 && std::abs(daj) < 1e-16) {
+      break;  // Numerically stuck: report non-convergence honestly.
+    }
+    alpha[i] = ai_new;
+    alpha[j] = aj_new;
+    for (std::size_t t = 0; t < n; ++t) {
+      grad[t] += y(t) * (yi * dai * static_cast<double>(ki[t]) +
+                         yj * daj * static_cast<double>(kj[t]));
+    }
+  }
+
+  // Bias: average of y_t * (-grad_t) ... i.e. b = -(g_max+g_min)/2 in the
+  // -y*grad convention; use free SVs when available for a sharper estimate.
+  double b_acc = 0.0;
+  std::size_t b_count = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    // "Free" SVs (strictly inside the box, judged relative to the box size).
+    const double margin = params.alpha_epsilon * cost[t];
+    if (alpha[t] > margin && alpha[t] < cost[t] - margin) {
+      b_acc += -y(t) * grad[t];
+      ++b_count;
+    }
+  }
+  double bias;
+  if (b_count > 0) {
+    bias = b_acc / static_cast<double>(b_count);
+  } else {
+    double g_max = -std::numeric_limits<double>::infinity();
+    double g_min = std::numeric_limits<double>::infinity();
+    for (std::size_t t = 0; t < n; ++t) {
+      const bool in_up = (y(t) > 0 && alpha[t] < cost[t]) || (y(t) < 0 && alpha[t] > 0.0);
+      const bool in_low = (y(t) > 0 && alpha[t] > 0.0) || (y(t) < 0 && alpha[t] < cost[t]);
+      const double v = -y(t) * grad[t];
+      if (in_up) g_max = std::max(g_max, v);
+      if (in_low) g_min = std::min(g_min, v);
+    }
+    bias = (g_max + g_min) / 2.0;
+  }
+
+  SvmModel model;
+  model.kernel = kernel;
+  model.bias = bias;
+  // SV filter relative to the largest alpha: optimal alphas scale as 1/K, so
+  // an absolute threshold would be meaningless across kernel magnitudes.
+  double alpha_max = 0.0;
+  for (double a : alpha) alpha_max = std::max(alpha_max, a);
+  const double sv_threshold = params.alpha_epsilon * alpha_max;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (alpha[t] > sv_threshold && alpha[t] > 0.0) {
+      model.support_vectors.push_back(samples[t]);
+      // Undo the kernel normalisation so the model works with the *original*
+      // kernel: f(x) = sum (alpha/knorm) y K(x, sv) + b  ==  sum alpha y K' + b.
+      model.alpha_y.push_back(alpha[t] * y(t) / knorm);
+    }
+  }
+
+  if (report != nullptr) {
+    report->iterations = iter;
+    report->converged = converged;
+    report->num_support_vectors = model.num_support_vectors();
+    // Dual objective: sum a_i - 1/2 sum a_i a_j y_i y_j K_ij
+    //               = sum a_i - 1/2 sum_i a_i (grad_i + 1) using grad = Qa - e.
+    double obj = 0.0;
+    for (std::size_t t = 0; t < n; ++t) obj += alpha[t] - 0.5 * alpha[t] * (grad[t] + 1.0);
+    report->objective = obj;
+  }
+  return model;
+}
+
+}  // namespace svt::svm

@@ -1,0 +1,96 @@
+#include "core/feature_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace svt::core {
+namespace {
+
+std::vector<std::vector<double>> redundant_samples(unsigned seed, std::size_t n = 200) {
+  // Features: f0 random, f1 = f0 (duplicate), f2 = -f0, f3 independent,
+  // f4 independent.
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  std::vector<std::vector<double>> samples;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = gauss(rng);
+    samples.push_back({a, a + 0.01 * gauss(rng), -a + 0.01 * gauss(rng), gauss(rng), gauss(rng)});
+  }
+  return samples;
+}
+
+TEST(CorrelationMatrix, SymmetricWithUnitDiagonal) {
+  const auto samples = redundant_samples(1);
+  const auto rho = correlation_matrix(samples);
+  ASSERT_EQ(rho.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(rho[i][i], 1.0);
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_DOUBLE_EQ(rho[i][j], rho[j][i]);
+      EXPECT_LE(std::abs(rho[i][j]), 1.0 + 1e-12);
+    }
+  }
+  EXPECT_GT(rho[0][1], 0.99);
+  EXPECT_LT(rho[0][2], -0.99);
+  EXPECT_LT(std::abs(rho[0][3]), 0.2);
+  std::vector<std::vector<double>> empty;
+  EXPECT_THROW(correlation_matrix(empty), std::invalid_argument);
+}
+
+TEST(Ranking, RemovesRedundantClusterFirst) {
+  const auto samples = redundant_samples(2);
+  const auto order = rank_features_by_redundancy(samples);
+  ASSERT_EQ(order.num_features(), 5u);
+  // The {0,1,2} cluster is mutually |rho|~1; its members must be the first
+  // two removals (one member may legitimately survive to represent it).
+  const auto first = order.removal_order[0];
+  const auto second = order.removal_order[1];
+  EXPECT_LT(first, 3u);
+  EXPECT_LT(second, 3u);
+  // The two independent features survive the longest.
+  const auto last = order.removal_order.back();
+  const auto second_last = order.removal_order[order.removal_order.size() - 2];
+  EXPECT_TRUE((last >= 3) || (second_last >= 3));
+}
+
+TEST(Ranking, KeepSetSemantics) {
+  const auto samples = redundant_samples(3);
+  const auto order = rank_features_by_redundancy(samples);
+  const auto keep3 = order.keep_set(3);
+  EXPECT_EQ(keep3.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(keep3.begin(), keep3.end()));
+  // keep_set(k) is the suffix of the removal order.
+  const auto keep5 = order.keep_set(5);
+  EXPECT_EQ(keep5, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+  EXPECT_THROW(order.keep_set(0), std::invalid_argument);
+  EXPECT_THROW(order.keep_set(6), std::invalid_argument);
+}
+
+TEST(Ranking, KeepSetsAreNested) {
+  const auto samples = redundant_samples(4);
+  const auto order = rank_features_by_redundancy(samples);
+  for (std::size_t k = 1; k < 5; ++k) {
+    const auto small = order.keep_set(k);
+    const auto big = order.keep_set(k + 1);
+    for (std::size_t f : small) {
+      EXPECT_NE(std::find(big.begin(), big.end(), f), big.end());
+    }
+  }
+}
+
+TEST(RandomOrder, DeterministicPermutation) {
+  const auto a = random_removal_order(10, 7);
+  const auto b = random_removal_order(10, 7);
+  EXPECT_EQ(a.removal_order, b.removal_order);
+  const auto c = random_removal_order(10, 8);
+  EXPECT_NE(a.removal_order, c.removal_order);
+  // It is a permutation.
+  auto sorted = a.removal_order;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+}  // namespace
+}  // namespace svt::core

@@ -1,0 +1,158 @@
+#include "hw/accelerator_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/arith_model.hpp"
+#include "hw/memory_model.hpp"
+
+namespace svt::hw {
+namespace {
+
+PipelineConfig paper_baseline() {
+  PipelineConfig c;
+  c.num_features = 53;
+  c.num_support_vectors = 120;
+  c.feature_bits = 64;
+  c.alpha_bits = 64;
+  return c;
+}
+
+PipelineConfig paper_tailored() {
+  PipelineConfig c;
+  c.num_features = 30;
+  c.num_support_vectors = 68;
+  c.feature_bits = 9;
+  c.alpha_bits = 15;
+  return c;
+}
+
+TEST(Clog2, KnownValues) {
+  EXPECT_EQ(clog2(1), 0);
+  EXPECT_EQ(clog2(2), 1);
+  EXPECT_EQ(clog2(3), 2);
+  EXPECT_EQ(clog2(64), 6);
+  EXPECT_EQ(clog2(65), 7);
+  EXPECT_THROW(clog2(0), std::invalid_argument);
+}
+
+TEST(ArithModel, AreasAndEnergiesArePositiveAndMonotone) {
+  const auto tech = default_tech_model();
+  EXPECT_GT(multiplier_area_um2(8, 8, tech), 0.0);
+  EXPECT_GT(multiplier_area_um2(16, 16, tech), multiplier_area_um2(8, 8, tech));
+  EXPECT_GT(adder_area_um2(32, tech), adder_area_um2(16, tech));
+  EXPECT_GT(multiply_energy_pj(16, 16, tech), multiply_energy_pj(8, 8, tech));
+  EXPECT_GT(mac_energy_pj(8, 8, tech), multiply_energy_pj(8, 8, tech));
+  EXPECT_THROW(multiplier_area_um2(0, 8, tech), std::invalid_argument);
+  EXPECT_THROW(adder_area_um2(-1, tech), std::invalid_argument);
+}
+
+TEST(MemoryModel, CapacityScaling) {
+  const auto tech = default_tech_model();
+  SramMacro small{64, 128};
+  SramMacro large{4096, 128};
+  EXPECT_GT(large.area_um2(tech), small.area_um2(tech));
+  // Same word width, larger capacity -> higher per-access energy (CACTI).
+  EXPECT_GT(large.read_energy_pj(tech), small.read_energy_pj(tech));
+  SramMacro empty{0, 0};
+  EXPECT_DOUBLE_EQ(empty.area_um2(tech), 0.0);
+  EXPECT_DOUBLE_EQ(empty.read_energy_pj(tech), 0.0);
+}
+
+TEST(PipelineConfig, DerivedWidths) {
+  PipelineConfig c;
+  c.num_features = 30;
+  c.num_support_vectors = 68;
+  c.feature_bits = 9;
+  c.alpha_bits = 15;
+  c.dot_truncate_bits = 6;
+  c.square_truncate_bits = 6;
+  EXPECT_EQ(c.mac1_accumulator_bits(), 2 * 9 + 5 + 1);
+  EXPECT_EQ(c.kernel_input_bits(), 24 - 6);
+  EXPECT_EQ(c.square_raw_bits(), 36);
+  EXPECT_EQ(c.kernel_output_bits(), 30);
+  EXPECT_EQ(c.mac2_accumulator_bits(), 15 + 30 + 7 + 1);
+  EXPECT_EQ(c.sv_word_bits(), 30u * 9u + 15u);
+  EXPECT_EQ(c.cycles_per_classification(), 68u * 32u);
+}
+
+TEST(PipelineConfig, Validation) {
+  PipelineConfig bad = paper_baseline();
+  bad.num_features = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = paper_baseline();
+  bad.feature_bits = 1;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = paper_baseline();
+  bad.alpha_bits = 65;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = paper_baseline();
+  bad.dot_truncate_bits = -1;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(CostModel, BreakdownsSumToTotals) {
+  const auto report = estimate_cost(paper_baseline());
+  const auto& a = report.area;
+  EXPECT_NEAR(a.total_mm2,
+              a.sv_memory_mm2 + a.scale_memory_mm2 + a.mac1_mm2 + a.squarer_mm2 + a.mac2_mm2 +
+                  a.control_mm2,
+              1e-12);
+  const auto& e = report.energy;
+  EXPECT_NEAR(e.total_nj,
+              e.memory_nj + e.mac1_nj + e.squarer_nj + e.mac2_nj + e.cycle_overhead_nj +
+                  e.static_nj,
+              1e-9);
+  EXPECT_GT(report.latency_us, 0.0);
+}
+
+TEST(CostModel, CalibratedBaselineNearPaperScale) {
+  // The 64-bit / 53-feature / ~120-SV reference design should land in the
+  // paper's reported neighbourhood (~2000 nJ, ~0.4 mm^2).
+  const auto report = estimate_cost(paper_baseline());
+  EXPECT_GT(report.energy.total_nj, 800.0);
+  EXPECT_LT(report.energy.total_nj, 4000.0);
+  EXPECT_GT(report.area.total_mm2, 0.2);
+  EXPECT_LT(report.area.total_mm2, 0.8);
+}
+
+TEST(CostModel, TailoredDesignGainsNearPaperFactors) {
+  const auto base = estimate_cost(paper_baseline());
+  const auto opt = estimate_cost(paper_tailored());
+  const double e_gain = base.energy.total_nj / opt.energy.total_nj;
+  const double a_gain = base.area.total_mm2 / opt.area.total_mm2;
+  // Paper: 12.5x energy, 16x area. Accept the same order of magnitude.
+  EXPECT_GT(e_gain, 6.0);
+  EXPECT_LT(e_gain, 40.0);
+  EXPECT_GT(a_gain, 8.0);
+  EXPECT_LT(a_gain, 40.0);
+}
+
+class CostMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(CostMonotonicity, CostsIncreaseWithEveryResourceAxis) {
+  const int axis = GetParam();
+  PipelineConfig lo = paper_tailored();
+  PipelineConfig hi = lo;
+  switch (axis) {
+    case 0: hi.num_features = lo.num_features * 2; break;
+    case 1: hi.num_support_vectors = lo.num_support_vectors * 2; break;
+    case 2: hi.feature_bits = lo.feature_bits + 8; break;
+    case 3: hi.alpha_bits = lo.alpha_bits + 8; break;
+  }
+  const auto rl = estimate_cost(lo);
+  const auto rh = estimate_cost(hi);
+  EXPECT_GT(rh.energy.total_nj, rl.energy.total_nj);
+  EXPECT_GT(rh.area.total_mm2, rl.area.total_mm2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Axes, CostMonotonicity, ::testing::Values(0, 1, 2, 3));
+
+TEST(CostModel, MemoryDominatedAtWideWidths) {
+  const auto report = estimate_cost(paper_baseline());
+  // At 64 bits the SV memory is the largest single area component.
+  EXPECT_GT(report.area.sv_memory_mm2, report.area.mac1_mm2);
+  EXPECT_GT(report.area.sv_memory_mm2, report.area.squarer_mm2);
+}
+
+}  // namespace
+}  // namespace svt::hw

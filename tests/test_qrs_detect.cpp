@@ -1,0 +1,124 @@
+#include "ecg/qrs_detect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/statistics.hpp"
+#include "ecg/ecg_synth.hpp"
+
+namespace svt::ecg {
+namespace {
+
+/// Build a deterministic tachogram at a fixed heart rate.
+RrSeries fixed_rate_rr(double hr_bpm, double duration_s) {
+  RrSeries rr;
+  const double interval = 60.0 / hr_bpm;
+  double t = 0.0;
+  while (t < duration_s) {
+    t += interval;
+    rr.beat_times_s.push_back(t);
+    rr.rr_s.push_back(interval);
+  }
+  return rr;
+}
+
+TEST(EcgSynth, ProducesPlausibleWaveform) {
+  const auto rr = fixed_rate_rr(72.0, 30.0);
+  EcgSynthParams params;
+  params.noise_sigma_mv = 0.0;
+  params.baseline_wander_mv = 0.0;
+  std::mt19937_64 rng(1);
+  const auto ecg = synthesize_ecg(rr, RespirationSeries{}, params, rng);
+  EXPECT_NEAR(ecg.duration_s(), 31.5, 1.5);
+  // R peaks dominate: max amplitude near the configured R wave height.
+  EXPECT_NEAR(dsp::max_value(ecg.samples_mv), params.morphology.r.amplitude_mv, 0.15);
+  // Q/S negative deflections exist.
+  EXPECT_LT(dsp::min_value(ecg.samples_mv), -0.1);
+}
+
+TEST(EcgSynth, Validation) {
+  RrSeries empty;
+  EcgSynthParams params;
+  std::mt19937_64 rng(1);
+  EXPECT_THROW(synthesize_ecg(empty, RespirationSeries{}, params, rng),
+               std::invalid_argument);
+}
+
+TEST(PanTompkins, RecoversBeatCountOnCleanEcg) {
+  const auto rr = fixed_rate_rr(75.0, 60.0);
+  EcgSynthParams params;
+  std::mt19937_64 rng(2);
+  const auto ecg = synthesize_ecg(rr, RespirationSeries{}, params, rng);
+  const auto detection = detect_qrs(ecg);
+  const auto expected = static_cast<double>(rr.size());
+  EXPECT_NEAR(static_cast<double>(detection.size()), expected, expected * 0.05 + 2.0);
+}
+
+TEST(PanTompkins, RecoveredRrMatchesTruth) {
+  const auto rr = fixed_rate_rr(66.0, 60.0);
+  EcgSynthParams params;
+  std::mt19937_64 rng(3);
+  const auto ecg = synthesize_ecg(rr, RespirationSeries{}, params, rng);
+  const auto detection = detect_qrs(ecg);
+  const auto recovered = detection.to_rr_series();
+  ASSERT_GT(recovered.size(), 30u);
+  // Median recovered interval within 10 ms of the true one.
+  EXPECT_NEAR(dsp::median(recovered.rr_s), 60.0 / 66.0, 0.010);
+}
+
+TEST(PanTompkins, EdrTracksRespiration) {
+  // Respiration modulates R amplitude; the detected-amplitude EDR series
+  // must correlate with the respiration signal.
+  const auto rr = fixed_rate_rr(72.0, 120.0);
+  RespirationSeries resp;
+  resp.fs_hz = 4.0;
+  const double f_resp = 0.25;
+  resp.values.resize(static_cast<std::size_t>(130.0 * resp.fs_hz));
+  for (std::size_t i = 0; i < resp.values.size(); ++i) {
+    resp.values[i] =
+        std::sin(2.0 * std::numbers::pi * f_resp * static_cast<double>(i) / resp.fs_hz);
+  }
+  EcgSynthParams params;
+  params.edr_modulation = 0.40;
+  params.noise_sigma_mv = 0.002;
+  std::mt19937_64 rng(4);
+  const auto ecg = synthesize_ecg(rr, resp, params, rng);
+  const auto detection = detect_qrs(ecg);
+  ASSERT_GT(detection.size(), 60u);
+  const auto edr = detection.to_edr(4.0);
+
+  // Compare against the respiration over the overlapping range.
+  const std::size_t n = std::min(edr.values.size(), resp.values.size());
+  std::vector<double> a(edr.values.begin(), edr.values.begin() + static_cast<std::ptrdiff_t>(n));
+  std::vector<double> b(resp.values.begin(), resp.values.begin() + static_cast<std::ptrdiff_t>(n));
+  EXPECT_GT(std::abs(dsp::pearson(a, b)), 0.4);
+}
+
+TEST(PanTompkins, Validation) {
+  EcgWaveform empty;
+  EXPECT_THROW(detect_qrs(empty), std::invalid_argument);
+  QrsDetection d;
+  EXPECT_THROW(d.to_edr(4.0), std::invalid_argument);
+  EXPECT_EQ(d.to_rr_series().size(), 0u);
+}
+
+class PanTompkinsRates : public ::testing::TestWithParam<double> {};
+
+TEST_P(PanTompkinsRates, TracksHeartRate) {
+  const double hr = GetParam();
+  const auto rr = fixed_rate_rr(hr, 60.0);
+  EcgSynthParams params;
+  std::mt19937_64 rng(static_cast<unsigned>(hr));
+  const auto ecg = synthesize_ecg(rr, RespirationSeries{}, params, rng);
+  const auto detection = detect_qrs(ecg);
+  const auto recovered = detection.to_rr_series();
+  ASSERT_GT(recovered.size(), 20u);
+  const double hr_est = 60.0 / dsp::median(recovered.rr_s);
+  EXPECT_NEAR(hr_est, hr, hr * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, PanTompkinsRates, ::testing::Values(50.0, 70.0, 95.0, 120.0));
+
+}  // namespace
+}  // namespace svt::ecg

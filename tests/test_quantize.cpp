@@ -1,0 +1,214 @@
+#include "core/quantize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "fixed/fixed_point.hpp"
+#include "svm/trainer.hpp"
+
+namespace svt::core {
+namespace {
+
+using svt::svm::quadratic_kernel;
+using svt::svm::SvmModel;
+using svt::svm::train_svm;
+using svt::svm::TrainParams;
+
+struct Toy {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+};
+
+/// Ring data with heterogeneous feature scales (like the centred
+/// physiological features the detector consumes).
+Toy scaled_ring(unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  Toy t;
+  for (int i = 0; i < 300; ++i) {
+    t.x.push_back({gauss(rng) * 2.0, gauss(rng) * 0.25});
+    t.y.push_back(-1);
+  }
+  for (int i = 0; i < 60; ++i) {
+    const double a = gauss(rng), b = gauss(rng);
+    const double n = std::hypot(a, b) + 1e-9;
+    const double r = 3.0 + 0.3 * gauss(rng);
+    t.x.push_back({a / n * r * 2.0, b / n * r * 0.25});
+    t.y.push_back(+1);
+  }
+  return t;
+}
+
+SvmModel trained_model(const Toy& t) {
+  TrainParams params;
+  params.c = 1.0;  // Moderate regularisation: keeps decision margins wide
+                   // relative to the alpha mass, as in the real detector.
+  return train_svm(t.x, t.y, quadratic_kernel(), params);
+}
+
+/// Fraction of points classified identically by the float model and the
+/// quantised engine, restricted to points a margin away from the float
+/// decision boundary (sign flips *at* the boundary are the expected effect
+/// of quantisation, not a defect).
+double agreement(const SvmModel& m, const QuantizedModel& q, const Toy& t,
+                 double margin_frac = 0.10) {
+  double max_abs = 0.0;
+  for (const auto& x : t.x) max_abs = std::max(max_abs, std::abs(m.decision_value(x)));
+  std::size_t same = 0, counted = 0;
+  for (const auto& x : t.x) {
+    if (std::abs(m.decision_value(x)) < margin_frac * max_abs) continue;
+    ++counted;
+    if (m.predict(x) == q.classify(x)) ++same;
+  }
+  return counted == 0 ? 1.0 : static_cast<double>(same) / static_cast<double>(counted);
+}
+
+TEST(Quantize, WideWordsMatchFloatDecisions) {
+  const auto t = scaled_ring(1);
+  const auto m = trained_model(t);
+  QuantConfig config;
+  config.feature_bits = 15;
+  config.alpha_bits = 17;
+  const auto q = QuantizedModel::build(m, config);
+  EXPECT_GT(agreement(m, q, t), 0.99);
+}
+
+TEST(Quantize, PaperDesignPointCloseToFloat) {
+  const auto t = scaled_ring(2);
+  const auto m = trained_model(t);
+  QuantConfig config;  // Defaults: 9 / 15 bits.
+  const auto q = QuantizedModel::build(m, config);
+  EXPECT_GT(agreement(m, q, t), 0.9);
+}
+
+TEST(Quantize, TinyWidthsDegrade) {
+  const auto t = scaled_ring(3);
+  const auto m = trained_model(t);
+  QuantConfig narrow;
+  narrow.feature_bits = 4;
+  narrow.alpha_bits = 4;
+  const auto qn = QuantizedModel::build(m, narrow);
+  QuantConfig wide;
+  wide.feature_bits = 15;
+  wide.alpha_bits = 17;
+  const auto qw = QuantizedModel::build(m, wide);
+  EXPECT_LT(agreement(m, qn, t), agreement(m, qw, t));
+}
+
+TEST(Quantize, PerFeatureRangesReflectScales) {
+  const auto t = scaled_ring(4);
+  const auto m = trained_model(t);
+  const auto q = QuantizedModel::build(m, QuantConfig{});
+  ASSERT_EQ(q.feature_ranges().size(), 2u);
+  // Feature 0 has 8x the scale of feature 1 -> 3 octaves more range.
+  EXPECT_EQ(q.feature_ranges()[0] - q.feature_ranges()[1], 3);
+}
+
+TEST(Quantize, HomogeneousForcesGlobalRange) {
+  const auto t = scaled_ring(5);
+  const auto m = trained_model(t);
+  QuantConfig config;
+  config.homogeneous = true;
+  const auto q = QuantizedModel::build(m, config);
+  EXPECT_EQ(q.feature_ranges()[0], q.feature_ranges()[1]);
+}
+
+TEST(Quantize, HomogeneousLosesPrecisionAtNarrowWidths) {
+  const auto t = scaled_ring(6);
+  const auto m = trained_model(t);
+  QuantConfig per_feature;
+  per_feature.feature_bits = 6;
+  QuantConfig homogeneous = per_feature;
+  homogeneous.homogeneous = true;
+  const auto qp = QuantizedModel::build(m, per_feature);
+  const auto qh = QuantizedModel::build(m, homogeneous);
+  EXPECT_GE(agreement(m, qp, t), agreement(m, qh, t) - 0.01);
+}
+
+TEST(Quantize, InputQuantizationSaturates) {
+  const auto t = scaled_ring(7);
+  const auto m = trained_model(t);
+  const auto q = QuantizedModel::build(m, QuantConfig{});
+  std::vector<double> huge{1e9, -1e9};
+  const auto qx = q.quantize_input(huge);
+  EXPECT_EQ(qx[0], svt::fixed::max_signed_value(9));
+  EXPECT_EQ(qx[1], svt::fixed::min_signed_value(9));
+  // Saturated inputs still classify without UB.
+  (void)q.classify(huge);
+}
+
+TEST(Quantize, DequantizedDecisionTracksFloat) {
+  const auto t = scaled_ring(8);
+  const auto m = trained_model(t);
+  QuantConfig config;
+  config.feature_bits = 15;
+  config.alpha_bits = 20;
+  const auto q = QuantizedModel::build(m, config);
+  double max_rel_err = 0.0;
+  double max_abs = 0.0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    const double f = m.decision_value(t.x[i]);
+    const double g = q.dequantized_decision(t.x[i]);
+    max_abs = std::max(max_abs, std::abs(f));
+    max_rel_err = std::max(max_rel_err, std::abs(f - g));
+  }
+  EXPECT_LT(max_rel_err, 0.05 * max_abs);
+}
+
+TEST(Quantize, WidthDrivenTruncationKeepsEngineExact) {
+  // Dbits=17 with default truncation would need a >31-bit squarer input;
+  // the engine must widen the truncation rather than fail.
+  const auto t = scaled_ring(9);
+  const auto m = trained_model(t);
+  QuantConfig config;
+  config.feature_bits = 17;
+  config.alpha_bits = 17;
+  const auto q = QuantizedModel::build(m, config);
+  EXPECT_LE(q.pipeline().kernel_input_bits(), 31);
+  EXPECT_GT(agreement(m, q, t), 0.98);
+}
+
+TEST(Quantize, BuildValidation) {
+  const auto t = scaled_ring(10);
+  const auto m = trained_model(t);
+  QuantConfig bad;
+  bad.feature_bits = 1;
+  EXPECT_THROW(QuantizedModel::build(m, bad), std::invalid_argument);
+  bad = QuantConfig{};
+  bad.alpha_bits = 40;
+  EXPECT_THROW(QuantizedModel::build(m, bad), std::invalid_argument);
+  bad = QuantConfig{};
+  bad.dot_truncate_bits = -1;
+  EXPECT_THROW(QuantizedModel::build(m, bad), std::invalid_argument);
+
+  auto linear = m;
+  linear.kernel = svt::svm::linear_kernel();
+  EXPECT_THROW(QuantizedModel::build(linear, QuantConfig{}), std::invalid_argument);
+
+  SvmModel empty;
+  empty.kernel = quadratic_kernel();
+  EXPECT_THROW(QuantizedModel::build(empty, QuantConfig{}), std::invalid_argument);
+
+  std::vector<double> wrong_dims{1.0};
+  const auto q = QuantizedModel::build(m, QuantConfig{});
+  EXPECT_THROW(q.classify(wrong_dims), std::invalid_argument);
+}
+
+// Property: agreement with float is monotone (within tolerance) in Dbits.
+class QuantWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantWidthSweep, AgreementReasonableAtModerateWidths) {
+  const auto t = scaled_ring(20);
+  const auto m = trained_model(t);
+  QuantConfig config;
+  config.feature_bits = GetParam();
+  const auto q = QuantizedModel::build(m, config);
+  EXPECT_GT(agreement(m, q, t), 0.88) << "Dbits=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, QuantWidthSweep, ::testing::Values(9, 11, 13, 15, 17));
+
+}  // namespace
+}  // namespace svt::core

@@ -1,0 +1,84 @@
+#include "fixed/range_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace svt::fixed {
+namespace {
+
+TEST(RangeSelection, CentredFeatureUsesHeadroom) {
+  // mean 0, sigma 1, headroom 4 -> needs 2^R > 4 -> R = 3.
+  EXPECT_EQ(select_range_log2(0.0, 1.0), 3);
+}
+
+TEST(RangeSelection, HeadroomParameterMatters) {
+  EXPECT_EQ(select_range_log2(0.0, 1.0, -8, 20, 1.0), 1);  // Literal Eq. 6: 2^R > 1.
+  EXPECT_EQ(select_range_log2(0.0, 1.0, -8, 20, 8.0), 4);
+  EXPECT_THROW(select_range_log2(0.0, 1.0, -8, 20, 0.0), std::invalid_argument);
+}
+
+TEST(RangeSelection, OffsetMeanShiftsRange) {
+  // mean 70, sigma 8, headroom 4 -> need 2^R > 102 -> R = 7 (as for a raw
+  // heart-rate feature in the paper's setting).
+  EXPECT_EQ(select_range_log2(70.0, 8.0), 7);
+}
+
+TEST(RangeSelection, SmallSigmaGivesNegativeRange) {
+  EXPECT_LT(select_range_log2(0.0, 0.01), 0);
+}
+
+TEST(RangeSelection, ClampsToBounds) {
+  EXPECT_EQ(select_range_log2(0.0, 1e9), 20);           // Clamped at r_max.
+  EXPECT_EQ(select_range_log2(0.0, 1e-9, -8, 20), -8);  // Clamped at r_min.
+  EXPECT_THROW(select_range_log2(0.0, 1.0, 5, 4), std::invalid_argument);
+  EXPECT_THROW(select_range_log2(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(RangeSelection, MonotoneInSigma) {
+  int prev = select_range_log2(0.0, 0.01);
+  for (double sigma = 0.02; sigma < 100.0; sigma *= 2.0) {
+    const int r = select_range_log2(0.0, sigma);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+}
+
+TEST(RangeSelection, PerColumnRanges) {
+  std::vector<std::vector<double>> columns = {
+      {-1.0, 0.0, 1.0},     // sigma ~0.82 -> R 2 with headroom 4.
+      {-8.0, 0.0, 8.0},     // sigma ~6.5 -> R 5.
+  };
+  const auto ranges = select_feature_ranges(columns);
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_LT(ranges[0], ranges[1]);
+  std::vector<std::vector<double>> bad = {{}};
+  EXPECT_THROW(select_feature_ranges(bad), std::invalid_argument);
+}
+
+TEST(ToColumns, TransposesRowMajor) {
+  std::vector<std::vector<double>> rows = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const auto cols = to_columns(rows);
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0], (std::vector<double>{1.0, 3.0, 5.0}));
+  EXPECT_EQ(cols[1], (std::vector<double>{2.0, 4.0, 6.0}));
+  std::vector<std::vector<double>> ragged = {{1.0, 2.0}, {3.0}};
+  EXPECT_THROW(to_columns(ragged), std::invalid_argument);
+  EXPECT_TRUE(to_columns({}).empty());
+}
+
+class RangeCoverageProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(RangeCoverageProperty, SelectedRangeCoversHeadroomSpread) {
+  const double sigma = GetParam();
+  const int r = select_range_log2(0.0, sigma);
+  const double bound = std::ldexp(1.0, r);
+  EXPECT_GT(bound, 4.0 * sigma);          // Covers the +-4 sigma spread...
+  if (r > -8) EXPECT_LE(bound / 2.0, 8.0 * sigma);  // ...without gross waste.
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, RangeCoverageProperty,
+                         ::testing::Values(0.05, 0.1, 0.5, 1.0, 3.0, 10.0, 100.0));
+
+}  // namespace
+}  // namespace svt::fixed

@@ -1,0 +1,79 @@
+#include "dsp/resample.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace svt::dsp {
+namespace {
+
+TEST(Interpolate, ExactOnLinearFunction) {
+  std::vector<double> t{0.0, 1.0, 3.0, 7.0};
+  std::vector<double> v{0.0, 2.0, 6.0, 14.0};  // v = 2t.
+  for (double q : {0.5, 1.7, 2.9, 5.0, 6.99}) {
+    EXPECT_NEAR(interpolate_at(t, v, q), 2.0 * q, 1e-12);
+  }
+}
+
+TEST(Interpolate, ClampsOutsideRange) {
+  std::vector<double> t{1.0, 2.0};
+  std::vector<double> v{10.0, 20.0};
+  EXPECT_DOUBLE_EQ(interpolate_at(t, v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(interpolate_at(t, v, 5.0), 20.0);
+}
+
+TEST(Interpolate, Validation) {
+  std::vector<double> t{1.0, 1.0};
+  std::vector<double> v{1.0, 2.0};
+  EXPECT_THROW(interpolate_at(t, v, 1.0), std::invalid_argument);  // Non-increasing.
+  std::vector<double> t2{1.0};
+  std::vector<double> v2{1.0};
+  EXPECT_THROW(interpolate_at(t2, v2, 1.0), std::invalid_argument);  // Too short.
+  std::vector<double> v3{1.0, 2.0, 3.0};
+  std::vector<double> t3{1.0, 2.0};
+  EXPECT_THROW(interpolate_at(t3, v3, 1.0), std::invalid_argument);  // Size mismatch.
+}
+
+TEST(Resample, UniformGridProperties) {
+  std::vector<double> t{0.0, 0.8, 1.7, 2.4, 4.0};
+  std::vector<double> v{0.0, 0.8, 1.7, 2.4, 4.0};  // Identity: v = t.
+  const auto u = resample_linear(t, v, 4.0);
+  EXPECT_DOUBLE_EQ(u.fs_hz, 4.0);
+  EXPECT_DOUBLE_EQ(u.start_time_s, 0.0);
+  EXPECT_EQ(u.values.size(), 17u);  // floor(4s * 4Hz) + 1.
+  for (std::size_t i = 0; i < u.values.size(); ++i) {
+    EXPECT_NEAR(u.values[i], static_cast<double>(i) / 4.0, 1e-12);
+  }
+  EXPECT_NEAR(u.duration_s(), 4.25, 1e-12);
+}
+
+TEST(Resample, RejectsBadRate) {
+  std::vector<double> t{0.0, 1.0};
+  std::vector<double> v{0.0, 1.0};
+  EXPECT_THROW(resample_linear(t, v, 0.0), std::invalid_argument);
+}
+
+class ResampleSineProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ResampleSineProperty, PreservesSlowSine) {
+  // Unevenly sampled slow sine resampled to 4 Hz stays close to the truth.
+  const double f = GetParam();
+  std::vector<double> t, v;
+  double time = 0.0;
+  std::size_t i = 0;
+  while (time < 30.0) {
+    t.push_back(time);
+    v.push_back(std::sin(2.0 * std::numbers::pi * f * time));
+    time += 0.7 + 0.3 * std::sin(static_cast<double>(i++));  // Uneven spacing.
+  }
+  const auto u = resample_linear(t, v, 4.0);
+  for (std::size_t k = 0; k < u.values.size(); ++k) {
+    const double tk = u.start_time_s + static_cast<double>(k) / u.fs_hz;
+    EXPECT_NEAR(u.values[k], std::sin(2.0 * std::numbers::pi * f * tk), 0.15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Frequencies, ResampleSineProperty, ::testing::Values(0.05, 0.1));
+
+}  // namespace
+}  // namespace svt::dsp

@@ -1,0 +1,88 @@
+#include "svm/scaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/statistics.hpp"
+
+namespace svt::svm {
+namespace {
+
+std::vector<std::vector<double>> toy_samples() {
+  return {{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}, {4.0, 40.0}};
+}
+
+TEST(Scaler, ZScoreNormalisesColumns) {
+  StandardScaler scaler(ScalerMode::kZScore);
+  scaler.fit(toy_samples());
+  const auto out = scaler.transform_all(toy_samples());
+  std::vector<double> col0, col1;
+  for (const auto& r : out) {
+    col0.push_back(r[0]);
+    col1.push_back(r[1]);
+  }
+  EXPECT_NEAR(dsp::mean(col0), 0.0, 1e-12);
+  EXPECT_NEAR(dsp::stddev_population(col0), 1.0, 1e-12);
+  EXPECT_NEAR(dsp::stddev_population(col1), 1.0, 1e-12);
+}
+
+TEST(Scaler, CenterOnlyKeepsScale) {
+  StandardScaler scaler(ScalerMode::kCenterOnly);
+  scaler.fit(toy_samples());
+  const auto out = scaler.transform_all(toy_samples());
+  std::vector<double> col1;
+  for (const auto& r : out) col1.push_back(r[1]);
+  EXPECT_NEAR(dsp::mean(col1), 0.0, 1e-12);
+  EXPECT_NEAR(dsp::stddev_population(col1), std::sqrt(125.0), 1e-9);
+}
+
+TEST(Scaler, ConstantFeatureMapsToZeroInZScore) {
+  StandardScaler scaler(ScalerMode::kZScore);
+  std::vector<std::vector<double>> samples{{5.0, 1.0}, {5.0, 2.0}};
+  scaler.fit(samples);
+  const auto out = scaler.transform(samples[0]);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+}
+
+TEST(Scaler, PostGainsApplyAfterNormalisation) {
+  StandardScaler scaler(ScalerMode::kZScore);
+  scaler.set_post_gains({2.0, 0.5});
+  scaler.fit(toy_samples());
+  const auto out = scaler.transform_all(toy_samples());
+  std::vector<double> col0, col1;
+  for (const auto& r : out) {
+    col0.push_back(r[0]);
+    col1.push_back(r[1]);
+  }
+  EXPECT_NEAR(dsp::stddev_population(col0), 2.0, 1e-12);
+  EXPECT_NEAR(dsp::stddev_population(col1), 0.5, 1e-12);
+}
+
+TEST(Scaler, Validation) {
+  StandardScaler scaler;
+  std::vector<double> x{1.0, 2.0};
+  EXPECT_THROW(scaler.transform(x), std::invalid_argument);  // Not fitted.
+  std::vector<std::vector<double>> empty;
+  EXPECT_THROW(scaler.fit(empty), std::invalid_argument);
+  std::vector<std::vector<double>> ragged{{1.0}, {1.0, 2.0}};
+  EXPECT_THROW(scaler.fit(ragged), std::invalid_argument);
+  scaler.fit(toy_samples());
+  std::vector<double> wrong_size{1.0};
+  EXPECT_THROW(scaler.transform(wrong_size), std::invalid_argument);
+  scaler.set_post_gains({1.0});  // Wrong gain count.
+  EXPECT_THROW(scaler.transform(x), std::invalid_argument);
+}
+
+TEST(Scaler, TrainTestConsistency) {
+  // The scaler fitted on train applies train statistics to test data.
+  StandardScaler scaler(ScalerMode::kZScore);
+  scaler.fit(toy_samples());
+  const std::vector<double> means{2.5, 25.0};
+  const auto t = scaler.transform(means);  // Column means.
+  EXPECT_NEAR(t[0], 0.0, 1e-12);
+  EXPECT_NEAR(t[1], 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace svt::svm

@@ -1,0 +1,148 @@
+#include "dsp/spectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "dsp/window.hpp"
+
+namespace svt::dsp {
+namespace {
+
+std::vector<double> tone(double f_hz, double fs_hz, std::size_t n, double amplitude = 1.0) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = amplitude * std::sin(2.0 * std::numbers::pi * f_hz * static_cast<double>(i) / fs_hz);
+  return x;
+}
+
+TEST(Window, KnownShapes) {
+  const auto rect = make_window(WindowType::kRectangular, 8);
+  for (double v : rect) EXPECT_DOUBLE_EQ(v, 1.0);
+  const auto hann = make_window(WindowType::kHann, 9);
+  EXPECT_NEAR(hann.front(), 0.0, 1e-12);
+  EXPECT_NEAR(hann[4], 1.0, 1e-12);  // Symmetric peak.
+  EXPECT_NEAR(hann.back(), 0.0, 1e-12);
+  const auto hamming = make_window(WindowType::kHamming, 5);
+  EXPECT_NEAR(hamming.front(), 0.08, 1e-12);
+  EXPECT_THROW(make_window(WindowType::kHann, 0), std::invalid_argument);
+}
+
+TEST(Window, Names) {
+  EXPECT_EQ(window_name(WindowType::kHann), "hann");
+  EXPECT_EQ(window_name(WindowType::kBlackman), "blackman");
+}
+
+TEST(Periodogram, PeakAtToneFrequency) {
+  const double fs = 8.0;
+  const auto x = tone(1.0, fs, 512);
+  const auto psd = periodogram(x, fs);
+  const double peak = peak_frequency(psd, 0.1, 4.0);
+  EXPECT_NEAR(peak, 1.0, psd.resolution_hz() * 1.5);
+}
+
+TEST(Periodogram, Validation) {
+  std::vector<double> empty;
+  EXPECT_THROW(periodogram(empty, 4.0), std::invalid_argument);
+  std::vector<double> x(16, 1.0);
+  EXPECT_THROW(periodogram(x, 0.0), std::invalid_argument);
+}
+
+TEST(Welch, TotalPowerApproximatesVariance) {
+  // White noise: integrated one-sided PSD should approximate the variance.
+  std::mt19937_64 rng(5);
+  std::normal_distribution<double> gauss(0.0, 2.0);
+  std::vector<double> x(8192);
+  for (auto& v : x) v = gauss(rng);
+  WelchParams params;
+  params.segment_length = 256;
+  const auto psd = welch_psd(x, 4.0, params);
+  EXPECT_NEAR(total_power(psd), 4.0, 0.5);
+}
+
+TEST(Welch, ToneBandDominates) {
+  const double fs = 4.0;
+  auto x = tone(0.3, fs, 4096, 1.0);
+  const auto psd = welch_psd(x, fs);
+  const double in_band = band_power(psd, 0.25, 0.35);
+  const double out_band = band_power(psd, 0.5, 1.5);
+  EXPECT_GT(in_band, 10.0 * out_band);
+}
+
+TEST(Welch, ShortSeriesFallsBackToSinglePeriodogram) {
+  const auto x = tone(0.3, 4.0, 64);
+  WelchParams params;
+  params.segment_length = 256;  // Longer than the series.
+  const auto psd = welch_psd(x, 4.0, params);
+  EXPECT_FALSE(psd.power.empty());
+  EXPECT_NEAR(peak_frequency(psd, 0.1, 1.0), 0.3, 2.0 * psd.resolution_hz());
+}
+
+TEST(Welch, Validation) {
+  std::vector<double> x(64, 0.0);
+  WelchParams bad;
+  bad.segment_length = 0;
+  EXPECT_THROW(welch_psd(x, 4.0, bad), std::invalid_argument);
+  WelchParams bad2;
+  bad2.overlap_fraction = 1.0;
+  EXPECT_THROW(welch_psd(x, 4.0, bad2), std::invalid_argument);
+}
+
+TEST(BandPower, PartitionSumsToTotal) {
+  const auto x = tone(0.7, 4.0, 2048, 1.3);
+  const auto psd = welch_psd(x, 4.0);
+  const double total = total_power(psd);
+  double partition = 0.0;
+  for (double lo = 0.0; lo < 2.0; lo += 0.25) partition += band_power(psd, lo, lo + 0.25);
+  // The partition covers [0,2) which includes every bin except exactly-2 Hz.
+  EXPECT_NEAR(partition, total, 0.05 * total + 1e-9);
+  EXPECT_THROW(band_power(psd, 1.0, 0.5), std::invalid_argument);
+}
+
+TEST(SpectralEdge, MonotoneInFraction) {
+  std::mt19937_64 rng(7);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  std::vector<double> x(4096);
+  for (auto& v : x) v = gauss(rng);
+  const auto psd = welch_psd(x, 4.0);
+  double prev = 0.0;
+  for (double f : {0.25, 0.5, 0.75, 0.95}) {
+    const double edge = spectral_edge_frequency(psd, f);
+    EXPECT_GE(edge, prev);
+    prev = edge;
+  }
+  EXPECT_THROW(spectral_edge_frequency(psd, 0.0), std::invalid_argument);
+  EXPECT_THROW(spectral_edge_frequency(psd, 1.5), std::invalid_argument);
+}
+
+class WindowPowerProperty : public ::testing::TestWithParam<WindowType> {};
+
+TEST_P(WindowPowerProperty, PowerPositiveAndBounded) {
+  const auto w = make_window(GetParam(), 128);
+  const double p = window_power(w);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LE(p, 128.0 + 1e-12);  // Rectangular is the maximum-power window.
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWindows, WindowPowerProperty,
+                         ::testing::Values(WindowType::kRectangular, WindowType::kHann,
+                                           WindowType::kHamming, WindowType::kBlackman));
+
+// Amplitude-scaling property: PSD scales quadratically with amplitude.
+class PsdScaling : public ::testing::TestWithParam<double> {};
+
+TEST_P(PsdScaling, QuadraticInAmplitude) {
+  const double a = GetParam();
+  const auto x1 = tone(0.3, 4.0, 2048, 1.0);
+  const auto xa = tone(0.3, 4.0, 2048, a);
+  const double p1 = band_power(welch_psd(x1, 4.0), 0.25, 0.35);
+  const double pa = band_power(welch_psd(xa, 4.0), 0.25, 0.35);
+  EXPECT_NEAR(pa / p1, a * a, 0.02 * a * a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Amplitudes, PsdScaling, ::testing::Values(0.5, 2.0, 3.0, 10.0));
+
+}  // namespace
+}  // namespace svt::dsp

@@ -1,0 +1,160 @@
+#include "core/sv_budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "svm/metrics.hpp"
+
+namespace svt::core {
+namespace {
+
+using svt::svm::quadratic_kernel;
+using svt::svm::SvmModel;
+using svt::svm::train_svm;
+using svt::svm::TrainParams;
+
+struct Toy {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+};
+
+Toy ring(unsigned seed, std::size_t inner = 300, std::size_t outer = 60) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  Toy t;
+  for (std::size_t i = 0; i < inner; ++i) {
+    t.x.push_back({gauss(rng), gauss(rng)});
+    t.y.push_back(-1);
+  }
+  for (std::size_t i = 0; i < outer; ++i) {
+    const double a = gauss(rng), b = gauss(rng);
+    const double n = std::hypot(a, b) + 1e-9;
+    const double r = 3.0 + 0.3 * gauss(rng);
+    t.x.push_back({a / n * r, b / n * r});
+    t.y.push_back(+1);
+  }
+  return t;
+}
+
+double accuracy(const SvmModel& m, const Toy& t) {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < t.x.size(); ++i) {
+    if (m.predict(t.x[i]) == t.y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(t.x.size());
+}
+
+TEST(SvBudget, ReachesBudgetAndKeepsAccuracy) {
+  const auto t = ring(1);
+  TrainParams params;
+  params.c = 10.0;
+  const auto full = train_svm(t.x, t.y, quadratic_kernel(), params);
+  ASSERT_GT(full.num_support_vectors(), 40u);
+
+  BudgetParams bp;
+  bp.budget = full.num_support_vectors() / 2;
+  BudgetReport report;
+  const auto budgeted =
+      budget_support_vectors(full, t.x, t.y, params, bp, &report);
+  EXPECT_LE(budgeted.num_support_vectors(), bp.budget);
+  EXPECT_EQ(report.final_support_vectors, budgeted.num_support_vectors());
+  EXPECT_GT(report.rounds, 0u);
+  EXPECT_GT(report.removed_samples, 0u);
+  // The ring stays separable with half the SVs.
+  EXPECT_GT(accuracy(budgeted, t), 0.85);
+}
+
+TEST(SvBudget, NoOpWhenAlreadyWithinBudget) {
+  const auto t = ring(2, 100, 30);
+  TrainParams params;
+  const auto full = train_svm(t.x, t.y, quadratic_kernel(), params);
+  BudgetParams bp;
+  bp.budget = full.num_support_vectors() + 10;
+  const auto same = budget_support_vectors(full, t.x, t.y, params, bp);
+  EXPECT_EQ(same.num_support_vectors(), full.num_support_vectors());
+}
+
+TEST(SvBudget, SurvivingSetShrinksByRemovedCount) {
+  const auto t = ring(3);
+  TrainParams params;
+  const auto full = train_svm(t.x, t.y, quadratic_kernel(), params);
+  BudgetParams bp;
+  bp.budget = full.num_support_vectors() > 30 ? 30 : full.num_support_vectors() - 5;
+  BudgetReport report;
+  std::vector<std::vector<double>> survivors_x;
+  std::vector<int> survivors_y;
+  budget_support_vectors(full, t.x, t.y, params, bp, &report, &survivors_x, &survivors_y);
+  EXPECT_EQ(survivors_x.size(), t.x.size() - report.removed_samples);
+  EXPECT_EQ(survivors_x.size(), survivors_y.size());
+}
+
+TEST(SvBudget, KeepsBothClassesRepresented) {
+  const auto t = ring(4);
+  TrainParams params;
+  const auto full = train_svm(t.x, t.y, quadratic_kernel(), params);
+  BudgetParams bp;
+  bp.budget = 20;
+  const auto budgeted = budget_support_vectors(full, t.x, t.y, params, bp);
+  std::size_t pos = 0, neg = 0;
+  for (double a : budgeted.alpha_y) (a > 0.0 ? pos : neg) += 1;
+  EXPECT_GT(pos, 0u);
+  EXPECT_GT(neg, 0u);
+}
+
+TEST(SvBudget, Validation) {
+  const auto t = ring(5, 50, 20);
+  TrainParams params;
+  const auto full = train_svm(t.x, t.y, quadratic_kernel(), params);
+  BudgetParams zero;
+  zero.budget = 0;
+  EXPECT_THROW(budget_support_vectors(full, t.x, t.y, params, zero), std::invalid_argument);
+  std::vector<std::vector<double>> empty_x;
+  std::vector<int> empty_y;
+  BudgetParams bp;
+  EXPECT_THROW(budget_support_vectors(full, empty_x, empty_y, params, bp),
+               std::invalid_argument);
+}
+
+TEST(Truncation, KeepsHighestNormSvs) {
+  const auto t = ring(6);
+  TrainParams params;
+  const auto full = train_svm(t.x, t.y, quadratic_kernel(), params);
+  const auto truncated = truncate_support_vectors(full, 10);
+  EXPECT_EQ(truncated.num_support_vectors(), 10u);
+  // Every kept norm >= every dropped norm.
+  const auto full_norms = full.sv_norms();
+  auto kept_min = std::numeric_limits<double>::infinity();
+  for (const auto& sv : truncated.support_vectors) {
+    for (std::size_t i = 0; i < full.support_vectors.size(); ++i) {
+      if (full.support_vectors[i] == sv) kept_min = std::min(kept_min, full_norms[i]);
+    }
+  }
+  std::size_t dropped_higher = 0;
+  for (double n : full_norms) {
+    if (n > kept_min + 1e-15) ++dropped_higher;
+  }
+  EXPECT_LE(dropped_higher, 10u);
+  EXPECT_THROW(truncate_support_vectors(full, 0), std::invalid_argument);
+  const auto same = truncate_support_vectors(full, full.num_support_vectors() + 5);
+  EXPECT_EQ(same.num_support_vectors(), full.num_support_vectors());
+}
+
+class BudgetLevels : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BudgetLevels, MonotoneSvCount) {
+  const auto t = ring(9);
+  TrainParams params;
+  const auto full = train_svm(t.x, t.y, quadratic_kernel(), params);
+  BudgetParams bp;
+  bp.budget = GetParam();
+  if (bp.budget >= full.num_support_vectors()) GTEST_SKIP();
+  const auto budgeted = budget_support_vectors(full, t.x, t.y, params, bp);
+  EXPECT_LE(budgeted.num_support_vectors(), bp.budget);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BudgetLevels, ::testing::Values(60u, 40u, 25u, 15u));
+
+}  // namespace
+}  // namespace svt::core

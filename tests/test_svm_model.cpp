@@ -1,0 +1,113 @@
+#include "svm/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "svm/kernel.hpp"
+
+namespace svt::svm {
+namespace {
+
+SvmModel toy_model() {
+  SvmModel m;
+  m.kernel = quadratic_kernel();
+  m.support_vectors = {{1.0, 0.0}, {0.0, 2.0}, {-1.0, -1.0}};
+  m.alpha_y = {0.5, -0.25, 0.125};
+  m.bias = -0.75;
+  return m;
+}
+
+TEST(Kernel, LinearIsDotProduct) {
+  const auto k = linear_kernel();
+  std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(k(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  std::vector<double> short_vec{1.0};
+  EXPECT_THROW(k(a, short_vec), std::invalid_argument);
+}
+
+TEST(Kernel, PolynomialForms) {
+  std::vector<double> a{1.0, 1.0};
+  std::vector<double> b{2.0, 3.0};
+  EXPECT_DOUBLE_EQ(quadratic_kernel()(a, b), 36.0);  // (5+1)^2.
+  EXPECT_DOUBLE_EQ(cubic_kernel()(a, b), 216.0);     // (5+1)^3.
+}
+
+TEST(Kernel, RbfProperties) {
+  const auto k = gaussian_kernel(0.5);
+  std::vector<double> a{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(k(a, a), 1.0);
+  std::vector<double> b{3.0, 2.0};
+  EXPECT_NEAR(k(a, b), std::exp(-0.5 * 4.0), 1e-12);
+  EXPECT_GT(k(a, b), 0.0);
+}
+
+TEST(Kernel, Names) {
+  EXPECT_EQ(linear_kernel().name(), "linear");
+  EXPECT_EQ(quadratic_kernel().name(), "quadratic");
+  EXPECT_EQ(cubic_kernel().name(), "cubic");
+  EXPECT_EQ(gaussian_kernel(1.0).name(), "gaussian");
+  Kernel quartic{KernelType::kPolynomial, 4, 1.0, 0.0};
+  EXPECT_EQ(quartic.name(), "poly-4");
+}
+
+TEST(Model, DecisionValueMatchesManualSum) {
+  const auto m = toy_model();
+  std::vector<double> x{0.5, 0.5};
+  double expected = m.bias;
+  for (std::size_t i = 0; i < m.support_vectors.size(); ++i)
+    expected += m.alpha_y[i] * m.kernel(x, m.support_vectors[i]);
+  EXPECT_DOUBLE_EQ(m.decision_value(x), expected);
+  EXPECT_EQ(m.predict(x), expected >= 0.0 ? 1 : -1);
+}
+
+TEST(Model, SvNormsMatchEquation5) {
+  const auto m = toy_model();
+  const auto norms = m.sv_norms();
+  ASSERT_EQ(norms.size(), 3u);
+  for (std::size_t i = 0; i < norms.size(); ++i) {
+    const double expected =
+        m.alpha_y[i] * m.alpha_y[i] * m.kernel(m.support_vectors[i], m.support_vectors[i]);
+    EXPECT_DOUBLE_EQ(norms[i], expected);
+  }
+}
+
+TEST(Model, SaveLoadRoundTrip) {
+  const auto m = toy_model();
+  std::stringstream ss;
+  m.save(ss);
+  const auto loaded = SvmModel::load(ss);
+  EXPECT_EQ(loaded.kernel, m.kernel);
+  EXPECT_DOUBLE_EQ(loaded.bias, m.bias);
+  ASSERT_EQ(loaded.num_support_vectors(), m.num_support_vectors());
+  ASSERT_EQ(loaded.num_features(), m.num_features());
+  for (std::size_t i = 0; i < m.num_support_vectors(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.alpha_y[i], m.alpha_y[i]);
+    EXPECT_EQ(loaded.support_vectors[i], m.support_vectors[i]);
+  }
+  // Decisions are bit-identical after the round trip.
+  std::vector<double> x{0.3, -0.7};
+  EXPECT_DOUBLE_EQ(loaded.decision_value(x), m.decision_value(x));
+}
+
+TEST(Model, LoadRejectsGarbage) {
+  std::stringstream bad("not-a-model v9");
+  EXPECT_THROW(SvmModel::load(bad), std::invalid_argument);
+  std::stringstream truncated("svmtailor-model v1\nkernel 1 2 1 0\nbias 0\nnsv 5\nnfeat 2\n1.0");
+  EXPECT_THROW(SvmModel::load(truncated), std::invalid_argument);
+}
+
+TEST(Model, EmptyModelPredictsBiasSign) {
+  SvmModel m;
+  m.bias = -1.0;
+  std::vector<double> x{};
+  EXPECT_EQ(m.predict(x), -1);
+  m.bias = 0.0;
+  EXPECT_EQ(m.predict(x), 1);  // sign(0) maps to +1 per paper Eq. 1.
+}
+
+}  // namespace
+}  // namespace svt::svm

@@ -1,0 +1,132 @@
+// Streaming-runtime throughput: single-window vs batched classification,
+// float vs fixed-point, in windows/second. The acceptance bar for the
+// batched fast path is >= 3x the single-window float loop at 64-window
+// batches (Release build).
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "core/quantize.hpp"
+#include "rt/packed_model.hpp"
+#include "svm/kernel.hpp"
+#include "svm/model.hpp"
+
+namespace {
+
+using namespace svt;
+
+constexpr std::size_t kNumFeatures = 30;  // Paper's tailored design point.
+constexpr std::size_t kNumSvs = 68;
+constexpr std::size_t kNumWindows = 4096;
+
+svm::SvmModel random_model(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> sv_dist(-2.0, 2.0);
+  std::uniform_real_distribution<double> alpha_dist(-1.0, 1.0);
+  svm::SvmModel m;
+  m.kernel = svm::quadratic_kernel();
+  m.support_vectors.resize(kNumSvs, std::vector<double>(kNumFeatures));
+  m.alpha_y.resize(kNumSvs);
+  for (std::size_t i = 0; i < kNumSvs; ++i) {
+    for (auto& v : m.support_vectors[i]) v = sv_dist(rng);
+    m.alpha_y[i] = alpha_dist(rng);
+  }
+  m.bias = -0.25;
+  return m;
+}
+
+std::vector<std::vector<double>> random_windows(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  std::vector<std::vector<double>> xs(kNumWindows, std::vector<double>(kNumFeatures));
+  for (auto& row : xs)
+    for (auto& v : row) v = dist(rng);
+  return xs;
+}
+
+/// Run `body(iteration)` until ~0.4 s elapses; return windows/second given
+/// `windows_per_iter` classified per call.
+template <typename Body>
+double measure(std::size_t windows_per_iter, Body&& body) {
+  using clock = std::chrono::steady_clock;
+  // Warm-up.
+  body(0);
+  std::size_t iters = 0;
+  const auto start = clock::now();
+  auto now = start;
+  do {
+    body(iters++);
+    now = clock::now();
+  } while (now - start < std::chrono::milliseconds(400));
+  const double secs = std::chrono::duration<double>(now - start).count();
+  return static_cast<double>(iters * windows_per_iter) / secs;
+}
+
+volatile double g_sink_f = 0.0;
+volatile int g_sink_i = 0;
+
+}  // namespace
+
+int main() {
+  const auto model = random_model(7);
+  const auto windows = random_windows(11);
+  const rt::PackedModel packed(model);
+  core::QuantConfig qc;  // 9-bit features / 15-bit alphas (paper Fig. 6/7).
+  const auto qmodel = core::QuantizedModel::build(model, qc);
+
+  std::printf("== rt_throughput ==\n");
+  std::printf("model: %zu SVs x %zu features (quadratic kernel), %zu test windows\n\n", kNumSvs,
+              kNumFeatures, kNumWindows);
+
+  const double float_single = measure(kNumWindows, [&](std::size_t) {
+    double acc = 0.0;
+    for (const auto& x : windows) acc += model.decision_value(x);
+    g_sink_f = acc;
+  });
+
+  std::vector<double> out(kNumWindows);
+  const auto batched_rate = [&](std::size_t batch) {
+    return measure(kNumWindows, [&, batch](std::size_t) {
+      for (std::size_t w0 = 0; w0 < kNumWindows; w0 += batch) {
+        const std::size_t n = std::min(batch, kNumWindows - w0);
+        packed.decision_values(std::span(windows).subspan(w0, n),
+                               std::span(out).subspan(w0, n));
+      }
+      g_sink_f = out[0];
+    });
+  };
+  const double float_batch64 = batched_rate(64);
+  const double float_batch256 = batched_rate(256);
+
+  const double fixed_single = measure(kNumWindows, [&](std::size_t) {
+    int acc = 0;
+    for (const auto& x : windows) acc += qmodel.classify(x);
+    g_sink_i = acc;
+  });
+  const auto fixed_batched_rate = [&](std::size_t batch) {
+    return measure(kNumWindows, [&, batch](std::size_t) {
+      int acc = 0;
+      for (std::size_t w0 = 0; w0 < kNumWindows; w0 += batch) {
+        const std::size_t n = std::min(batch, kNumWindows - w0);
+        const auto labels = qmodel.classify_batch(std::span(windows).subspan(w0, n));
+        acc += labels[0];
+      }
+      g_sink_i = acc;
+    });
+  };
+  const double fixed_batch64 = fixed_batched_rate(64);
+
+  std::printf("%-38s %14.0f windows/s\n", "float  single-window loop", float_single);
+  std::printf("%-38s %14.0f windows/s  (%.2fx single)\n", "float  batched (64-window batches)",
+              float_batch64, float_batch64 / float_single);
+  std::printf("%-38s %14.0f windows/s  (%.2fx single)\n", "float  batched (256-window batches)",
+              float_batch256, float_batch256 / float_single);
+  std::printf("%-38s %14.0f windows/s\n", "fixed  single-window loop", fixed_single);
+  std::printf("%-38s %14.0f windows/s  (%.2fx single)\n", "fixed  batched (64-window batches)",
+              fixed_batch64, fixed_batch64 / fixed_single);
+  std::printf("\nbatched float fast path vs single-window float loop: %.2fx %s\n",
+              float_batch64 / float_single,
+              float_batch64 / float_single >= 3.0 ? "(>= 3x target met)" : "(below 3x target!)");
+  return 0;
+}

@@ -8,22 +8,9 @@
 #include "fixed/fixed_point.hpp"
 #include "fixed/range_selection.hpp"
 #include "hw/arith_model.hpp"
+#include "rt/packed_kernel.hpp"
 
 namespace svt::core {
-
-namespace {
-
-/// Saturate a 128-bit value into `bits` signed bits.
-__int128 saturate128(__int128 v, int bits) {
-  SVT_ASSERT(bits >= 2 && bits <= 126);
-  const __int128 hi = ((__int128)1 << (bits - 1)) - 1;
-  const __int128 lo = -((__int128)1 << (bits - 1));
-  if (v > hi) return hi;
-  if (v < lo) return lo;
-  return v;
-}
-
-}  // namespace
 
 QuantizedModel QuantizedModel::build(const svt::svm::SvmModel& model, const QuantConfig& config) {
   using svt::svm::KernelType;
@@ -75,12 +62,12 @@ QuantizedModel QuantizedModel::build(const svt::svm::SvmModel& model, const Quan
   qm.pipeline_.validate();
   SVT_ASSERT(qm.pipeline_.kernel_input_bits() <= 31);
 
-  // --- Quantise SVs -------------------------------------------------------------
-  qm.q_support_vectors_.resize(nsv, std::vector<std::int64_t>(nfeat));
+  // --- Quantise SVs (packed row-major, shared by both decision engines) --------
+  qm.q_sv_packed_.resize(nsv * nfeat);
   for (std::size_t i = 0; i < nsv; ++i) {
     for (std::size_t j = 0; j < nfeat; ++j) {
       const fixed::QuantFormat fmt{config.feature_bits, qm.ranges_[j]};
-      qm.q_support_vectors_[i][j] = fmt.quantize(model.support_vectors[i][j]);
+      qm.q_sv_packed_[i * nfeat + j] = fmt.quantize(model.support_vectors[i][j]);
     }
   }
 
@@ -111,7 +98,7 @@ QuantizedModel QuantizedModel::build(const svt::svm::SvmModel& model, const Quan
   qm.acc2_scale_ = kernel_out_scale * alpha_fmt.lsb();
 
   const long double bias_q = static_cast<long double>(model.bias) / qm.acc2_scale_;
-  qm.q_bias_ = saturate128(static_cast<__int128>(llroundl(bias_q)),
+  qm.q_bias_ = fixed::saturate128(static_cast<__int128>(llroundl(bias_q)),
                            std::min(126, qm.pipeline_.mac2_accumulator_bits()));
   return qm;
 }
@@ -133,12 +120,13 @@ __int128 QuantizedModel::decision_accumulator(std::span<const std::int64_t> qx) 
   const int kout_bits = pipeline_.kernel_output_bits();
   const int mac2_bits = std::min(126, pipeline_.mac2_accumulator_bits());
 
+  const std::size_t nfeat = num_features();
   __int128 acc2 = q_bias_;
-  for (std::size_t i = 0; i < q_support_vectors_.size(); ++i) {
-    const auto& qsv = q_support_vectors_[i];
+  for (std::size_t i = 0; i < num_support_vectors(); ++i) {
+    const std::int64_t* qsv = q_sv_packed_.data() + i * nfeat;
     // MAC1: dot product with per-feature scale-back shifts, saturating.
     std::int64_t acc1 = 0;
-    for (std::size_t j = 0; j < qsv.size(); ++j) {
+    for (std::size_t j = 0; j < nfeat; ++j) {
       const std::int64_t product = qx[j] * qsv[j];  // <= 2^(2*Dbits-2): fits easily.
       acc1 = fixed::saturate(acc1 + (product >> product_shifts_[j]), mac1_bits);
     }
@@ -153,9 +141,46 @@ __int128 QuantizedModel::decision_accumulator(std::span<const std::int64_t> qx) 
 
     // MAC2: alpha_y-weighted accumulation (int128: product can exceed 63 bits).
     const __int128 term = static_cast<__int128>(q_alpha_y_[i]) * kout;
-    acc2 = saturate128(acc2 + term, mac2_bits);
+    acc2 = fixed::saturate128(acc2 + term, mac2_bits);
   }
   return acc2;
+}
+
+std::vector<__int128> QuantizedModel::batch_accumulators(
+    std::span<const std::vector<double>> xs) const {
+  const std::size_t nwin = xs.size();
+  const std::size_t nfeat = num_features();
+  std::vector<__int128> accs(nwin);
+  if (nwin == 0) return accs;
+
+  // Quantise every window directly into the feature-major layout the blocked
+  // kernel consumes: qxt[f * nwin + w].
+  std::vector<std::int64_t> qxt(nwin * nfeat);
+  for (std::size_t w = 0; w < nwin; ++w) {
+    if (xs[w].size() != nfeat)
+      throw std::invalid_argument("QuantizedModel: feature-count mismatch");
+    for (std::size_t j = 0; j < nfeat; ++j) {
+      const fixed::QuantFormat fmt{config_.feature_bits, ranges_[j]};
+      qxt[j * nwin + w] = fmt.quantize(xs[w][j]);
+    }
+  }
+
+  rt::PackedQuantKernel kernel;
+  kernel.nfeat = nfeat;
+  kernel.nsv = num_support_vectors();
+  kernel.q_svs = q_sv_packed_.data();
+  kernel.q_alpha_y = q_alpha_y_.data();
+  kernel.product_shifts = product_shifts_.data();
+  kernel.q_one = q_one_;
+  kernel.q_bias = q_bias_;
+  kernel.mac1_bits = pipeline_.mac1_accumulator_bits();
+  kernel.kin_bits = pipeline_.kernel_input_bits();
+  kernel.kout_bits = pipeline_.kernel_output_bits();
+  kernel.mac2_bits = std::min(126, pipeline_.mac2_accumulator_bits());
+  kernel.dot_truncate_bits = config_.dot_truncate_bits;
+  kernel.square_truncate_bits = config_.square_truncate_bits;
+  rt::batch_quantized_accumulators(kernel, qxt.data(), nwin, accs.data());
+  return accs;
 }
 
 int QuantizedModel::classify(std::span<const double> x) const {
@@ -163,9 +188,25 @@ int QuantizedModel::classify(std::span<const double> x) const {
   return decision_accumulator(qx) >= 0 ? +1 : -1;
 }
 
+std::vector<int> QuantizedModel::classify_batch(std::span<const std::vector<double>> xs) const {
+  const auto accs = batch_accumulators(xs);
+  std::vector<int> labels(accs.size());
+  for (std::size_t w = 0; w < accs.size(); ++w) labels[w] = accs[w] >= 0 ? +1 : -1;
+  return labels;
+}
+
 double QuantizedModel::dequantized_decision(std::span<const double> x) const {
   const auto qx = quantize_input(x);
   return static_cast<double>(decision_accumulator(qx)) * acc2_scale_;
+}
+
+std::vector<double> QuantizedModel::dequantized_decisions(
+    std::span<const std::vector<double>> xs) const {
+  const auto accs = batch_accumulators(xs);
+  std::vector<double> values(accs.size());
+  for (std::size_t w = 0; w < accs.size(); ++w)
+    values[w] = static_cast<double>(accs[w]) * acc2_scale_;
+  return values;
 }
 
 }  // namespace svt::core

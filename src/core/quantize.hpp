@@ -64,9 +64,18 @@ class QuantizedModel {
   /// pipeline, return the sign (+1 / -1). Throws on dimension mismatch.
   int classify(std::span<const double> x) const;
 
+  /// Batched classification: quantise every window and run the blocked
+  /// packed-SV integer kernel (rt::batch_quantized_accumulators). Bit-exact
+  /// with classify() applied per window. Throws on dimension mismatch.
+  std::vector<int> classify_batch(std::span<const std::vector<double>> xs) const;
+
   /// The decision value reconstructed from the final integer accumulator
   /// (for tests and diagnostics; hardware only exposes the sign).
   double dequantized_decision(std::span<const double> x) const;
+
+  /// Batched dequantised decision values; bit-exact accumulators vs the
+  /// per-window path, scaled by the MAC2 LSB.
+  std::vector<double> dequantized_decisions(std::span<const std::vector<double>> xs) const;
 
   /// Quantise a test vector into Dbits integers (saturating, per-feature).
   std::vector<std::int64_t> quantize_input(std::span<const double> x) const;
@@ -79,7 +88,7 @@ class QuantizedModel {
 
   int global_alpha_range_log2() const { return alpha_range_log2_; }
   std::size_t num_features() const { return ranges_.size(); }
-  std::size_t num_support_vectors() const { return q_support_vectors_.size(); }
+  std::size_t num_support_vectors() const { return q_alpha_y_.size(); }
   const QuantConfig& config() const { return config_; }
 
  private:
@@ -88,13 +97,17 @@ class QuantizedModel {
   /// Integer decision accumulator (sign = class).
   __int128 decision_accumulator(std::span<const std::int64_t> qx) const;
 
+  /// Batched accumulators over the packed (flattened) SV table; bit-exact
+  /// with decision_accumulator() per window.
+  std::vector<__int128> batch_accumulators(std::span<const std::vector<double>> xs) const;
+
   QuantConfig config_;
   hw::PipelineConfig pipeline_;
   std::vector<int> ranges_;                ///< R_j per feature.
   std::vector<int> product_shifts_;        ///< 2*(Rmax - R_j) per feature.
   int max_range_log2_ = 0;                 ///< Rmax.
   int alpha_range_log2_ = 0;               ///< Global range of alpha_y.
-  std::vector<std::vector<std::int64_t>> q_support_vectors_;
+  std::vector<std::int64_t> q_sv_packed_;  ///< Row-major flattened nsv x nfeat SV table.
   std::vector<std::int64_t> q_alpha_y_;
   std::int64_t q_one_ = 0;                 ///< Kernel coef0 at the MAC1 scale.
   __int128 q_bias_ = 0;                    ///< Bias at the MAC2 scale.

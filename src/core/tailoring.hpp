@@ -52,6 +52,13 @@ class TailoredDetector {
   /// Float decision value on the same inputs (diagnostics).
   double decision_value(std::span<const double> raw_features) const;
 
+  /// The shared front half of classification: select this detector's
+  /// features from a raw full-length vector and scale them. The returned
+  /// row is what the decision engines (float or fixed-point) consume; the
+  /// streaming runtime uses this to queue rows for batched classification.
+  /// Throws std::invalid_argument if the raw vector is too short.
+  std::vector<double> prepare_row(std::span<const double> raw_features) const;
+
   const std::vector<std::size_t>& selected_features() const { return selected_; }
   const svt::svm::SvmModel& model() const { return model_; }
   const std::optional<QuantizedModel>& quantized() const { return quantized_; }

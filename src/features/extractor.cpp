@@ -76,19 +76,24 @@ std::vector<double> category_gains(const std::vector<std::size_t>& feature_indic
   return gains;
 }
 
-std::vector<double> extract_features(const ecg::WindowRecord& window) {
+std::vector<double> extract_features(const ecg::RrSeries& rr,
+                                     const ecg::RespirationSeries& edr) {
   std::vector<double> f;
   f.reserve(kNumFeatures);
-  const auto hrv = compute_hrv_features(window.rr);
-  const auto lorentz = compute_lorentz_features(window.rr);
-  const auto ar = compute_ar_features(window.edr);
-  const auto psd = compute_psd_features(window.edr);
+  const auto hrv = compute_hrv_features(rr);
+  const auto lorentz = compute_lorentz_features(rr);
+  const auto ar = compute_ar_features(edr);
+  const auto psd = compute_psd_features(edr);
   f.insert(f.end(), hrv.begin(), hrv.end());
   f.insert(f.end(), lorentz.begin(), lorentz.end());
   f.insert(f.end(), ar.begin(), ar.end());
   f.insert(f.end(), psd.begin(), psd.end());
   SVT_ASSERT(f.size() == kNumFeatures);
   return f;
+}
+
+std::vector<double> extract_features(const ecg::WindowRecord& window) {
+  return extract_features(window.rr, window.edr);
 }
 
 FeatureMatrix extract_feature_matrix(const ecg::Dataset& dataset) {

@@ -29,6 +29,12 @@ struct FeatureMatrix {
 /// Extract the 53-dimensional feature vector of one window.
 std::vector<double> extract_features(const ecg::WindowRecord& window);
 
+/// Extract the same feature vector directly from the two physiological
+/// series (used by the streaming runtime, which rebuilds them per window
+/// from raw ECG samples via QRS detection rather than from a dataset).
+std::vector<double> extract_features(const ecg::RrSeries& rr,
+                                     const ecg::RespirationSeries& edr);
+
 /// Extract features for every window of a dataset (session order).
 FeatureMatrix extract_feature_matrix(const ecg::Dataset& dataset);
 

@@ -34,6 +34,15 @@ std::int64_t saturate(std::int64_t v, int bits) {
   return v;
 }
 
+__int128 saturate128(__int128 v, int bits) {
+  SVT_ASSERT(bits >= 2 && bits <= 126);
+  const __int128 hi = ((__int128)1 << (bits - 1)) - 1;
+  const __int128 lo = -((__int128)1 << (bits - 1));
+  if (v > hi) return hi;
+  if (v < lo) return lo;
+  return v;
+}
+
 bool fits(std::int64_t v, int bits) {
   return v >= min_signed_value(bits) && v <= max_signed_value(bits);
 }

@@ -30,6 +30,11 @@ std::int64_t min_signed_value(int bits);
 /// Saturate v into the signed range of `bits` bits.
 std::int64_t saturate(std::int64_t v, int bits);
 
+/// Saturate a 128-bit value into `bits` signed bits (bits in [2,126]): the
+/// MAC2-accumulator primitive shared by the per-window and batched
+/// fixed-point engines, which must stay bit-identical.
+__int128 saturate128(__int128 v, int bits);
+
 /// True if v fits in `bits` signed bits without saturation.
 bool fits(std::int64_t v, int bits);
 

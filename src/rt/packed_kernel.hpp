@@ -1,0 +1,70 @@
+// Low-level batched quadratic-kernel evaluation over flat (packed) arrays.
+//
+// These are the compute primitives of the streaming runtime: the support-
+// vector table lives in one contiguous row-major block and a *batch* of
+// feature vectors is evaluated per call, blocked so that each SV row is
+// streamed through the cache once per window block instead of once per
+// window. Per-window arithmetic order is identical to the per-window
+// engines (svm::SvmModel::decision_value, core::QuantizedModel), so results
+// match them: bit-exactly for the fixed-point path, and to rounding of
+// `pow(s,2)` vs `s*s` for the float path.
+//
+// This header is a leaf: it depends only on svt::fixed, so both the float
+// SVM layer and the fixed-point core can route their batch entry points
+// through it without a dependency cycle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace svt::rt {
+
+/// Number of windows evaluated together in the blocked kernels. Sized so a
+/// block of accumulators and partial dot products stays in registers/L1.
+inline constexpr std::size_t kWindowBlock = 16;
+
+/// Transpose a row-major batch (nwin x nfeat) into feature-major layout
+/// (nfeat x nwin): out[f * nwin + w] = in[w * nfeat + f]. The feature-major
+/// layout makes the innermost per-window loops of the blocked kernels
+/// contiguous (unit stride), which is what lets them vectorise. (The
+/// quantised batch path needs no transpose: it quantises straight into the
+/// feature-major layout.)
+void transpose_batch(const double* in, std::size_t nwin, std::size_t nfeat, double* out);
+
+/// Batched float decision values of a quadratic-polynomial SVM:
+///   out[w] = bias + sum_i alpha_y[i] * (x_w . sv_i + coef0)^2
+/// `xt` is the batch in feature-major layout (see transpose_batch), `svs` the
+/// row-major nsv x nfeat SV matrix. Per-window accumulation order matches
+/// SvmModel::decision_value (SVs in order, features in order).
+void batch_quadratic_decisions(const double* xt, std::size_t nwin, std::size_t nfeat,
+                               const double* svs, std::size_t nsv, const double* alpha_y,
+                               double bias, double coef0, double* out);
+
+/// Fixed-point pipeline description for the batched integer kernel; mirrors
+/// the per-window engine in core::QuantizedModel (MAC1 with per-feature
+/// scale-back shifts -> +1 -> truncate -> square -> truncate -> MAC2), with
+/// every stage saturating to the same widths. All pointers are borrowed.
+struct PackedQuantKernel {
+  std::size_t nfeat = 0;
+  std::size_t nsv = 0;
+  const std::int64_t* q_svs = nullptr;      ///< nsv x nfeat, row-major.
+  const std::int64_t* q_alpha_y = nullptr;  ///< nsv.
+  const int* product_shifts = nullptr;      ///< nfeat scale-back shifts.
+  std::int64_t q_one = 0;                   ///< Kernel's +1 at the MAC1 scale.
+  __int128 q_bias = 0;                      ///< Bias at the MAC2 scale.
+  int mac1_bits = 0;
+  int kin_bits = 0;
+  int kout_bits = 0;
+  int mac2_bits = 0;
+  int dot_truncate_bits = 0;
+  int square_truncate_bits = 0;
+};
+
+/// Batched integer decision accumulators (sign = class), bit-exact with the
+/// per-window engine. `qxt` is the quantised batch in feature-major layout.
+void batch_quantized_accumulators(const PackedQuantKernel& kernel, const std::int64_t* qxt,
+                                  std::size_t nwin, __int128* out);
+
+}  // namespace svt::rt

@@ -1,0 +1,45 @@
+// Packed (flattened) representation of a trained quadratic SVM for the
+// streaming runtime: the SV table is stored once as a contiguous row-major
+// matrix plus a per-SV weight array, so repeated batch classification pays
+// no per-call packing cost (unlike SvmModel::decision_values, which packs on
+// every call) and no vector<vector> pointer chasing.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "svm/model.hpp"
+
+namespace svt::rt {
+
+class PackedModel {
+ public:
+  /// Pack `model`, which must use the quadratic polynomial kernel and have
+  /// at least one support vector; throws std::invalid_argument otherwise.
+  explicit PackedModel(const svt::svm::SvmModel& model);
+
+  std::size_t num_features() const { return nfeat_; }
+  std::size_t num_support_vectors() const { return nsv_; }
+  double bias() const { return bias_; }
+
+  /// Batched decision values; `out.size()` must equal `xs.size()`. Matches
+  /// SvmModel::decision_value per window (same accumulation order).
+  void decision_values(std::span<const std::vector<double>> xs, std::span<double> out) const;
+  std::vector<double> decision_values(std::span<const std::vector<double>> xs) const;
+
+  /// Batched decision values over a flat row-major batch (nwin x nfeat).
+  void decision_values_flat(const double* xs, std::size_t nwin, double* out) const;
+
+  /// Single-window decision value through the packed path.
+  double decision_value(std::span<const double> x) const;
+
+ private:
+  std::size_t nfeat_ = 0;
+  std::size_t nsv_ = 0;
+  std::vector<double> svs_;      ///< nsv x nfeat, row-major.
+  std::vector<double> alpha_y_;  ///< nsv.
+  double bias_ = 0.0;
+  double coef0_ = 0.0;
+};
+
+}  // namespace svt::rt

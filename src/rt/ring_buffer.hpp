@@ -1,0 +1,55 @@
+// Fixed-capacity sample ring buffer for the streaming runtime.
+//
+// Holds the most recent raw samples of one patient stream between window
+// emissions: samples are appended at the tail, whole windows are copied out
+// oldest-first, and a stride's worth of samples is dropped from the head
+// after each emission (overlapping windows drop less than they emit).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace svt::rt {
+
+class SampleRing {
+ public:
+  explicit SampleRing(std::size_t capacity) : buf_(capacity) { SVT_ASSERT(capacity > 0); }
+
+  std::size_t capacity() const { return buf_.size(); }
+  std::size_t size() const { return size_; }
+  std::size_t free_space() const { return buf_.size() - size_; }
+  bool full() const { return size_ == buf_.size(); }
+
+  /// Append up to free_space() samples; returns how many were consumed.
+  std::size_t push(std::span<const double> samples) {
+    const std::size_t n = std::min(samples.size(), free_space());
+    for (std::size_t i = 0; i < n; ++i) {
+      buf_[(head_ + size_) % buf_.size()] = samples[i];
+      ++size_;
+    }
+    return n;
+  }
+
+  /// Copy the oldest dst.size() samples into dst (dst.size() <= size()).
+  void copy_out(std::span<double> dst) const {
+    SVT_ASSERT(dst.size() <= size_);
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = buf_[(head_ + i) % buf_.size()];
+  }
+
+  /// Drop the n oldest samples (n <= size()).
+  void drop(std::size_t n) {
+    SVT_ASSERT(n <= size_);
+    head_ = (head_ + n) % buf_.size();
+    size_ -= n;
+  }
+
+ private:
+  std::vector<double> buf_;
+  std::size_t head_ = 0;  ///< Index of the oldest sample.
+  std::size_t size_ = 0;
+};
+
+}  // namespace svt::rt

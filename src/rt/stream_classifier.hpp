@@ -1,0 +1,107 @@
+// Batched streaming inference runtime.
+//
+// A StreamClassifier owns the whole online path from raw single-lead ECG
+// samples to seizure labels, for many concurrent patients:
+//
+//   push_samples(patient, chunk)          flush()
+//   ┌─────────────┐  full  ┌──────────────────────────┐  batch  ┌────────┐
+//   │ per-patient │ window │ QRS detect -> RR + EDR   │  rows   │ packed │
+//   │ sample ring │ ─────> │ -> 53 features -> select │ ──────> │ kernel │
+//   │  (overlap)  │        │ -> scale                 │         │ (f/fx) │
+//   └─────────────┘        └──────────────────────────┘         └────────┘
+//
+// Samples accumulate per patient in a ring buffer; every time a full window
+// of window_s seconds is available a feature row is extracted immediately
+// (feature extraction is per-window work) and queued. flush() then
+// classifies every queued row in ONE call through the packed batch kernel --
+// the float fast path (rt::PackedModel), or the bit-exact fixed-point
+// pipeline (core::QuantizedModel::classify_batch) when the detector carries
+// a quantised engine. Patient streams are fully isolated: results for a
+// patient are identical whether its samples are pushed alone or interleaved
+// with other patients'.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/tailoring.hpp"
+#include "rt/packed_model.hpp"
+#include "rt/ring_buffer.hpp"
+
+namespace svt::rt {
+
+struct StreamConfig {
+  double fs_hz = 250.0;     ///< Raw ECG sampling rate.
+  double window_s = 180.0;  ///< Analysis window length (paper: 3 minutes).
+  double stride_s = 180.0;  ///< Hop between windows; < window_s overlaps.
+  double edr_fs_hz = 4.0;   ///< Uniform EDR resampling rate.
+  /// Windows whose QRS detection finds fewer R peaks than this are rejected
+  /// (counted, not classified): too few beats to rebuild the RR/EDR series.
+  std::size_t min_beats = 4;
+};
+
+/// One classified window.
+struct WindowResult {
+  int patient_id = 0;
+  double start_s = 0.0;         ///< Window start within the patient's stream.
+  double decision_value = 0.0;  ///< Float (or dequantised fixed-point) f(x).
+  int label = 0;                ///< +1 = ictal, -1 = interictal.
+  std::size_t num_beats = 0;    ///< R peaks detected in the window.
+};
+
+class StreamClassifier {
+ public:
+  /// Wrap a tailored detector. The detector's SVM is packed once up front
+  /// when it uses the quadratic kernel (other kernels fall back to the
+  /// per-window float path). Throws std::invalid_argument on a non-positive
+  /// sampling rate, window, or stride, or stride_s > window_s.
+  explicit StreamClassifier(core::TailoredDetector detector, StreamConfig config = {});
+
+  /// Ingest a chunk of raw ECG samples (mV) for one patient. Chunks may be
+  /// of any size; windows are emitted as soon as enough samples accumulate.
+  /// A first push creates the patient's stream.
+  void push_samples(int patient_id, std::span<const double> samples_mv);
+
+  /// Windows extracted and queued, awaiting the next flush().
+  std::size_t pending_windows() const { return pending_meta_.size(); }
+
+  /// Classify every queued window in one batched call and return the
+  /// results (stream order per patient, push order across patients).
+  std::vector<WindowResult> flush();
+
+  /// Windows rejected for having fewer than min_beats R peaks.
+  std::size_t rejected_windows() const { return rejected_; }
+
+  /// Samples currently buffered for a patient (0 for unknown patients).
+  std::size_t buffered_samples(int patient_id) const;
+
+  std::size_t num_patients() const { return patients_.size(); }
+  std::size_t window_samples() const { return window_samples_; }
+  std::size_t stride_samples() const { return stride_samples_; }
+  const StreamConfig& config() const { return config_; }
+  const core::TailoredDetector& detector() const { return detector_; }
+
+ private:
+  struct PatientState {
+    SampleRing ring;
+    std::size_t consumed = 0;  ///< Samples dropped so far = next window start.
+    explicit PatientState(std::size_t capacity) : ring(capacity) {}
+  };
+
+  void emit_window(int patient_id, PatientState& state);
+
+  core::TailoredDetector detector_;
+  std::optional<PackedModel> packed_;
+  StreamConfig config_;
+  std::size_t window_samples_ = 0;
+  std::size_t stride_samples_ = 0;
+  std::map<int, PatientState> patients_;
+  std::vector<std::vector<double>> pending_rows_;  ///< Scaled, selected features.
+  std::vector<WindowResult> pending_meta_;
+  std::size_t rejected_ = 0;
+};
+
+}  // namespace svt::rt

@@ -26,6 +26,17 @@ struct SvmModel {
   /// before the sign). Throws std::invalid_argument on size mismatch.
   double decision_value(std::span<const double> x) const;
 
+  /// Batched decision values for many windows in one call. Quadratic-
+  /// polynomial models route through the packed row-major fast path
+  /// (rt::PackedModel); other kernels fall back to the per-window loop.
+  /// `out.size()` must equal `xs.size()`; every row must
+  /// have num_features() entries. Throws std::invalid_argument otherwise.
+  void decision_values(std::span<const std::vector<double>> xs, std::span<double> out) const;
+  std::vector<double> decision_values(std::span<const std::vector<double>> xs) const;
+
+  /// Batched class labels (sign of the batched decision values).
+  std::vector<int> predict_batch(std::span<const std::vector<double>> xs) const;
+
   /// Class label: sign of the decision value (+1 / -1; 0 maps to +1).
   int predict(std::span<const double> x) const;
 

@@ -1,0 +1,162 @@
+// Parity tests for the packed batch kernels: the batched float and
+// fixed-point entry points must match the per-window engines they replace --
+// bit-exactly for the fixed-point pipeline, to floating rounding of
+// pow(s,2) vs s*s for the float path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "core/quantize.hpp"
+#include "rt/packed_kernel.hpp"
+#include "rt/packed_model.hpp"
+#include "svm/kernel.hpp"
+#include "svm/model.hpp"
+
+namespace svt {
+namespace {
+
+svm::SvmModel random_quadratic_model(std::size_t nsv, std::size_t nfeat, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> sv_dist(-2.0, 2.0);
+  std::uniform_real_distribution<double> alpha_dist(-1.0, 1.0);
+  svm::SvmModel m;
+  m.kernel = svm::quadratic_kernel();
+  m.support_vectors.resize(nsv, std::vector<double>(nfeat));
+  m.alpha_y.resize(nsv);
+  for (std::size_t i = 0; i < nsv; ++i) {
+    for (std::size_t j = 0; j < nfeat; ++j) m.support_vectors[i][j] = sv_dist(rng);
+    m.alpha_y[i] = alpha_dist(rng);
+  }
+  m.bias = -0.3;
+  return m;
+}
+
+/// Random batch; `spread` > 1 pushes some values outside the SV ranges so
+/// the fixed-point path exercises input saturation.
+std::vector<std::vector<double>> random_batch(std::size_t nwin, std::size_t nfeat,
+                                              double spread, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-spread, spread);
+  std::vector<std::vector<double>> xs(nwin, std::vector<double>(nfeat));
+  for (auto& row : xs)
+    for (auto& v : row) v = dist(rng);
+  return xs;
+}
+
+TEST(PackedKernel, TransposeRoundTrip) {
+  const std::vector<double> in{1, 2, 3, 4, 5, 6};  // 2 windows x 3 features.
+  std::vector<double> out(6);
+  rt::transpose_batch(in.data(), 2, 3, out.data());
+  EXPECT_EQ(out, (std::vector<double>{1, 4, 2, 5, 3, 6}));
+}
+
+TEST(BatchDecision, MatchesPerWindowFloatEngine) {
+  const auto m = random_quadratic_model(68, 30, 7);
+  // Sizes straddling the window-block boundary, plus a 64-window batch.
+  for (std::size_t nwin : {1u, 15u, 16u, 17u, 64u}) {
+    const auto xs = random_batch(nwin, 30, 2.0, 100 + nwin);
+    const auto batched = m.decision_values(xs);
+    ASSERT_EQ(batched.size(), nwin);
+    for (std::size_t w = 0; w < nwin; ++w) {
+      const double single = m.decision_value(xs[w]);
+      EXPECT_NEAR(batched[w], single, 1e-9 * (1.0 + std::abs(single))) << "window " << w;
+    }
+  }
+}
+
+TEST(BatchDecision, PackedModelMatchesModelBatch) {
+  const auto m = random_quadratic_model(33, 12, 11);
+  const rt::PackedModel packed(m);
+  EXPECT_EQ(packed.num_features(), 12u);
+  EXPECT_EQ(packed.num_support_vectors(), 33u);
+  const auto xs = random_batch(37, 12, 2.0, 5);
+  const auto a = m.decision_values(xs);
+  const auto b = packed.decision_values(xs);
+  for (std::size_t w = 0; w < xs.size(); ++w) EXPECT_DOUBLE_EQ(a[w], b[w]);
+  // Single-window packed path agrees too.
+  EXPECT_DOUBLE_EQ(packed.decision_value(xs[0]), b[0]);
+}
+
+TEST(BatchDecision, PredictBatchMatchesPredict) {
+  const auto m = random_quadratic_model(20, 8, 3);
+  const auto xs = random_batch(29, 8, 2.0, 9);
+  const auto labels = m.predict_batch(xs);
+  for (std::size_t w = 0; w < xs.size(); ++w) EXPECT_EQ(labels[w], m.predict(xs[w]));
+}
+
+TEST(BatchDecision, NonQuadraticKernelsFallBack) {
+  auto m = random_quadratic_model(10, 6, 21);
+  m.kernel = svm::gaussian_kernel(0.3);
+  const auto xs = random_batch(19, 6, 2.0, 2);
+  const auto batched = m.decision_values(xs);
+  for (std::size_t w = 0; w < xs.size(); ++w)
+    EXPECT_DOUBLE_EQ(batched[w], m.decision_value(xs[w]));
+}
+
+TEST(BatchDecision, EmptyModelAndEmptyBatch) {
+  svm::SvmModel empty;
+  empty.bias = 0.5;
+  const auto xs = random_batch(3, 0, 1.0, 1);
+  const auto values = empty.decision_values(xs);
+  for (double v : values) EXPECT_DOUBLE_EQ(v, 0.5);
+  EXPECT_TRUE(empty.decision_values(std::vector<std::vector<double>>{}).empty());
+}
+
+TEST(BatchDecision, RejectsBadShapes) {
+  const auto m = random_quadratic_model(5, 4, 2);
+  auto xs = random_batch(3, 4, 1.0, 1);
+  xs[1].pop_back();
+  EXPECT_THROW(m.decision_values(xs), std::invalid_argument);
+  auto good = random_batch(3, 4, 1.0, 1);
+  std::vector<double> out(2);  // Wrong output size.
+  EXPECT_THROW(m.decision_values(good, out), std::invalid_argument);
+  EXPECT_THROW(rt::PackedModel(svm::SvmModel{}), std::invalid_argument);
+}
+
+TEST(BatchQuantized, BitExactVsPerWindowEngine) {
+  const auto m = random_quadratic_model(68, 30, 13);
+  core::QuantConfig qc;  // Paper design point: 9-bit features, 15-bit alphas.
+  const auto qm = core::QuantizedModel::build(m, qc);
+  // spread 4.0 saturates some inputs; batch sizes straddle the block size.
+  for (std::size_t nwin : {1u, 16u, 21u, 64u}) {
+    const auto xs = random_batch(nwin, 30, 4.0, 3000 + nwin);
+    const auto labels = qm.classify_batch(xs);
+    const auto values = qm.dequantized_decisions(xs);
+    ASSERT_EQ(labels.size(), nwin);
+    for (std::size_t w = 0; w < nwin; ++w) {
+      EXPECT_EQ(labels[w], qm.classify(xs[w])) << "window " << w;
+      // Same integer accumulator, same scale: bit-exact, not just close.
+      EXPECT_EQ(values[w], qm.dequantized_decision(xs[w])) << "window " << w;
+    }
+  }
+}
+
+TEST(BatchQuantized, BitExactAtNarrowWidths) {
+  // Narrow widths saturate aggressively in every pipeline stage; the batched
+  // kernel must reproduce the per-window saturation chain exactly.
+  const auto m = random_quadratic_model(40, 16, 17);
+  core::QuantConfig qc;
+  qc.feature_bits = 4;
+  qc.alpha_bits = 5;
+  qc.dot_truncate_bits = 2;
+  qc.square_truncate_bits = 2;
+  const auto qm = core::QuantizedModel::build(m, qc);
+  const auto xs = random_batch(48, 16, 6.0, 77);
+  const auto values = qm.dequantized_decisions(xs);
+  for (std::size_t w = 0; w < xs.size(); ++w)
+    EXPECT_EQ(values[w], qm.dequantized_decision(xs[w])) << "window " << w;
+}
+
+TEST(BatchQuantized, RejectsBadShapes) {
+  const auto m = random_quadratic_model(5, 4, 29);
+  const auto qm = core::QuantizedModel::build(m, core::QuantConfig{});
+  auto xs = random_batch(3, 4, 1.0, 1);
+  xs[2].push_back(0.0);
+  EXPECT_THROW(qm.classify_batch(xs), std::invalid_argument);
+  EXPECT_TRUE(qm.classify_batch(std::vector<std::vector<double>>{}).empty());
+}
+
+}  // namespace
+}  // namespace svt

@@ -1,0 +1,231 @@
+// StreamClassifier: ring-buffer window boundaries (partial windows,
+// overlap), chunk-size invariance, multi-patient isolation, and agreement
+// with the underlying tailored detector.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "core/tailoring.hpp"
+#include "ecg/dataset.hpp"
+#include "ecg/ecg_synth.hpp"
+#include "ecg/rr_model.hpp"
+#include "features/extractor.hpp"
+#include "rt/ring_buffer.hpp"
+#include "rt/stream_classifier.hpp"
+
+namespace svt {
+namespace {
+
+/// Shared tailored detector trained on a small synthetic cohort.
+const core::TailoredDetector& detector() {
+  static const core::TailoredDetector d = [] {
+    ecg::DatasetParams params;
+    params.windows_per_session = 10;
+    const auto ds = ecg::generate_dataset(params);
+    const auto matrix = features::extract_feature_matrix(ds);
+    core::TailoringConfig config;
+    config.num_features = 30;
+    config.sv_budget = 60;
+    return core::tailor_detector(matrix.samples, matrix.labels, config);
+  }();
+  return d;
+}
+
+/// Synthesise `duration_s` of single-lead ECG for one simulated patient.
+ecg::EcgWaveform synth_ecg(double duration_s, std::uint64_t seed) {
+  ecg::PatientProfile patient;
+  ecg::SessionEvents events;
+  ecg::SessionSignalParams sp;
+  sp.duration_s = duration_s;
+  std::mt19937_64 rng(seed);
+  const auto rr = ecg::generate_rr_series(patient, events, sp, rng);
+  const auto resp = ecg::generate_respiration(patient, events, sp, rng);
+  return ecg::synthesize_ecg(rr, resp, ecg::EcgSynthParams{}, rng);
+}
+
+rt::StreamConfig short_window_config() {
+  rt::StreamConfig config;
+  config.fs_hz = 250.0;
+  config.window_s = 20.0;
+  config.stride_s = 10.0;
+  return config;
+}
+
+TEST(SampleRing, PushCopyDropWrapAround) {
+  rt::SampleRing ring(5);
+  EXPECT_EQ(ring.capacity(), 5u);
+  const std::vector<double> a{1, 2, 3};
+  EXPECT_EQ(ring.push(a), 3u);
+  ring.drop(2);
+  const std::vector<double> b{4, 5, 6, 7};
+  EXPECT_EQ(ring.push(b), 4u);  // Wraps around the physical end.
+  EXPECT_EQ(ring.size(), 5u);
+  EXPECT_TRUE(ring.full());
+  std::vector<double> out(5);
+  ring.copy_out(out);
+  EXPECT_EQ(out, (std::vector<double>{3, 4, 5, 6, 7}));
+  // A full ring consumes nothing more.
+  EXPECT_EQ(ring.push(a), 0u);
+}
+
+TEST(StreamClassifier, RejectsBadConfig) {
+  auto config = short_window_config();
+  config.stride_s = 25.0;  // > window_s.
+  EXPECT_THROW(rt::StreamClassifier(detector(), config), std::invalid_argument);
+  config = short_window_config();
+  config.fs_hz = 0.0;
+  EXPECT_THROW(rt::StreamClassifier(detector(), config), std::invalid_argument);
+}
+
+TEST(StreamClassifier, WindowBoundariesWithOverlap) {
+  const auto config = short_window_config();
+  rt::StreamClassifier sc(detector(), config);
+  const auto wf = synth_ecg(65.0, 1);
+  const std::size_t n = wf.samples_mv.size();
+  ASSERT_GT(n, sc.window_samples());
+
+  sc.push_samples(1, wf.samples_mv);
+  // Every full window was either queued or rejected; the remainder (less
+  // than one stride past the last emitted window) stays buffered.
+  const std::size_t expected =
+      (n - sc.window_samples()) / sc.stride_samples() + 1;
+  EXPECT_EQ(sc.pending_windows() + sc.rejected_windows(), expected);
+  EXPECT_EQ(sc.buffered_samples(1), n - expected * sc.stride_samples());
+  // A healthy synthetic ECG yields beats in every window: nothing rejected.
+  EXPECT_EQ(sc.rejected_windows(), 0u);
+
+  const auto results = sc.flush();
+  ASSERT_EQ(results.size(), expected);
+  EXPECT_EQ(sc.pending_windows(), 0u);
+  for (std::size_t w = 0; w < results.size(); ++w) {
+    EXPECT_EQ(results[w].patient_id, 1);
+    EXPECT_DOUBLE_EQ(results[w].start_s, 10.0 * static_cast<double>(w));
+    EXPECT_TRUE(results[w].label == 1 || results[w].label == -1);
+    EXPECT_GE(results[w].num_beats, sc.config().min_beats);
+  }
+}
+
+TEST(StreamClassifier, PartialWindowEmitsNothing) {
+  rt::StreamClassifier sc(detector(), short_window_config());
+  const auto wf = synth_ecg(30.0, 2);
+  // One sample short of a full window: nothing may be emitted yet.
+  std::span<const double> samples(wf.samples_mv);
+  sc.push_samples(7, samples.first(sc.window_samples() - 1));
+  EXPECT_EQ(sc.pending_windows() + sc.rejected_windows(), 0u);
+  EXPECT_EQ(sc.buffered_samples(7), sc.window_samples() - 1);
+  // The missing sample completes the window.
+  sc.push_samples(7, samples.subspan(sc.window_samples() - 1, 1));
+  EXPECT_EQ(sc.pending_windows() + sc.rejected_windows(), 1u);
+}
+
+TEST(StreamClassifier, ChunkSizeDoesNotChangeResults) {
+  const auto wf = synth_ecg(65.0, 3);
+  rt::StreamClassifier whole(detector(), short_window_config());
+  whole.push_samples(1, wf.samples_mv);
+  const auto expected = whole.flush();
+
+  rt::StreamClassifier chunked(detector(), short_window_config());
+  std::span<const double> rest(wf.samples_mv);
+  while (!rest.empty()) {
+    const std::size_t n = std::min<std::size_t>(997, rest.size());
+    chunked.push_samples(1, rest.first(n));
+    rest = rest.subspan(n);
+  }
+  const auto got = chunked.flush();
+
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t w = 0; w < got.size(); ++w) {
+    EXPECT_DOUBLE_EQ(got[w].start_s, expected[w].start_s);
+    EXPECT_DOUBLE_EQ(got[w].decision_value, expected[w].decision_value);
+    EXPECT_EQ(got[w].label, expected[w].label);
+    EXPECT_EQ(got[w].num_beats, expected[w].num_beats);
+  }
+}
+
+TEST(StreamClassifier, MultiPatientStreamsAreIsolated) {
+  const auto wf_a = synth_ecg(65.0, 4);
+  const auto wf_b = synth_ecg(65.0, 5);
+
+  // Reference: each patient classified through its own dedicated stream.
+  std::vector<std::vector<rt::WindowResult>> solo;
+  for (const auto* wf : {&wf_a, &wf_b}) {
+    rt::StreamClassifier sc(detector(), short_window_config());
+    sc.push_samples(0, wf->samples_mv);
+    solo.push_back(sc.flush());
+  }
+
+  // Interleave both patients through one classifier in small chunks.
+  rt::StreamClassifier shared(detector(), short_window_config());
+  std::span<const double> rest_a(wf_a.samples_mv), rest_b(wf_b.samples_mv);
+  while (!rest_a.empty() || !rest_b.empty()) {
+    if (!rest_a.empty()) {
+      const std::size_t n = std::min<std::size_t>(1250, rest_a.size());
+      shared.push_samples(1, rest_a.first(n));
+      rest_a = rest_a.subspan(n);
+    }
+    if (!rest_b.empty()) {
+      const std::size_t n = std::min<std::size_t>(730, rest_b.size());
+      shared.push_samples(2, rest_b.first(n));
+      rest_b = rest_b.subspan(n);
+    }
+  }
+  EXPECT_EQ(shared.num_patients(), 2u);
+  const auto mixed = shared.flush();
+
+  for (int pid : {1, 2}) {
+    std::vector<rt::WindowResult> mine;
+    for (const auto& r : mixed)
+      if (r.patient_id == pid) mine.push_back(r);
+    const auto& want = solo[static_cast<std::size_t>(pid - 1)];
+    ASSERT_EQ(mine.size(), want.size()) << "patient " << pid;
+    for (std::size_t w = 0; w < mine.size(); ++w) {
+      EXPECT_DOUBLE_EQ(mine[w].start_s, want[w].start_s);
+      // Bit-exact: batch composition must not leak across patients.
+      EXPECT_EQ(mine[w].decision_value, want[w].decision_value);
+      EXPECT_EQ(mine[w].label, want[w].label);
+    }
+  }
+}
+
+TEST(StreamClassifier, AgreesWithDetectorPerWindow) {
+  // The streamed fixed-point labels must equal what TailoredDetector
+  // produces on the same extracted windows (same front half, batched back
+  // half bit-exact vs the per-window engine).
+  const auto wf = synth_ecg(45.0, 6);
+  rt::StreamClassifier sc(detector(), short_window_config());
+  sc.push_samples(1, wf.samples_mv);
+  const auto results = sc.flush();
+  ASSERT_FALSE(results.empty());
+  ASSERT_TRUE(detector().quantized().has_value());
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.label == 1 || r.label == -1);
+    EXPECT_EQ(r.label, r.decision_value >= 0.0 ? 1 : -1);
+  }
+}
+
+TEST(StreamClassifier, FloatDetectorPath) {
+  // A float-only detector (no quantised engine) routes through PackedModel.
+  static const core::TailoredDetector float_detector = [] {
+    ecg::DatasetParams params;
+    params.windows_per_session = 10;
+    const auto ds = ecg::generate_dataset(params);
+    const auto matrix = features::extract_feature_matrix(ds);
+    core::TailoringConfig config;
+    config.num_features = 30;
+    config.sv_budget = 60;
+    config.quant.reset();
+    return core::tailor_detector(matrix.samples, matrix.labels, config);
+  }();
+  const auto wf = synth_ecg(45.0, 8);
+  rt::StreamClassifier sc(float_detector, short_window_config());
+  sc.push_samples(3, wf.samples_mv);
+  const auto results = sc.flush();
+  ASSERT_FALSE(results.empty());
+  for (const auto& r : results) EXPECT_EQ(r.label, r.decision_value >= 0.0 ? 1 : -1);
+}
+
+}  // namespace
+}  // namespace svt

@@ -1,20 +1,31 @@
-// Multi-patient streaming demo: one StreamClassifier serving a ward of
+// Multi-patient streaming demo: the sharded serving engine running a ward of
 // concurrent patients. Each patient's single-lead ECG is synthesised with an
 // individual autonomic profile (one of them seizing mid-stream), chopped
 // into telemetry-sized chunks, and pushed round-robin -- exactly the arrival
-// pattern of a wireless body-sensor gateway. Windows are classified in
-// batches on every flush.
+// pattern of a wireless body-sensor gateway. Extraction runs on worker
+// threads (patients consistently sharded across them); every flush() drains
+// the extracted windows through the packed batch kernels.
+//
+// The demo also exercises the serving-infrastructure features:
+//  * per-patient models: the seizing patient gets a dedicated registry entry,
+//  * persistence: that entry round-trips through the ServableModel text
+//    format first (what a deployment loads at startup -- no requantisation),
+//  * hot-swap: it is installed mid-stream, between two flushes, while the
+//    patient's stream stays live.
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <random>
 #include <span>
+#include <sstream>
 #include <vector>
 
 #include "core/tailoring.hpp"
 #include "ecg/dataset.hpp"
 #include "ecg/ecg_synth.hpp"
 #include "features/extractor.hpp"
-#include "rt/stream_classifier.hpp"
+#include "rt/model_registry.hpp"
+#include "rt/sharded_classifier.hpp"
 
 int main() {
   using namespace svt;
@@ -29,19 +40,38 @@ int main() {
   tconfig.num_features = 30;
   tconfig.sv_budget = 68;
   const auto detector = core::tailor_detector(matrix.samples, matrix.labels, tconfig);
-  std::printf("detector: %zu features, %zu SVs, fixed-point %s\n\n",
+  std::printf("detector: %zu features, %zu SVs, fixed-point %s\n",
               detector.selected_features().size(), detector.model().num_support_vectors(),
               detector.quantized() ? "yes" : "no");
 
-  // 2. One streaming runtime for the whole ward: 60 s windows hopping by
-  //    30 s (short windows keep the demo fast; the paper uses 3 minutes).
+  // 2. One sharded runtime for the whole ward: the cohort detector is the
+  //    registry default; 4 worker threads run extraction; 60 s windows
+  //    hopping by 30 s (short windows keep the demo fast; the paper uses 3
+  //    minutes).
   rt::StreamConfig sconfig;
   sconfig.fs_hz = 250.0;
   sconfig.window_s = 60.0;
   sconfig.stride_s = 30.0;
-  rt::StreamClassifier classifier(detector, sconfig);
+  auto registry = std::make_shared<rt::ModelRegistry>(rt::ServableModel::from_detector(detector));
+  rt::ShardedStreamClassifier classifier(registry, sconfig, 4);
+  std::printf("runtime: %zu extraction workers, per-patient models via registry\n\n",
+              classifier.num_workers());
 
-  // 3. Synthesise 6 minutes of ECG for each patient in the default cohort;
+  // 3. A patient-3-specific model: same trained SVM, but quantised at a
+  //    wider 12-bit design point (say, after a clinician flagged borderline
+  //    decisions). Round-trip it through the on-disk text format first --
+  //    this is what a deployment ships and loads, skipping requantisation.
+  core::QuantConfig wide;
+  wide.feature_bits = 12;
+  std::stringstream model_file;
+  rt::ServableModel(detector.selected_features(), detector.scaler(), detector.model(),
+                    core::QuantizedModel::build(detector.model(), wide))
+      .save(model_file);
+  const auto patient3_model = rt::ServableModel::load(model_file);
+  std::printf("patient-3 model: %d-bit features, %zu-byte model file (loaded, no requantise)\n\n",
+              patient3_model.quantized()->config().feature_bits, model_file.str().size());
+
+  // 4. Synthesise 6 minutes of ECG for each patient in the default cohort;
   //    patient 3 has a seizure starting at 150 s.
   const auto cohort = ecg::make_default_cohort();
   const double duration_s = 360.0;
@@ -57,12 +87,15 @@ int main() {
     waveforms[patient.id] = ecg::synthesize_ecg(rr, resp, ecg::EcgSynthParams{}, rng);
   }
 
-  // 4. Stream 4-second telemetry chunks round-robin and flush once per
-  //    simulated minute, printing batched results as they arrive.
+  // 5. Stream 4-second telemetry chunks round-robin and flush once per
+  //    simulated minute, printing batched results as they arrive. Halfway
+  //    through, hot-swap patient 3's model while the stream is live: the
+  //    swap lands at a flush boundary, so no window is split across models.
   const std::size_t chunk = static_cast<std::size_t>(4.0 * sconfig.fs_hz);
   std::map<int, std::size_t> offsets;
   std::map<int, std::size_t> ictal_windows, total_windows;
   bool any_left = true;
+  bool swapped = false;
   std::size_t round = 0;
   while (any_left) {
     any_left = false;
@@ -84,13 +117,20 @@ int main() {
                       r.num_beats);
         }
       }
+      if (!swapped && round >= 45) {  // ~180 simulated seconds in.
+        registry->install(3, std::make_shared<const rt::ServableModel>(patient3_model));
+        std::printf("  SWAP  patient 3 -> 12-bit model (stream live, takes effect next flush)\n");
+        swapped = true;
+      }
     }
   }
 
   std::printf("\nward summary (%zu patients, %.0f s each, %zu rejected windows):\n",
-              classifier.num_patients(), duration_s, classifier.rejected_windows());
+              waveforms.size(), duration_s, classifier.rejected_windows());
   for (const auto& [pid, total] : total_windows) {
-    std::printf("  patient %d: %zu/%zu windows flagged ictal\n", pid, ictal_windows[pid], total);
+    std::printf("  patient %d (shard %zu): %zu/%zu windows flagged ictal%s\n", pid,
+                classifier.shard_of(pid), ictal_windows[pid], total,
+                pid == 3 ? "  [dedicated 12-bit model after swap]" : "");
   }
   return 0;
 }

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
+#include <string>
 
 #include "common/assert.hpp"
 #include "fixed/fixed_point.hpp"
@@ -38,30 +41,6 @@ QuantizedModel QuantizedModel::build(const svt::svm::SvmModel& model, const Quan
   if (config.homogeneous) {
     std::fill(qm.ranges_.begin(), qm.ranges_.end(), qm.max_range_log2_);
   }
-  qm.product_shifts_.resize(nfeat);
-  for (std::size_t j = 0; j < nfeat; ++j)
-    qm.product_shifts_[j] = 2 * (qm.max_range_log2_ - qm.ranges_[j]);
-
-  // --- Hardware design point / stage widths -----------------------------------
-  qm.pipeline_.num_features = nfeat;
-  qm.pipeline_.num_support_vectors = nsv;
-  qm.pipeline_.feature_bits = config.feature_bits;
-  qm.pipeline_.alpha_bits = config.alpha_bits;
-  qm.pipeline_.dot_truncate_bits = config.dot_truncate_bits;
-  qm.pipeline_.square_truncate_bits = config.square_truncate_bits;
-  // Width-driven truncation: discard however many extra LSBs are needed for
-  // the squarer input to fit 31 bits (kin * kin must be exact in int64). A
-  // real accelerator would make the same choice to bound the squarer array.
-  {
-    const int mac1_bits = 2 * config.feature_bits +
-                          hw::clog2(std::max<std::size_t>(nfeat, 1)) + 1;
-    const int needed = mac1_bits - 31;
-    if (needed > config.dot_truncate_bits) qm.pipeline_.dot_truncate_bits = needed;
-  }
-  qm.config_.dot_truncate_bits = qm.pipeline_.dot_truncate_bits;
-  qm.pipeline_.validate();
-  SVT_ASSERT(qm.pipeline_.kernel_input_bits() <= 31);
-
   // --- Quantise SVs (packed row-major, shared by both decision engines) --------
   qm.q_sv_packed_.resize(nsv * nfeat);
   for (std::size_t i = 0; i < nsv; ++i) {
@@ -83,7 +62,9 @@ QuantizedModel QuantizedModel::build(const svt::svm::SvmModel& model, const Quan
   qm.q_alpha_y_.resize(nsv);
   for (std::size_t i = 0; i < nsv; ++i) qm.q_alpha_y_[i] = alpha_fmt.quantize(model.alpha_y[i]);
 
-  // --- Fixed scale anchors -------------------------------------------------------
+  // --- Stage widths and scale anchors (shared with load()) ---------------------
+  qm.compute_derived(nsv);
+
   // lsb of the widest feature format; dot products are aligned to lsb_max^2.
   const double lsb_max = std::ldexp(1.0, qm.max_range_log2_ - config.feature_bits + 1);
   const double dot_scale = lsb_max * lsb_max;
@@ -91,16 +72,54 @@ QuantizedModel QuantizedModel::build(const svt::svm::SvmModel& model, const Quan
       static_cast<std::int64_t>(std::llround(model.kernel.coef0 / dot_scale)),
       qm.pipeline_.mac1_accumulator_bits());
 
-  const double kernel_in_scale =
-      dot_scale * std::ldexp(1.0, qm.config_.dot_truncate_bits);
-  const double kernel_out_scale =
-      kernel_in_scale * kernel_in_scale * std::ldexp(1.0, qm.config_.square_truncate_bits);
-  qm.acc2_scale_ = kernel_out_scale * alpha_fmt.lsb();
-
   const long double bias_q = static_cast<long double>(model.bias) / qm.acc2_scale_;
   qm.q_bias_ = fixed::saturate128(static_cast<__int128>(llroundl(bias_q)),
                            std::min(126, qm.pipeline_.mac2_accumulator_bits()));
   return qm;
+}
+
+void QuantizedModel::compute_derived(std::size_t nsv) {
+  const std::size_t nfeat = ranges_.size();
+  max_range_log2_ = *std::max_element(ranges_.begin(), ranges_.end());
+  product_shifts_.resize(nfeat);
+  for (std::size_t j = 0; j < nfeat; ++j) {
+    // The scale-back shift is applied to int64 products: a spread wider
+    // than 31 octaves would need a >= 64-bit shift (UB), so reject it the
+    // same way the width checks below reject unrepresentable configs.
+    if (max_range_log2_ - ranges_[j] > 31)
+      throw std::invalid_argument(
+          "QuantizedModel: feature range spread exceeds 31 octaves (shift > 62)");
+    product_shifts_[j] = 2 * (max_range_log2_ - ranges_[j]);
+  }
+
+  // --- Hardware design point / stage widths -----------------------------------
+  pipeline_.num_features = nfeat;
+  pipeline_.num_support_vectors = nsv;
+  pipeline_.feature_bits = config_.feature_bits;
+  pipeline_.alpha_bits = config_.alpha_bits;
+  pipeline_.dot_truncate_bits = config_.dot_truncate_bits;
+  pipeline_.square_truncate_bits = config_.square_truncate_bits;
+  // Width-driven truncation: discard however many extra LSBs are needed for
+  // the squarer input to fit 31 bits (kin * kin must be exact in int64). A
+  // real accelerator would make the same choice to bound the squarer array.
+  {
+    const int mac1_bits = 2 * config_.feature_bits +
+                          hw::clog2(std::max<std::size_t>(nfeat, 1)) + 1;
+    const int needed = mac1_bits - 31;
+    if (needed > config_.dot_truncate_bits) pipeline_.dot_truncate_bits = needed;
+  }
+  config_.dot_truncate_bits = pipeline_.dot_truncate_bits;
+  pipeline_.validate();
+  SVT_ASSERT(pipeline_.kernel_input_bits() <= 31);
+
+  // The real value of one MAC2 LSB, anchored at the widest feature format.
+  const double lsb_max = std::ldexp(1.0, max_range_log2_ - config_.feature_bits + 1);
+  const double dot_scale = lsb_max * lsb_max;
+  const fixed::QuantFormat alpha_fmt{config_.alpha_bits, alpha_range_log2_};
+  const double kernel_in_scale = dot_scale * std::ldexp(1.0, config_.dot_truncate_bits);
+  const double kernel_out_scale =
+      kernel_in_scale * kernel_in_scale * std::ldexp(1.0, config_.square_truncate_bits);
+  acc2_scale_ = kernel_out_scale * alpha_fmt.lsb();
 }
 
 std::vector<std::int64_t> QuantizedModel::quantize_input(std::span<const double> x) const {
@@ -198,6 +217,86 @@ std::vector<int> QuantizedModel::classify_batch(std::span<const std::vector<doub
 double QuantizedModel::dequantized_decision(std::span<const double> x) const {
   const auto qx = quantize_input(x);
   return static_cast<double>(decision_accumulator(qx)) * acc2_scale_;
+}
+
+void QuantizedModel::save(std::ostream& os) const {
+  os << "svmtailor-qmodel v1\n";
+  os << "bits " << config_.feature_bits << ' ' << config_.alpha_bits << ' '
+     << config_.dot_truncate_bits << ' ' << config_.square_truncate_bits << ' '
+     << (config_.homogeneous ? 1 : 0) << '\n';
+  os << "nsv " << num_support_vectors() << '\n';
+  os << "nfeat " << num_features() << '\n';
+  os << "ranges";
+  for (int r : ranges_) os << ' ' << r;
+  os << '\n';
+  os << "alpha_range " << alpha_range_log2_ << '\n';
+  os << "qone " << q_one_ << '\n';
+  os << "qbias " << fixed::to_string_int128(q_bias_) << '\n';
+  // One line per SV: its quantised weight, then its quantised features --
+  // the same row shape as SvmModel::save, but in integers.
+  const std::size_t nfeat = num_features();
+  for (std::size_t i = 0; i < num_support_vectors(); ++i) {
+    os << q_alpha_y_[i];
+    for (std::size_t j = 0; j < nfeat; ++j) os << ' ' << q_sv_packed_[i * nfeat + j];
+    os << '\n';
+  }
+}
+
+QuantizedModel QuantizedModel::load(std::istream& is) {
+  using svt::svm::io::expect_header;
+  using svt::svm::io::expect_tag;
+  using svt::svm::io::require_good;
+  expect_header(is, "svmtailor-qmodel", "v1", "QuantizedModel::load");
+  QuantizedModel qm;
+  int homogeneous = 0;
+  expect_tag(is, "bits", "QuantizedModel::load");
+  is >> qm.config_.feature_bits >> qm.config_.alpha_bits >> qm.config_.dot_truncate_bits >>
+      qm.config_.square_truncate_bits >> homogeneous;
+  qm.config_.homogeneous = homogeneous != 0;
+  std::size_t nsv = 0, nfeat = 0;
+  expect_tag(is, "nsv", "QuantizedModel::load");
+  is >> nsv;
+  expect_tag(is, "nfeat", "QuantizedModel::load");
+  is >> nfeat;
+  require_good(is, "QuantizedModel::load");
+  if (nsv == 0 || nfeat == 0)
+    throw std::invalid_argument("QuantizedModel::load: empty SV table");
+  if (qm.config_.feature_bits < 2 || qm.config_.feature_bits > 20 ||
+      qm.config_.alpha_bits < 2 || qm.config_.alpha_bits > 32 ||
+      qm.config_.dot_truncate_bits < 0 || qm.config_.square_truncate_bits < 0)
+    throw std::invalid_argument("QuantizedModel::load: config out of range");
+  qm.ranges_.resize(nfeat);
+  expect_tag(is, "ranges", "QuantizedModel::load");
+  for (int& r : qm.ranges_) {
+    is >> r;
+    // Keep every ldexp/QuantFormat scale finite and the shift table (checked
+    // again in compute_derived) representable.
+    if (is && (r < -62 || r > 62))
+      throw std::invalid_argument("QuantizedModel::load: feature range outside [-62,62]");
+  }
+  expect_tag(is, "alpha_range", "QuantizedModel::load");
+  is >> qm.alpha_range_log2_;
+  if (is && (qm.alpha_range_log2_ < -62 || qm.alpha_range_log2_ > 62))
+    throw std::invalid_argument("QuantizedModel::load: alpha range outside [-62,62]");
+  expect_tag(is, "qone", "QuantizedModel::load");
+  is >> qm.q_one_;
+  expect_tag(is, "qbias", "QuantizedModel::load");
+  std::string bias_text;
+  is >> bias_text;
+  require_good(is, "QuantizedModel::load");
+  qm.q_bias_ = fixed::parse_int128(bias_text);
+  qm.q_alpha_y_.resize(nsv);
+  qm.q_sv_packed_.resize(nsv * nfeat);
+  for (std::size_t i = 0; i < nsv; ++i) {
+    is >> qm.q_alpha_y_[i];
+    for (std::size_t j = 0; j < nfeat; ++j) is >> qm.q_sv_packed_[i * nfeat + j];
+  }
+  require_good(is, "QuantizedModel::load");
+  // Derived fields (shift table, pipeline widths, MAC2 scale) are functions
+  // of the primaries just read; recomputing them keeps the file format
+  // minimal and the loaded engine bit-identical to the built one.
+  qm.compute_derived(nsv);
+  return qm;
 }
 
 std::vector<double> QuantizedModel::dequantized_decisions(

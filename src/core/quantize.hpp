@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -80,6 +81,16 @@ class QuantizedModel {
   /// Quantise a test vector into Dbits integers (saturating, per-feature).
   std::vector<std::int64_t> quantize_input(std::span<const double> x) const;
 
+  /// Text serialisation mirroring SvmModel's format: the quantised primaries
+  /// (config, Eq.-6 ranges, packed SV table, alpha_y weights, kernel +1 and
+  /// bias at their pipeline scales) are written exactly; every derived field
+  /// (shift table, stage widths, MAC2 LSB scale) is recomputed on load, so a
+  /// loaded model is bit-identical to the freshly built one and deployments
+  /// skip requantisation at startup. load() throws std::invalid_argument on
+  /// corrupt input.
+  void save(std::ostream& os) const;
+  static QuantizedModel load(std::istream& is);
+
   /// The hardware design point this model runs on.
   const hw::PipelineConfig& pipeline() const { return pipeline_; }
 
@@ -93,6 +104,12 @@ class QuantizedModel {
 
  private:
   QuantizedModel() = default;
+
+  /// Recompute every derived field (product shifts, Rmax, pipeline widths
+  /// including width-driven truncation, MAC2 LSB scale) from the primaries
+  /// (config_, ranges_, alpha_range_log2_) and validate; shared by build()
+  /// and load() so both construction paths agree bit-for-bit.
+  void compute_derived(std::size_t nsv);
 
   /// Integer decision accumulator (sign = class).
   __int128 decision_accumulator(std::span<const std::int64_t> qx) const;

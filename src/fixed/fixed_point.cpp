@@ -28,19 +28,23 @@ std::int64_t min_signed_value(int bits) {
 
 std::int64_t saturate(std::int64_t v, int bits) {
   const std::int64_t hi = max_signed_value(bits);
-  const std::int64_t lo = min_signed_value(bits);
-  if (v > hi) return hi;
-  if (v < lo) return lo;
-  return v;
+  const std::int64_t lo = -hi - 1;
+  // Branch-free clamp: two conditional selects lower to cmov / vector
+  // min-max instead of branches, so a saturating inner loop keeps its
+  // throughput even when saturation events are data-dependent noise to the
+  // branch predictor (they are: this is the fixed-point batch-path
+  // bottleneck the ROADMAP names).
+  v = v < lo ? lo : v;
+  return v > hi ? hi : v;
 }
 
 __int128 saturate128(__int128 v, int bits) {
   SVT_ASSERT(bits >= 2 && bits <= 126);
   const __int128 hi = ((__int128)1 << (bits - 1)) - 1;
-  const __int128 lo = -((__int128)1 << (bits - 1));
-  if (v > hi) return hi;
-  if (v < lo) return lo;
-  return v;
+  const __int128 lo = -hi - 1;
+  // Same branch-free select form as saturate(); v is unchanged when in range.
+  v = v < lo ? lo : v;
+  return v > hi ? hi : v;
 }
 
 bool fits(std::int64_t v, int bits) {
@@ -71,6 +75,44 @@ int signed_bit_width(std::int64_t v) {
     ++w;
   }
   return w;
+}
+
+std::string to_string_int128(__int128 v) {
+  if (v == 0) return "0";
+  const bool negative = v < 0;
+  // Negate digit-by-digit via unsigned magnitude so INT128_MIN is handled.
+  unsigned __int128 mag =
+      negative ? -static_cast<unsigned __int128>(v) : static_cast<unsigned __int128>(v);
+  std::string digits;
+  while (mag != 0) {
+    digits.push_back(static_cast<char>('0' + static_cast<int>(mag % 10)));
+    mag /= 10;
+  }
+  if (negative) digits.push_back('-');
+  return std::string(digits.rbegin(), digits.rend());
+}
+
+__int128 parse_int128(const std::string& text) {
+  std::size_t i = 0;
+  bool negative = false;
+  if (!text.empty() && (text[0] == '-' || text[0] == '+')) {
+    negative = text[0] == '-';
+    i = 1;
+  }
+  if (i == text.size()) throw std::invalid_argument("parse_int128: no digits");
+  constexpr unsigned __int128 kMax = ~static_cast<unsigned __int128>(0) >> 1;  // 2^127 - 1.
+  const unsigned __int128 limit = negative ? kMax + 1 : kMax;
+  unsigned __int128 mag = 0;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') throw std::invalid_argument("parse_int128: bad digit");
+    const unsigned digit = static_cast<unsigned>(c - '0');
+    if (mag > (limit - digit) / 10) throw std::invalid_argument("parse_int128: overflow");
+    mag = mag * 10 + digit;
+  }
+  if (mag == 0) return 0;
+  if (negative) return -static_cast<__int128>(mag - 1) - 1;  // Reaches INT128_MIN safely.
+  return static_cast<__int128>(mag);
 }
 
 double QuantFormat::lsb() const {

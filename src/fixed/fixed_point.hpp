@@ -49,6 +49,14 @@ std::int64_t round_shift_right(std::int64_t v, int shift);
 /// Number of bits needed to represent v (including sign bit), minimum 1.
 int signed_bit_width(std::int64_t v);
 
+/// Decimal text of a signed 128-bit value (the MAC2 accumulator / bias scale
+/// exceeds int64; model persistence writes it through these).
+std::string to_string_int128(__int128 v);
+
+/// Parse the decimal text produced by to_string_int128. Throws
+/// std::invalid_argument on malformed input or overflow.
+__int128 parse_int128(const std::string& text);
+
 /// Describes a uniform quantiser mapping reals in [-2^range_log2, 2^range_log2)
 /// to `bits`-bit signed integers. The LSB weighs 2^(range_log2 - bits + 1):
 /// the top magnitude bit of the integer corresponds to 2^(range_log2).

@@ -1,0 +1,120 @@
+#include "rt/model_registry.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace svt::rt {
+
+ServableModel::ServableModel(std::vector<std::size_t> selected, svm::StandardScaler scaler,
+                             svm::SvmModel model, std::optional<core::QuantizedModel> quantized)
+    : selected_(std::move(selected)),
+      scaler_(std::move(scaler)),
+      model_(std::move(model)),
+      quantized_(std::move(quantized)) {
+  if (model_.num_support_vectors() == 0)
+    throw std::invalid_argument("ServableModel: model has no support vectors");
+  if (selected_.empty())
+    throw std::invalid_argument("ServableModel: empty feature selection");
+  if (model_.num_features() != selected_.size())
+    throw std::invalid_argument("ServableModel: model/selection feature-count mismatch");
+  if (!scaler_.fitted() || scaler_.num_features() != selected_.size())
+    throw std::invalid_argument("ServableModel: scaler not fitted to the selection");
+  if (quantized_ && quantized_->num_features() != selected_.size())
+    throw std::invalid_argument("ServableModel: quantised engine feature-count mismatch");
+  // Same fast-path rule as StreamClassifier: the packed float model is only
+  // read when there is no quantised engine, so skip the SV-table copy then.
+  if (!quantized_ && model_.kernel.type == svm::KernelType::kPolynomial &&
+      model_.kernel.degree == 2) {
+    packed_.emplace(model_);
+  }
+}
+
+ServableModel ServableModel::from_detector(const core::TailoredDetector& detector) {
+  return ServableModel(detector.selected_features(), detector.scaler(), detector.model(),
+                       detector.quantized());
+}
+
+std::vector<double> ServableModel::prepare_row(std::span<const double> raw_features) const {
+  std::vector<double> x;
+  x.reserve(selected_.size());
+  for (std::size_t j : selected_) {
+    if (j >= raw_features.size())
+      throw std::invalid_argument("ServableModel::prepare_row: feature vector too short");
+    x.push_back(raw_features[j]);
+  }
+  scaler_.transform_inplace(x);
+  return x;
+}
+
+void ServableModel::save(std::ostream& os) const {
+  os << "svmtailor-servable v1\n";
+  os << "selected " << selected_.size();
+  for (std::size_t j : selected_) os << ' ' << j;
+  os << '\n';
+  scaler_.save(os);
+  model_.save(os);
+  os << "quantized " << (quantized_ ? 1 : 0) << '\n';
+  if (quantized_) quantized_->save(os);
+}
+
+ServableModel ServableModel::load(std::istream& is) {
+  using svm::io::expect_header;
+  using svm::io::expect_tag;
+  using svm::io::require_good;
+  expect_header(is, "svmtailor-servable", "v1", "ServableModel::load");
+  std::size_t nselected = 0;
+  expect_tag(is, "selected", "ServableModel::load");
+  is >> nselected;
+  require_good(is, "ServableModel::load");
+  std::vector<std::size_t> selected(nselected);
+  for (std::size_t& j : selected) is >> j;
+  require_good(is, "ServableModel::load");
+  auto scaler = svm::StandardScaler::load(is);
+  auto model = svm::SvmModel::load(is);
+  int has_quantized = 0;
+  expect_tag(is, "quantized", "ServableModel::load");
+  is >> has_quantized;
+  require_good(is, "ServableModel::load");
+  std::optional<core::QuantizedModel> quantized;
+  if (has_quantized != 0) quantized = core::QuantizedModel::load(is);
+  return ServableModel(std::move(selected), std::move(scaler), std::move(model),
+                       std::move(quantized));
+}
+
+ModelRegistry::ModelRegistry(ServableModel default_model)
+    : default_(std::make_shared<const ServableModel>(std::move(default_model))) {}
+
+void ModelRegistry::set_default(std::shared_ptr<const ServableModel> model) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  default_ = std::move(model);
+}
+
+void ModelRegistry::install(int patient_id, std::shared_ptr<const ServableModel> model) {
+  if (!model) throw std::invalid_argument("ModelRegistry::install: null model");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  models_[patient_id] = std::move(model);
+}
+
+void ModelRegistry::install(int patient_id, ServableModel model) {
+  install(patient_id, std::make_shared<const ServableModel>(std::move(model)));
+}
+
+void ModelRegistry::erase(int patient_id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  models_.erase(patient_id);
+}
+
+std::shared_ptr<const ServableModel> ModelRegistry::resolve(int patient_id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = models_.find(patient_id);
+  return it != models_.end() ? it->second : default_;
+}
+
+std::size_t ModelRegistry::num_patient_models() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return models_.size();
+}
+
+}  // namespace svt::rt

@@ -1,0 +1,113 @@
+// Per-patient model serving with atomic hot-swap.
+//
+// The paper's deployment model is one *tailored* detector per patient; a
+// serving runtime therefore needs a patient -> model map that can be updated
+// while that patient's stream is live (a retrained or requantised detector
+// arrives from the tailoring flow, or is loaded from disk). Two pieces:
+//
+//  * ServableModel — an immutable, self-contained deployable unit: the
+//    tailored front half (feature selection + scaler) plus the decision
+//    engine (bit-exact fixed-point core::QuantizedModel when quantised, the
+//    packed float fast path otherwise). Immutability is what makes hot-swap
+//    safe: classification threads only ever read a ServableModel through a
+//    shared_ptr snapshot, so an in-flight batch keeps the model it started
+//    with even if the registry entry is replaced mid-batch.
+//
+//  * ModelRegistry — the mutable patient -> shared_ptr<const ServableModel>
+//    map (plus a cohort-wide default), guarded by a mutex. install() is the
+//    hot-swap: it atomically replaces the pointer; the next resolve() (the
+//    sharded engine snapshots once per patient per flush) serves the new
+//    model. Old models die when the last in-flight batch drops its snapshot.
+//
+// ServableModel round-trips through the same text format as SvmModel
+// (selection + scaler + float SVM + optional QuantizedModel), so a registry
+// can be rebuilt from disk at startup without retraining or requantising.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/quantize.hpp"
+#include "core/tailoring.hpp"
+#include "rt/packed_model.hpp"
+#include "svm/model.hpp"
+#include "svm/scaler.hpp"
+
+namespace svt::rt {
+
+class ServableModel {
+ public:
+  /// Bundle a deployable model. `selected` are indices into the raw
+  /// full-length feature vector; `scaler` must be fitted to that selection.
+  /// When `quantized` is absent and the model uses the quadratic kernel, the
+  /// packed float fast path is built up front. Throws std::invalid_argument
+  /// if the scaler/model feature counts disagree with the selection.
+  ServableModel(std::vector<std::size_t> selected, svm::StandardScaler scaler,
+                svm::SvmModel model, std::optional<core::QuantizedModel> quantized);
+
+  /// Copy the deployable parts out of a tailored detector.
+  static ServableModel from_detector(const core::TailoredDetector& detector);
+
+  /// The front half of classification: select this model's features from a
+  /// raw full-length vector and scale them. Throws std::invalid_argument if
+  /// the raw vector is too short.
+  std::vector<double> prepare_row(std::span<const double> raw_features) const;
+
+  const std::vector<std::size_t>& selected_features() const { return selected_; }
+  const svm::StandardScaler& scaler() const { return scaler_; }
+  const svm::SvmModel& model() const { return model_; }
+  const std::optional<core::QuantizedModel>& quantized() const { return quantized_; }
+  const std::optional<PackedModel>& packed() const { return packed_; }
+
+  /// Text serialisation (round-trippable; the loaded engine is bit-identical,
+  /// so deployments skip requantisation at startup). load() throws
+  /// std::invalid_argument on corrupt input.
+  void save(std::ostream& os) const;
+  static ServableModel load(std::istream& is);
+
+ private:
+  std::vector<std::size_t> selected_;
+  svm::StandardScaler scaler_;
+  svm::SvmModel model_;
+  std::optional<core::QuantizedModel> quantized_;
+  std::optional<PackedModel> packed_;
+};
+
+/// Thread-safe patient -> model map with a cohort-wide default.
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  explicit ModelRegistry(ServableModel default_model);
+
+  /// The fallback served to patients without a dedicated entry (null clears).
+  void set_default(std::shared_ptr<const ServableModel> model);
+
+  /// Install (or hot-swap) a patient's dedicated model. Atomic with respect
+  /// to resolve(): concurrent lookups see either the old or the new model,
+  /// never a partial state.
+  void install(int patient_id, std::shared_ptr<const ServableModel> model);
+  void install(int patient_id, ServableModel model);
+
+  /// Remove a patient's dedicated model (falls back to the default).
+  void erase(int patient_id);
+
+  /// The model currently serving a patient: their dedicated entry if one is
+  /// installed, else the default, else null.
+  std::shared_ptr<const ServableModel> resolve(int patient_id) const;
+
+  /// Patients with a dedicated entry.
+  std::size_t num_patient_models() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const ServableModel> default_;
+  std::map<int, std::shared_ptr<const ServableModel>> models_;
+};
+
+}  // namespace svt::rt

@@ -12,10 +12,12 @@ namespace {
 /// Local clamp with the exact semantics of fixed::saturate for the
 /// pre-validated widths the pipeline uses; inlined here because the
 /// out-of-line call is the dominant cost of the per-element hot loop.
+/// Branch-free (conditional selects, not early returns): the MAC1 loop runs
+/// this once per feature x window and data-dependent saturation branches
+/// defeat both the predictor and vectorisation of the window-block loop.
 inline std::int64_t saturate64(std::int64_t v, std::int64_t hi, std::int64_t lo) {
-  if (v > hi) return hi;
-  if (v < lo) return lo;
-  return v;
+  v = v < lo ? lo : v;
+  return v > hi ? hi : v;
 }
 
 }  // namespace

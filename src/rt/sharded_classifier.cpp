@@ -1,0 +1,172 @@
+#include "rt/sharded_classifier.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace svt::rt {
+
+ShardedStreamClassifier::ShardedStreamClassifier(std::shared_ptr<ModelRegistry> registry,
+                                                 StreamConfig config, std::size_t num_workers)
+    : registry_(std::move(registry)), config_(config) {
+  if (!registry_)
+    throw std::invalid_argument("ShardedStreamClassifier: null model registry");
+  const std::size_t n = std::max<std::size_t>(num_workers, 1);
+  shards_.reserve(n);
+  for (std::size_t s = 0; s < n; ++s)
+    shards_.push_back(std::make_unique<Shard>(config));  // Validates config once per shard.
+  for (auto& shard : shards_)
+    shard->worker = std::thread([this, &shard = *shard] { worker_loop(shard); });
+}
+
+ShardedStreamClassifier::ShardedStreamClassifier(const core::TailoredDetector& detector,
+                                                 StreamConfig config, std::size_t num_workers)
+    : ShardedStreamClassifier(
+          std::make_shared<ModelRegistry>(ServableModel::from_detector(detector)), config,
+          num_workers) {}
+
+ShardedStreamClassifier::~ShardedStreamClassifier() {
+  for (auto& shard : shards_) shard->tasks.close();
+  for (auto& shard : shards_)
+    if (shard->worker.joinable()) shard->worker.join();
+}
+
+std::size_t ShardedStreamClassifier::shard_of(int patient_id) const {
+  // Fibonacci hash of the id: consecutive patient ids spread evenly across
+  // shards, and the assignment depends only on (id, num_workers).
+  const auto h = static_cast<std::uint64_t>(static_cast<std::uint32_t>(patient_id)) *
+                 UINT64_C(0x9E3779B97F4A7C15);
+  return static_cast<std::size_t>(h >> 32) % shards_.size();
+}
+
+void ShardedStreamClassifier::push_samples(int patient_id,
+                                           std::span<const double> samples_mv) {
+  Task task;
+  task.patient_id = patient_id;
+  task.samples.assign(samples_mv.begin(), samples_mv.end());
+  shards_[shard_of(patient_id)]->tasks.push(std::move(task));
+}
+
+void ShardedStreamClassifier::worker_loop(Shard& shard) {
+  std::vector<ExtractedWindow> local;
+  while (auto task = shard.tasks.wait_pop()) {
+    if (task->barrier) {
+      {
+        const std::lock_guard<std::mutex> lock(done_mutex_);
+        ++barriers_reached_;
+      }
+      done_cv_.notify_all();
+      continue;
+    }
+    local.clear();
+    shard.extractor.push_samples(task->patient_id, task->samples,
+                                 [&local](ExtractedWindow&& window) {
+                                   local.push_back(std::move(window));
+                                 });
+    const std::size_t rejected_now = shard.extractor.rejected_windows();
+    if (rejected_now != shard.rejected_reported) {
+      rejected_ += rejected_now - shard.rejected_reported;
+      shard.rejected_reported = rejected_now;
+    }
+    if (!local.empty()) {
+      {
+        const std::lock_guard<std::mutex> lock(done_mutex_);
+        for (auto& window : local) shard.rows.push_back(std::move(window));
+        pending_rows_ += local.size();
+      }
+      done_cv_.notify_all();
+    }
+  }
+}
+
+std::vector<WindowResult> ShardedStreamClassifier::flush() {
+  {
+    const std::lock_guard<std::mutex> lock(done_mutex_);
+    barriers_reached_ = 0;
+  }
+  Task barrier;
+  barrier.barrier = true;
+  for (auto& shard : shards_) shard->tasks.push(barrier);
+
+  std::vector<WindowResult> results;
+  std::map<int, std::shared_ptr<const ServableModel>> snapshot;
+  std::vector<ExtractedWindow> grabbed;
+  for (;;) {
+    grabbed.clear();
+    bool all_extracted = false;
+    {
+      std::unique_lock<std::mutex> lock(done_mutex_);
+      done_cv_.wait(lock, [this] {
+        return pending_rows_ > 0 || barriers_reached_ == shards_.size();
+      });
+      for (auto& shard : shards_) {
+        for (auto& window : shard->rows) grabbed.push_back(std::move(window));
+        shard->rows.clear();
+      }
+      pending_rows_ = 0;
+      // A worker appends its rows before posting its barrier (both under
+      // done_mutex_), so once every barrier is visible here the grab above
+      // already holds everything extracted for this flush.
+      all_extracted = barriers_reached_ == shards_.size();
+    }
+    // Classify outside the lock: this is what overlaps the packed batch
+    // kernels with the extraction still running on the worker threads.
+    if (!grabbed.empty()) classify_into(grabbed, results, snapshot);
+    // Cut the drain at the barrier: rows extracted from samples pushed
+    // after it belong to the next flush, and draining them here would let a
+    // sustained concurrent producer keep this flush alive forever.
+    if (all_extracted) break;
+  }
+
+  std::sort(results.begin(), results.end(), [](const WindowResult& a, const WindowResult& b) {
+    return a.patient_id != b.patient_id ? a.patient_id < b.patient_id : a.start_s < b.start_s;
+  });
+  return results;
+}
+
+void ShardedStreamClassifier::classify_into(
+    std::vector<ExtractedWindow>& windows, std::vector<WindowResult>& out,
+    std::map<int, std::shared_ptr<const ServableModel>>& snapshot) const {
+  // Group by patient, preserving per-patient arrival (= stream) order; each
+  // patient may be served by a different model.
+  std::map<int, std::vector<std::size_t>> by_patient;
+  for (std::size_t i = 0; i < windows.size(); ++i)
+    by_patient[windows[i].patient_id].push_back(i);
+
+  for (auto& [patient_id, indices] : by_patient) {
+    auto it = snapshot.find(patient_id);
+    if (it == snapshot.end()) it = snapshot.emplace(patient_id, registry_->resolve(patient_id)).first;
+    const auto& model = it->second;
+    if (!model)
+      throw std::runtime_error("ShardedStreamClassifier: no model for patient " +
+                               std::to_string(patient_id));
+
+    std::vector<std::vector<double>> rows;
+    rows.reserve(indices.size());
+    for (std::size_t i : indices) rows.push_back(model->prepare_row(windows[i].raw_features));
+
+    std::vector<double> values(rows.size());
+    if (model->quantized()) {
+      values = model->quantized()->dequantized_decisions(rows);
+    } else if (model->packed()) {
+      model->packed()->decision_values(rows, values);
+    } else {
+      model->model().decision_values(rows, values);
+    }
+
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      const ExtractedWindow& window = windows[indices[k]];
+      WindowResult result;
+      result.patient_id = patient_id;
+      result.start_s = window.start_s;
+      result.num_beats = window.num_beats;
+      result.decision_value = values[k];
+      result.label = values[k] >= 0.0 ? +1 : -1;
+      out.push_back(result);
+    }
+  }
+}
+
+}  // namespace svt::rt

@@ -1,0 +1,130 @@
+// Sharded, pipelined multi-patient serving engine.
+//
+// Patients are consistently sharded across N worker threads; each worker
+// owns a private WindowExtractor and runs the expensive extraction stage
+// (QRS -> RR/EDR -> 53 features) concurrently with the callers that push
+// samples AND with the classification stage that drains completed windows:
+//
+//   push_samples(p, chunk)            flush()  [caller thread]
+//        │ shard_of(p)                   │ drains as rows appear
+//        ▼                               ▼
+//   ┌─────────────┐  chunk   ┌────────────────┐  rows   ┌──────────────────┐
+//   │ shard task  │ ───────> │ worker thread: │ ──────> │ snapshot model   │
+//   │ queue (x N) │          │ WindowExtractor│  (x N)  │ per patient,     │
+//   └─────────────┘          │ -> raw windows │         │ prepare + packed │
+//                            └────────────────┘         │ batch kernels    │
+//                                                       └──────────────────┘
+//
+// flush() is the pipeline barrier: it enqueues a barrier token per shard and
+// classifies completed windows in batches *while* the workers are still
+// extracting, so feature extraction overlaps batched classification. It
+// returns when every shard has extracted everything pushed before the flush
+// and every window is classified. Models come from a ModelRegistry snapshot
+// taken once per patient per flush, which gives hot-swap a crisp semantic:
+// a model installed during a flush takes effect no later than the next
+// flush, and never splits a patient's flush between two models.
+//
+// Determinism: a patient's windows are extracted by exactly one worker, in
+// push order, through per-window arithmetic identical to the single-threaded
+// StreamClassifier; the batch kernels are bit-exact under any batch
+// composition. Per-patient results are therefore bit-identical for ANY
+// worker count, shard assignment, or chunk interleaving (asserted by
+// tests/test_rt_shard.cpp). Results are returned sorted by (patient, time),
+// which is also deterministic.
+//
+// Thread-safety contract: push_samples may be called from many threads
+// concurrently; flush() must not run concurrently with another flush().
+// Registry installs are safe at any time from any thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "rt/model_registry.hpp"
+#include "rt/stream_classifier.hpp"
+#include "rt/window_extractor.hpp"
+#include "rt/work_queue.hpp"
+
+namespace svt::rt {
+
+class ShardedStreamClassifier {
+ public:
+  /// Serve per-patient models from `registry` with `num_workers` extraction
+  /// threads (clamped to >= 1). Throws std::invalid_argument on a null
+  /// registry or a bad stream config (same rules as WindowExtractor).
+  ShardedStreamClassifier(std::shared_ptr<ModelRegistry> registry, StreamConfig config = {},
+                          std::size_t num_workers = 1);
+
+  /// Convenience: serve one cohort-wide detector (the registry holds it as
+  /// the default; per-patient models can still be installed later).
+  ShardedStreamClassifier(const core::TailoredDetector& detector, StreamConfig config = {},
+                          std::size_t num_workers = 1);
+
+  ~ShardedStreamClassifier();
+  ShardedStreamClassifier(const ShardedStreamClassifier&) = delete;
+  ShardedStreamClassifier& operator=(const ShardedStreamClassifier&) = delete;
+
+  /// Route a chunk of raw ECG samples (mV) to the patient's shard. Returns
+  /// as soon as the copy is enqueued; extraction happens on the shard's
+  /// worker thread. Safe to call from multiple threads.
+  void push_samples(int patient_id, std::span<const double> samples_mv);
+
+  /// Pipeline barrier: classify every window extracted from samples pushed
+  /// before this call and return the results sorted by (patient, start
+  /// time). Overlaps draining/classification with in-flight extraction.
+  /// Throws std::runtime_error if a patient resolves to no model.
+  std::vector<WindowResult> flush();
+
+  /// Which shard (worker) serves a patient; stable for the engine's lifetime.
+  std::size_t shard_of(int patient_id) const;
+
+  std::size_t num_workers() const { return shards_.size(); }
+
+  /// Windows rejected for having fewer than min_beats R peaks (exact after
+  /// a flush; may lag mid-stream while workers are extracting).
+  std::size_t rejected_windows() const { return rejected_.load(); }
+
+  ModelRegistry& registry() { return *registry_; }
+  const ModelRegistry& registry() const { return *registry_; }
+  const StreamConfig& config() const { return config_; }
+
+ private:
+  struct Task {
+    int patient_id = 0;
+    std::vector<double> samples;
+    bool barrier = false;
+  };
+
+  struct Shard {
+    explicit Shard(StreamConfig config) : extractor(config) {}
+    WorkQueue<Task> tasks;
+    WindowExtractor extractor;           ///< Touched only by the worker thread.
+    std::size_t rejected_reported = 0;   ///< Worker-local watermark.
+    std::vector<ExtractedWindow> rows;   ///< Completed windows; guarded by done_mutex_.
+    std::thread worker;
+  };
+
+  void worker_loop(Shard& shard);
+  void classify_into(std::vector<ExtractedWindow>& windows, std::vector<WindowResult>& out,
+                     std::map<int, std::shared_ptr<const ServableModel>>& snapshot) const;
+
+  std::shared_ptr<ModelRegistry> registry_;
+  StreamConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Extraction -> classification handoff (guarded by done_mutex_).
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+  std::size_t pending_rows_ = 0;      ///< Completed windows not yet drained.
+  std::size_t barriers_reached_ = 0;  ///< Shards done with the current flush.
+
+  std::atomic<std::size_t> rejected_{0};
+};
+
+}  // namespace svt::rt

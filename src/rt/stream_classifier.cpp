@@ -1,27 +1,11 @@
 #include "rt/stream_classifier.hpp"
 
-#include <cmath>
-#include <stdexcept>
 #include <utility>
-
-#include "ecg/qrs_detect.hpp"
-#include "features/extractor.hpp"
 
 namespace svt::rt {
 
 StreamClassifier::StreamClassifier(core::TailoredDetector detector, StreamConfig config)
-    : detector_(std::move(detector)), config_(config) {
-  if (config.fs_hz <= 0.0) throw std::invalid_argument("StreamClassifier: fs_hz <= 0");
-  if (config.window_s <= 0.0) throw std::invalid_argument("StreamClassifier: window_s <= 0");
-  if (config.stride_s <= 0.0) throw std::invalid_argument("StreamClassifier: stride_s <= 0");
-  if (config.stride_s > config.window_s)
-    throw std::invalid_argument("StreamClassifier: stride_s > window_s leaves coverage gaps");
-  if (config.edr_fs_hz <= 0.0) throw std::invalid_argument("StreamClassifier: edr_fs_hz <= 0");
-  window_samples_ = static_cast<std::size_t>(std::llround(config.window_s * config.fs_hz));
-  stride_samples_ = static_cast<std::size_t>(std::llround(config.stride_s * config.fs_hz));
-  if (window_samples_ == 0 || stride_samples_ == 0)
-    throw std::invalid_argument("StreamClassifier: window/stride shorter than one sample");
-
+    : detector_(std::move(detector)), extractor_(config) {
   // flush() only reads the packed float model when there is no quantised
   // engine; skip the pack (and the SV-table copy) otherwise.
   const auto& model = detector_.model();
@@ -32,46 +16,17 @@ StreamClassifier::StreamClassifier(core::TailoredDetector detector, StreamConfig
 }
 
 void StreamClassifier::push_samples(int patient_id, std::span<const double> samples_mv) {
-  auto it = patients_.find(patient_id);
-  if (it == patients_.end())
-    it = patients_.emplace(patient_id, PatientState(window_samples_)).first;
-  PatientState& state = it->second;
-  while (!samples_mv.empty()) {
-    const std::size_t taken = state.ring.push(samples_mv);
-    samples_mv = samples_mv.subspan(taken);
-    while (state.ring.size() >= window_samples_) {
-      emit_window(patient_id, state);
-      state.ring.drop(stride_samples_);
-      state.consumed += stride_samples_;
-    }
-  }
-}
-
-void StreamClassifier::emit_window(int patient_id, PatientState& state) {
-  ecg::EcgWaveform window;
-  window.fs_hz = config_.fs_hz;
-  window.samples_mv.resize(window_samples_);
-  state.ring.copy_out(window.samples_mv);
-
-  const auto qrs = ecg::detect_qrs(window);
-  if (qrs.size() < config_.min_beats || qrs.size() < 2) {
-    ++rejected_;
-    return;
-  }
-  const auto raw =
-      features::extract_features(qrs.to_rr_series(), qrs.to_edr(config_.edr_fs_hz));
-
-  // The detector's per-window front half (feature selection + scaling); the
-  // back half (the decision kernel) is deferred to flush(), where all
-  // queued rows go through one batched call.
-  auto row = detector_.prepare_row(raw);
-
-  WindowResult meta;
-  meta.patient_id = patient_id;
-  meta.start_s = static_cast<double>(state.consumed) / config_.fs_hz;
-  meta.num_beats = qrs.size();
-  pending_rows_.push_back(std::move(row));
-  pending_meta_.push_back(meta);
+  extractor_.push_samples(patient_id, samples_mv, [this](ExtractedWindow&& window) {
+    // The detector's per-window front half (feature selection + scaling); the
+    // back half (the decision kernel) is deferred to flush(), where all
+    // queued rows go through one batched call.
+    pending_rows_.push_back(detector_.prepare_row(window.raw_features));
+    WindowResult meta;
+    meta.patient_id = window.patient_id;
+    meta.start_s = window.start_s;
+    meta.num_beats = window.num_beats;
+    pending_meta_.push_back(meta);
+  });
 }
 
 std::vector<WindowResult> StreamClassifier::flush() {
@@ -103,11 +58,6 @@ std::vector<WindowResult> StreamClassifier::flush() {
     results[w].label = values[w] >= 0.0 ? +1 : -1;
   }
   return results;
-}
-
-std::size_t StreamClassifier::buffered_samples(int patient_id) const {
-  const auto it = patients_.find(patient_id);
-  return it == patients_.end() ? 0 : it->second.ring.size();
 }
 
 }  // namespace svt::rt

@@ -1,47 +1,37 @@
-// Batched streaming inference runtime.
+// Batched streaming inference runtime (single-threaded reference engine).
 //
 // A StreamClassifier owns the whole online path from raw single-lead ECG
 // samples to seizure labels, for many concurrent patients:
 //
 //   push_samples(patient, chunk)          flush()
-//   ┌─────────────┐  full  ┌──────────────────────────┐  batch  ┌────────┐
-//   │ per-patient │ window │ QRS detect -> RR + EDR   │  rows   │ packed │
-//   │ sample ring │ ─────> │ -> 53 features -> select │ ──────> │ kernel │
-//   │  (overlap)  │        │ -> scale                 │         │ (f/fx) │
-//   └─────────────┘        └──────────────────────────┘         └────────┘
+//   ┌──────────────────────────┐  raw   ┌────────────────┐  batch  ┌────────┐
+//   │ WindowExtractor          │ window │ select + scale │  rows   │ packed │
+//   │ (ring -> QRS -> RR/EDR   │ ─────> │ (detector's    │ ──────> │ kernel │
+//   │  -> 53 features)         │        │  front half)   │         │ (f/fx) │
+//   └──────────────────────────┘        └────────────────┘         └────────┘
 //
-// Samples accumulate per patient in a ring buffer; every time a full window
-// of window_s seconds is available a feature row is extracted immediately
-// (feature extraction is per-window work) and queued. flush() then
+// The extraction stage lives in rt::WindowExtractor (shared with the sharded
+// engine); every time it emits a window, the detector's front half (feature
+// selection + scaling) runs immediately and the row is queued. flush() then
 // classifies every queued row in ONE call through the packed batch kernel --
 // the float fast path (rt::PackedModel), or the bit-exact fixed-point
 // pipeline (core::QuantizedModel::classify_batch) when the detector carries
 // a quantised engine. Patient streams are fully isolated: results for a
 // patient are identical whether its samples are pushed alone or interleaved
-// with other patients'.
+// with other patients'. The sharded engine (rt::ShardedStreamClassifier) is
+// tested bit-identical against this one.
 #pragma once
 
 #include <cstddef>
-#include <map>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "core/tailoring.hpp"
 #include "rt/packed_model.hpp"
-#include "rt/ring_buffer.hpp"
+#include "rt/window_extractor.hpp"
 
 namespace svt::rt {
-
-struct StreamConfig {
-  double fs_hz = 250.0;     ///< Raw ECG sampling rate.
-  double window_s = 180.0;  ///< Analysis window length (paper: 3 minutes).
-  double stride_s = 180.0;  ///< Hop between windows; < window_s overlaps.
-  double edr_fs_hz = 4.0;   ///< Uniform EDR resampling rate.
-  /// Windows whose QRS detection finds fewer R peaks than this are rejected
-  /// (counted, not classified): too few beats to rebuild the RR/EDR series.
-  std::size_t min_beats = 4;
-};
 
 /// One classified window.
 struct WindowResult {
@@ -73,35 +63,25 @@ class StreamClassifier {
   std::vector<WindowResult> flush();
 
   /// Windows rejected for having fewer than min_beats R peaks.
-  std::size_t rejected_windows() const { return rejected_; }
+  std::size_t rejected_windows() const { return extractor_.rejected_windows(); }
 
   /// Samples currently buffered for a patient (0 for unknown patients).
-  std::size_t buffered_samples(int patient_id) const;
+  std::size_t buffered_samples(int patient_id) const {
+    return extractor_.buffered_samples(patient_id);
+  }
 
-  std::size_t num_patients() const { return patients_.size(); }
-  std::size_t window_samples() const { return window_samples_; }
-  std::size_t stride_samples() const { return stride_samples_; }
-  const StreamConfig& config() const { return config_; }
+  std::size_t num_patients() const { return extractor_.num_patients(); }
+  std::size_t window_samples() const { return extractor_.window_samples(); }
+  std::size_t stride_samples() const { return extractor_.stride_samples(); }
+  const StreamConfig& config() const { return extractor_.config(); }
   const core::TailoredDetector& detector() const { return detector_; }
 
  private:
-  struct PatientState {
-    SampleRing ring;
-    std::size_t consumed = 0;  ///< Samples dropped so far = next window start.
-    explicit PatientState(std::size_t capacity) : ring(capacity) {}
-  };
-
-  void emit_window(int patient_id, PatientState& state);
-
   core::TailoredDetector detector_;
   std::optional<PackedModel> packed_;
-  StreamConfig config_;
-  std::size_t window_samples_ = 0;
-  std::size_t stride_samples_ = 0;
-  std::map<int, PatientState> patients_;
+  WindowExtractor extractor_;
   std::vector<std::vector<double>> pending_rows_;  ///< Scaled, selected features.
   std::vector<WindowResult> pending_meta_;
-  std::size_t rejected_ = 0;
 };
 
 }  // namespace svt::rt

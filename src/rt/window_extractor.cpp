@@ -1,0 +1,68 @@
+#include "rt/window_extractor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "ecg/qrs_detect.hpp"
+#include "features/extractor.hpp"
+
+namespace svt::rt {
+
+WindowExtractor::WindowExtractor(StreamConfig config) : config_(config) {
+  if (config.fs_hz <= 0.0) throw std::invalid_argument("WindowExtractor: fs_hz <= 0");
+  if (config.window_s <= 0.0) throw std::invalid_argument("WindowExtractor: window_s <= 0");
+  if (config.stride_s <= 0.0) throw std::invalid_argument("WindowExtractor: stride_s <= 0");
+  if (config.stride_s > config.window_s)
+    throw std::invalid_argument("WindowExtractor: stride_s > window_s leaves coverage gaps");
+  if (config.edr_fs_hz <= 0.0) throw std::invalid_argument("WindowExtractor: edr_fs_hz <= 0");
+  window_samples_ = static_cast<std::size_t>(std::llround(config.window_s * config.fs_hz));
+  stride_samples_ = static_cast<std::size_t>(std::llround(config.stride_s * config.fs_hz));
+  if (window_samples_ == 0 || stride_samples_ == 0)
+    throw std::invalid_argument("WindowExtractor: window/stride shorter than one sample");
+}
+
+void WindowExtractor::push_samples(int patient_id, std::span<const double> samples_mv,
+                                   const WindowSink& sink) {
+  auto it = patients_.find(patient_id);
+  if (it == patients_.end())
+    it = patients_.emplace(patient_id, PatientState(window_samples_)).first;
+  PatientState& state = it->second;
+  while (!samples_mv.empty()) {
+    const std::size_t taken = state.ring.push(samples_mv);
+    samples_mv = samples_mv.subspan(taken);
+    while (state.ring.size() >= window_samples_) {
+      emit_window(patient_id, state, sink);
+      state.ring.drop(stride_samples_);
+      state.consumed += stride_samples_;
+    }
+  }
+}
+
+void WindowExtractor::emit_window(int patient_id, PatientState& state, const WindowSink& sink) {
+  ecg::EcgWaveform window;
+  window.fs_hz = config_.fs_hz;
+  window.samples_mv.resize(window_samples_);
+  state.ring.copy_out(window.samples_mv);
+
+  const auto qrs = ecg::detect_qrs(window);
+  if (qrs.size() < config_.min_beats || qrs.size() < 2) {
+    ++rejected_;
+    return;
+  }
+
+  ExtractedWindow out;
+  out.patient_id = patient_id;
+  out.start_s = static_cast<double>(state.consumed) / config_.fs_hz;
+  out.num_beats = qrs.size();
+  out.raw_features =
+      features::extract_features(qrs.to_rr_series(), qrs.to_edr(config_.edr_fs_hz));
+  sink(std::move(out));
+}
+
+std::size_t WindowExtractor::buffered_samples(int patient_id) const {
+  const auto it = patients_.find(patient_id);
+  return it == patients_.end() ? 0 : it->second.ring.size();
+}
+
+}  // namespace svt::rt

@@ -1,0 +1,91 @@
+// The extraction stage of the streaming pipeline, factored out of the
+// monolithic StreamClassifier so every serving engine (single-threaded or
+// sharded) reuses the exact same front half:
+//
+//   push_samples(patient, chunk)
+//   ┌─────────────┐  full  ┌──────────────────────────────────┐
+//   │ per-patient │ window │ QRS detect -> RR + EDR series    │  sink(
+//   │ sample ring │ ─────> │ -> 53 raw features               │ ─ ExtractedWindow)
+//   │  (overlap)  │        │ (selection/scaling is the        │
+//   └─────────────┘        │  model's job, not the stream's)  │
+//                          └──────────────────────────────────┘
+//
+// The extractor is deliberately model-free: it emits *raw full-length*
+// feature vectors, so per-patient models (which each carry their own feature
+// selection and scaler) can be swapped without touching stream state. It is
+// single-threaded by design — the sharded engine gives each worker thread
+// its own extractor, which is what makes per-patient results independent of
+// the thread count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "rt/ring_buffer.hpp"
+
+namespace svt::rt {
+
+struct StreamConfig {
+  double fs_hz = 250.0;     ///< Raw ECG sampling rate.
+  double window_s = 180.0;  ///< Analysis window length (paper: 3 minutes).
+  double stride_s = 180.0;  ///< Hop between windows; < window_s overlaps.
+  double edr_fs_hz = 4.0;   ///< Uniform EDR resampling rate.
+  /// Windows whose QRS detection finds fewer R peaks than this are rejected
+  /// (counted, not emitted): too few beats to rebuild the RR/EDR series.
+  std::size_t min_beats = 4;
+};
+
+/// One fully extracted (but not yet classified) analysis window.
+struct ExtractedWindow {
+  int patient_id = 0;
+  double start_s = 0.0;       ///< Window start within the patient's stream.
+  std::size_t num_beats = 0;  ///< R peaks detected in the window.
+  std::vector<double> raw_features;  ///< Full-length, unselected, unscaled.
+};
+
+/// Receives each extracted window as soon as it is complete.
+using WindowSink = std::function<void(ExtractedWindow&&)>;
+
+class WindowExtractor {
+ public:
+  /// Throws std::invalid_argument on a non-positive sampling rate, window,
+  /// or stride, stride_s > window_s, or a window shorter than one sample.
+  explicit WindowExtractor(StreamConfig config = {});
+
+  /// Ingest a chunk of raw ECG samples (mV) for one patient, invoking `sink`
+  /// for every full window that becomes available. Chunks may be of any
+  /// size; a first push creates the patient's stream.
+  void push_samples(int patient_id, std::span<const double> samples_mv,
+                    const WindowSink& sink);
+
+  /// Windows rejected for having fewer than min_beats R peaks.
+  std::size_t rejected_windows() const { return rejected_; }
+
+  /// Samples currently buffered for a patient (0 for unknown patients).
+  std::size_t buffered_samples(int patient_id) const;
+
+  std::size_t num_patients() const { return patients_.size(); }
+  std::size_t window_samples() const { return window_samples_; }
+  std::size_t stride_samples() const { return stride_samples_; }
+  const StreamConfig& config() const { return config_; }
+
+ private:
+  struct PatientState {
+    SampleRing ring;
+    std::size_t consumed = 0;  ///< Samples dropped so far = next window start.
+    explicit PatientState(std::size_t capacity) : ring(capacity) {}
+  };
+
+  void emit_window(int patient_id, PatientState& state, const WindowSink& sink);
+
+  StreamConfig config_;
+  std::size_t window_samples_ = 0;
+  std::size_t stride_samples_ = 0;
+  std::map<int, PatientState> patients_;
+  std::size_t rejected_ = 0;
+};
+
+}  // namespace svt::rt

@@ -1,0 +1,58 @@
+// Minimal blocking FIFO used to feed per-shard worker threads.
+//
+// Multiple producers (any thread calling push_samples / flush) enqueue; the
+// single shard worker blocks in wait_pop. close() drains gracefully: the
+// worker keeps popping until the queue is empty, then wait_pop returns
+// nullopt and the worker exits. Unbounded by design — the streaming runtime
+// backpressures at flush(), which is a full pipeline barrier.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace svt::rt {
+
+template <typename T>
+class WorkQueue {
+ public:
+  /// Enqueue an item. Items pushed after close() are dropped.
+  void push(T item) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  /// Block until an item is available (returns it) or the queue is closed
+  /// and drained (returns nullopt).
+  std::optional<T> wait_pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Stop accepting items and wake all waiters once the backlog drains.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace svt::rt

@@ -11,6 +11,28 @@
 
 namespace svt::svm {
 
+namespace io {
+
+void expect_tag(std::istream& is, const char* tag, const char* ctx) {
+  std::string token;
+  is >> token;
+  if (!is || token != tag)
+    throw std::invalid_argument(std::string(ctx) + ": expected '" + tag + "'");
+}
+
+void expect_header(std::istream& is, const char* magic, const char* version, const char* ctx) {
+  std::string m, v;
+  is >> m >> v;
+  if (!is || m != magic || v != version)
+    throw std::invalid_argument(std::string(ctx) + ": bad header");
+}
+
+void require_good(const std::istream& is, const char* ctx) {
+  if (!is) throw std::invalid_argument(std::string(ctx) + ": truncated");
+}
+
+}  // namespace io
+
 double SvmModel::decision_value(std::span<const double> x) const {
   double acc = bias;
   for (std::size_t i = 0; i < support_vectors.size(); ++i)
@@ -80,30 +102,27 @@ void SvmModel::save(std::ostream& os) const {
 }
 
 SvmModel SvmModel::load(std::istream& is) {
-  std::string magic, version;
-  is >> magic >> version;
-  if (magic != "svmtailor-model" || version != "v1")
-    throw std::invalid_argument("SvmModel::load: bad header");
+  io::expect_header(is, "svmtailor-model", "v1", "SvmModel::load");
   SvmModel m;
-  std::string tag;
   int ktype = 0;
-  is >> tag >> ktype >> m.kernel.degree >> m.kernel.coef0 >> m.kernel.gamma;
-  if (tag != "kernel") throw std::invalid_argument("SvmModel::load: expected 'kernel'");
+  io::expect_tag(is, "kernel", "SvmModel::load");
+  is >> ktype >> m.kernel.degree >> m.kernel.coef0 >> m.kernel.gamma;
   m.kernel.type = static_cast<KernelType>(ktype);
-  is >> tag >> m.bias;
-  if (tag != "bias") throw std::invalid_argument("SvmModel::load: expected 'bias'");
+  io::expect_tag(is, "bias", "SvmModel::load");
+  is >> m.bias;
   std::size_t nsv = 0, nfeat = 0;
-  is >> tag >> nsv;
-  if (tag != "nsv") throw std::invalid_argument("SvmModel::load: expected 'nsv'");
-  is >> tag >> nfeat;
-  if (tag != "nfeat") throw std::invalid_argument("SvmModel::load: expected 'nfeat'");
+  io::expect_tag(is, "nsv", "SvmModel::load");
+  is >> nsv;
+  io::expect_tag(is, "nfeat", "SvmModel::load");
+  is >> nfeat;
+  io::require_good(is, "SvmModel::load");
   m.support_vectors.resize(nsv, std::vector<double>(nfeat));
   m.alpha_y.resize(nsv);
   for (std::size_t i = 0; i < nsv; ++i) {
     is >> m.alpha_y[i];
     for (std::size_t j = 0; j < nfeat; ++j) is >> m.support_vectors[i][j];
   }
-  if (!is) throw std::invalid_argument("SvmModel::load: truncated model");
+  io::require_good(is, "SvmModel::load");
   return m;
 }
 

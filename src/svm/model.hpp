@@ -49,4 +49,24 @@ struct SvmModel {
   static SvmModel load(std::istream& is);
 };
 
+/// Helpers for the project's line-oriented "tag value..." model text format,
+/// shared by every persistable artefact (SvmModel, core::QuantizedModel,
+/// StandardScaler, rt::ServableModel) so they all fail the same way on
+/// corrupt input.
+namespace io {
+
+/// Read one whitespace-delimited token and require it to equal `tag`; throws
+/// std::invalid_argument("<ctx>: expected '<tag>'") otherwise.
+void expect_tag(std::istream& is, const char* tag, const char* ctx);
+
+/// Require the two-token header "<magic> <version>"; throws
+/// std::invalid_argument("<ctx>: bad header") on mismatch.
+void expect_header(std::istream& is, const char* magic, const char* version, const char* ctx);
+
+/// Throw std::invalid_argument("<ctx>: truncated") if the stream has failed
+/// (call after a block of extractions).
+void require_good(const std::istream& is, const char* ctx);
+
+}  // namespace io
+
 }  // namespace svt::svm

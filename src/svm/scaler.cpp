@@ -1,7 +1,12 @@
 #include "svm/scaler.hpp"
 
 #include <cmath>
+#include <iomanip>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
+
+#include "svm/model.hpp"
 
 namespace svt::svm {
 
@@ -55,6 +60,50 @@ std::vector<std::vector<double>> StandardScaler::transform_all(
   out.reserve(samples.size());
   for (const auto& row : samples) out.push_back(transform(row));
   return out;
+}
+
+void StandardScaler::save(std::ostream& os) const {
+  os << "svmtailor-scaler v1\n";
+  os << "mode " << static_cast<int>(mode_) << '\n';
+  os << "nfeat " << mean_.size() << '\n';
+  os << std::setprecision(17);
+  os << "means";
+  for (double m : mean_) os << ' ' << m;
+  os << "\nstds";
+  for (double s : std_) os << ' ' << s;
+  os << "\ngains " << gains_.size();
+  for (double g : gains_) os << ' ' << g;
+  os << '\n';
+}
+
+StandardScaler StandardScaler::load(std::istream& is) {
+  io::expect_header(is, "svmtailor-scaler", "v1", "StandardScaler::load");
+  StandardScaler s;
+  int mode = 0;
+  io::expect_tag(is, "mode", "StandardScaler::load");
+  is >> mode;
+  if (is && mode != static_cast<int>(ScalerMode::kZScore) &&
+      mode != static_cast<int>(ScalerMode::kCenterOnly))
+    throw std::invalid_argument("StandardScaler::load: unknown scaler mode");
+  s.mode_ = static_cast<ScalerMode>(mode);
+  std::size_t nfeat = 0;
+  io::expect_tag(is, "nfeat", "StandardScaler::load");
+  is >> nfeat;
+  io::require_good(is, "StandardScaler::load");
+  s.mean_.resize(nfeat);
+  s.std_.resize(nfeat);
+  io::expect_tag(is, "means", "StandardScaler::load");
+  for (double& m : s.mean_) is >> m;
+  io::expect_tag(is, "stds", "StandardScaler::load");
+  for (double& v : s.std_) is >> v;
+  std::size_t ngains = 0;
+  io::expect_tag(is, "gains", "StandardScaler::load");
+  is >> ngains;
+  io::require_good(is, "StandardScaler::load");
+  s.gains_.resize(ngains);
+  for (double& g : s.gains_) is >> g;
+  io::require_good(is, "StandardScaler::load");
+  return s;
 }
 
 }  // namespace svt::svm

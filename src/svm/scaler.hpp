@@ -10,6 +10,7 @@
 //    (making the homogeneous-scaling ablation of Figures 6/7 meaningless).
 #pragma once
 
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -43,6 +44,12 @@ class StandardScaler {
   /// Must match the feature count at transform time.
   void set_post_gains(std::vector<double> gains) { gains_ = std::move(gains); }
   const std::vector<double>& post_gains() const { return gains_; }
+
+  /// Text serialisation (round-trippable, full double precision; the same
+  /// line-oriented format as SvmModel::save). A fitted scaler is part of a
+  /// deployable per-patient model, so it persists with it.
+  void save(std::ostream& os) const;
+  static StandardScaler load(std::istream& is);
 
   bool fitted() const { return !mean_.empty(); }
   std::size_t num_features() const { return mean_.size(); }

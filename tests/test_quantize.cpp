@@ -4,6 +4,9 @@
 
 #include <cmath>
 #include <random>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "fixed/fixed_point.hpp"
 #include "svm/trainer.hpp"
@@ -194,6 +197,68 @@ TEST(Quantize, BuildValidation) {
   std::vector<double> wrong_dims{1.0};
   const auto q = QuantizedModel::build(m, QuantConfig{});
   EXPECT_THROW(q.classify(wrong_dims), std::invalid_argument);
+}
+
+TEST(Quantize, SaveLoadRoundTripIsBitExact) {
+  const auto t = scaled_ring(31);
+  const auto m = trained_model(t);
+  for (const bool homogeneous : {false, true}) {
+    QuantConfig config;
+    config.homogeneous = homogeneous;
+    const auto original = QuantizedModel::build(m, config);
+
+    std::stringstream stream;
+    original.save(stream);
+    const auto loaded = QuantizedModel::load(stream);
+
+    // Every published property survives, including the derived pipeline.
+    EXPECT_EQ(loaded.feature_ranges(), original.feature_ranges());
+    EXPECT_EQ(loaded.global_alpha_range_log2(), original.global_alpha_range_log2());
+    EXPECT_EQ(loaded.num_features(), original.num_features());
+    EXPECT_EQ(loaded.num_support_vectors(), original.num_support_vectors());
+    EXPECT_EQ(loaded.pipeline().describe(), original.pipeline().describe());
+    EXPECT_EQ(loaded.config().dot_truncate_bits, original.config().dot_truncate_bits);
+
+    // Bit-exact inference: identical integer accumulators, identical scale.
+    for (const auto& x : t.x) {
+      EXPECT_EQ(loaded.classify(x), original.classify(x));
+      EXPECT_EQ(loaded.dequantized_decision(x), original.dequantized_decision(x));
+      EXPECT_EQ(loaded.quantize_input(x), original.quantize_input(x));
+    }
+    const auto batch = std::vector<std::vector<double>>(t.x.begin(), t.x.begin() + 32);
+    EXPECT_EQ(loaded.dequantized_decisions(batch), original.dequantized_decisions(batch));
+
+    // Serialisation is a fixed point: re-saving reproduces the bytes.
+    std::stringstream again;
+    loaded.save(again);
+    EXPECT_EQ(stream.str(), again.str());
+  }
+}
+
+TEST(Quantize, LoadRejectsCorruptInput) {
+  const auto t = scaled_ring(32);
+  const auto q = QuantizedModel::build(trained_model(t), QuantConfig{});
+  std::stringstream stream;
+  q.save(stream);
+  const std::string text = stream.str();
+
+  std::stringstream bad_header("qmodel v9\n");
+  EXPECT_THROW(QuantizedModel::load(bad_header), std::invalid_argument);
+  std::stringstream truncated(text.substr(0, text.size() - text.size() / 3));
+  EXPECT_THROW(QuantizedModel::load(truncated), std::invalid_argument);
+  std::string corrupt = text;
+  const auto nsv_at = corrupt.find("nsv ");
+  corrupt.replace(nsv_at, corrupt.find('\n', nsv_at) - nsv_at, "nsv 0");  // Empty SV table.
+  std::stringstream empty_svs(corrupt);
+  EXPECT_THROW(QuantizedModel::load(empty_svs), std::invalid_argument);
+
+  // A wild feature range would demand a >62-bit scale-back shift (UB in the
+  // int64 kernels); it must be rejected at load, not at first classify.
+  std::string wild = text;
+  const auto ranges_at = wild.find("ranges ");
+  wild.replace(ranges_at, wild.find('\n', ranges_at) - ranges_at, "ranges 40 0");
+  std::stringstream wild_ranges(wild);
+  EXPECT_THROW(QuantizedModel::load(wild_ranges), std::invalid_argument);
 }
 
 // Property: agreement with float is monotone (within tolerance) in Dbits.

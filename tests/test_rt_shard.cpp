@@ -1,0 +1,288 @@
+// ShardedStreamClassifier: per-patient results must be bit-identical to the
+// single-threaded StreamClassifier under ANY worker count, shard assignment,
+// chunk interleaving, or flush cadence — for both the quantised fixed-point
+// engine and the packed float path — and model hot-swap must take effect at
+// a flush boundary without disturbing stream state.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <random>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/tailoring.hpp"
+#include "ecg/dataset.hpp"
+#include "ecg/ecg_synth.hpp"
+#include "ecg/rr_model.hpp"
+#include "features/extractor.hpp"
+#include "rt/sharded_classifier.hpp"
+#include "rt/stream_classifier.hpp"
+
+namespace svt {
+namespace {
+
+core::TailoredDetector make_detector(bool quantized) {
+  ecg::DatasetParams params;
+  params.windows_per_session = 10;
+  const auto ds = ecg::generate_dataset(params);
+  const auto matrix = features::extract_feature_matrix(ds);
+  core::TailoringConfig config;
+  config.num_features = 30;
+  config.sv_budget = 60;
+  if (!quantized) config.quant.reset();
+  return core::tailor_detector(matrix.samples, matrix.labels, config);
+}
+
+const core::TailoredDetector& quant_detector() {
+  static const core::TailoredDetector d = make_detector(true);
+  return d;
+}
+
+const core::TailoredDetector& float_detector() {
+  static const core::TailoredDetector d = make_detector(false);
+  return d;
+}
+
+ecg::EcgWaveform synth_ecg(double duration_s, std::uint64_t seed) {
+  ecg::PatientProfile patient;
+  ecg::SessionEvents events;
+  ecg::SessionSignalParams sp;
+  sp.duration_s = duration_s;
+  std::mt19937_64 rng(seed);
+  const auto rr = ecg::generate_rr_series(patient, events, sp, rng);
+  const auto resp = ecg::generate_respiration(patient, events, sp, rng);
+  return ecg::synthesize_ecg(rr, resp, ecg::EcgSynthParams{}, rng);
+}
+
+rt::StreamConfig short_window_config() {
+  rt::StreamConfig config;
+  config.fs_hz = 250.0;
+  config.window_s = 20.0;
+  config.stride_s = 10.0;
+  return config;
+}
+
+/// A small ward with distinct, reproducible streams.
+std::map<int, ecg::EcgWaveform> make_ward() {
+  std::map<int, ecg::EcgWaveform> ward;
+  int seed = 40;
+  for (int pid : {1, 2, 3, 7, 11}) ward[pid] = synth_ecg(55.0, static_cast<std::uint64_t>(seed++));
+  return ward;
+}
+
+/// Push every patient's stream in interleaved chunks of `chunk` samples.
+template <typename Classifier>
+void push_interleaved(Classifier& classifier, const std::map<int, ecg::EcgWaveform>& ward,
+                      std::size_t chunk) {
+  std::map<int, std::size_t> offsets;
+  bool any_left = true;
+  while (any_left) {
+    any_left = false;
+    for (const auto& [pid, wf] : ward) {
+      std::size_t& off = offsets[pid];
+      if (off >= wf.samples_mv.size()) continue;
+      const std::size_t n = std::min(chunk, wf.samples_mv.size() - off);
+      classifier.push_samples(pid, std::span(wf.samples_mv).subspan(off, n));
+      off += n;
+      if (off < wf.samples_mv.size()) any_left = true;
+    }
+  }
+}
+
+std::map<int, std::vector<rt::WindowResult>> by_patient(
+    const std::vector<rt::WindowResult>& results) {
+  std::map<int, std::vector<rt::WindowResult>> split;
+  for (const auto& r : results) split[r.patient_id].push_back(r);
+  return split;
+}
+
+void expect_bit_identical(const std::map<int, std::vector<rt::WindowResult>>& got,
+                          const std::map<int, std::vector<rt::WindowResult>>& want,
+                          const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (const auto& [pid, mine] : got) {
+    ASSERT_TRUE(want.count(pid)) << what << " patient " << pid;
+    const auto& theirs = want.at(pid);
+    ASSERT_EQ(mine.size(), theirs.size()) << what << " patient " << pid;
+    for (std::size_t w = 0; w < mine.size(); ++w) {
+      EXPECT_DOUBLE_EQ(mine[w].start_s, theirs[w].start_s) << what << " patient " << pid;
+      // Bit-exact, not approximately equal: EXPECT_EQ on the doubles.
+      EXPECT_EQ(mine[w].decision_value, theirs[w].decision_value)
+          << what << " patient " << pid << " window " << w;
+      EXPECT_EQ(mine[w].label, theirs[w].label) << what << " patient " << pid;
+      EXPECT_EQ(mine[w].num_beats, theirs[w].num_beats) << what << " patient " << pid;
+    }
+  }
+}
+
+void check_determinism(const core::TailoredDetector& detector, const char* what) {
+  const auto ward = make_ward();
+
+  // Reference: the single-threaded engine, whole streams pushed per patient.
+  rt::StreamClassifier reference(detector, short_window_config());
+  for (const auto& [pid, wf] : ward) reference.push_samples(pid, wf.samples_mv);
+  const auto want = by_patient(reference.flush());
+  ASSERT_FALSE(want.empty());
+
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    rt::ShardedStreamClassifier sharded(detector, short_window_config(), workers);
+    EXPECT_EQ(sharded.num_workers(), workers);
+    push_interleaved(sharded, ward, 733);  // Odd chunk size: windows straddle chunks.
+    const auto got = by_patient(sharded.flush());
+    expect_bit_identical(got, want, what);
+    EXPECT_EQ(sharded.rejected_windows(), reference.rejected_windows());
+  }
+}
+
+TEST(ShardedStreamClassifier, BitIdenticalAcrossWorkerCountsQuantized) {
+  check_determinism(quant_detector(), "quantized");
+}
+
+TEST(ShardedStreamClassifier, BitIdenticalAcrossWorkerCountsFloat) {
+  check_determinism(float_detector(), "float");
+}
+
+TEST(ShardedStreamClassifier, FlushCadenceDoesNotChangeResults) {
+  const auto ward = make_ward();
+  rt::StreamClassifier reference(quant_detector(), short_window_config());
+  for (const auto& [pid, wf] : ward) reference.push_samples(pid, wf.samples_mv);
+  const auto want = by_patient(reference.flush());
+
+  // Same streams, four workers, flushing after every interleaving round.
+  rt::ShardedStreamClassifier sharded(quant_detector(), short_window_config(), 4);
+  std::vector<rt::WindowResult> all;
+  std::map<int, std::size_t> offsets;
+  bool any_left = true;
+  while (any_left) {
+    any_left = false;
+    for (const auto& [pid, wf] : ward) {
+      std::size_t& off = offsets[pid];
+      if (off >= wf.samples_mv.size()) continue;
+      const std::size_t n = std::min<std::size_t>(2048, wf.samples_mv.size() - off);
+      sharded.push_samples(pid, std::span(wf.samples_mv).subspan(off, n));
+      off += n;
+      if (off < wf.samples_mv.size()) any_left = true;
+    }
+    for (const auto& r : sharded.flush()) all.push_back(r);
+  }
+  // Windows arrive flush by flush but per patient still in stream order.
+  expect_bit_identical(by_patient(all), want, "mid-stream flushes");
+}
+
+TEST(ShardedStreamClassifier, EmptyFlushAndUnknownPatient) {
+  rt::ShardedStreamClassifier sharded(quant_detector(), short_window_config(), 3);
+  EXPECT_TRUE(sharded.flush().empty());
+  EXPECT_TRUE(sharded.flush().empty());  // Barrier protocol resets cleanly.
+  EXPECT_EQ(sharded.rejected_windows(), 0u);
+}
+
+TEST(ShardedStreamClassifier, RejectsBeatlessWindows) {
+  rt::ShardedStreamClassifier sharded(quant_detector(), short_window_config(), 2);
+  // A flat line has no QRS complexes: every full window must be rejected.
+  const std::vector<double> flat(static_cast<std::size_t>(sharded.config().fs_hz * 45.0), 0.0);
+  sharded.push_samples(1, flat);
+  EXPECT_TRUE(sharded.flush().empty());
+  // 45 s at 20 s windows / 10 s stride -> windows at 0, 10, 20 s.
+  EXPECT_EQ(sharded.rejected_windows(), 3u);
+}
+
+TEST(ShardedStreamClassifier, ShardAssignmentIsStable) {
+  rt::ShardedStreamClassifier sharded(quant_detector(), short_window_config(), 4);
+  for (int pid = -5; pid < 40; ++pid) {
+    const auto shard = sharded.shard_of(pid);
+    EXPECT_LT(shard, sharded.num_workers());
+    EXPECT_EQ(shard, sharded.shard_of(pid));  // Consistent for the lifetime.
+  }
+}
+
+TEST(ShardedStreamClassifier, HotSwapTakesEffectAtFlushBoundary) {
+  // Patient 1's model is swapped from the cohort default (9-bit quantised)
+  // to a coarser 6-bit engine between two flushes. The post-swap windows
+  // must be bit-identical to an engine that served the 6-bit model from the
+  // start — i.e. the swap changes the model, not the stream state.
+  const auto& detector = quant_detector();
+  core::QuantConfig coarse;
+  coarse.feature_bits = 6;
+  auto coarse_model = std::make_shared<const rt::ServableModel>(
+      detector.selected_features(), detector.scaler(), detector.model(),
+      core::QuantizedModel::build(detector.model(), coarse));
+
+  const auto wf = synth_ecg(80.0, 91);
+  const std::size_t half = wf.samples_mv.size() / 2;
+
+  auto run = [&](bool swap_mid_stream, bool coarse_from_start) {
+    rt::ShardedStreamClassifier sharded(detector, short_window_config(), 2);
+    if (coarse_from_start) sharded.registry().install(1, coarse_model);
+    sharded.push_samples(1, std::span(wf.samples_mv).first(half));
+    auto first = sharded.flush();
+    if (swap_mid_stream) sharded.registry().install(1, coarse_model);
+    sharded.push_samples(1, std::span(wf.samples_mv).subspan(half));
+    const auto second = sharded.flush();
+    return std::pair(first, second);
+  };
+
+  const auto [swap_first, swap_second] = run(true, false);
+  const auto [default_first, default_second] = run(false, false);
+  const auto [coarse_first, coarse_second] = run(false, true);
+
+  // Before the swap: identical to the default engine.
+  expect_bit_identical(by_patient(swap_first), by_patient(default_first), "pre-swap");
+  // After the swap: identical to the coarse engine (same windows, new model).
+  ASSERT_FALSE(swap_second.empty());
+  expect_bit_identical(by_patient(swap_second), by_patient(coarse_second), "post-swap");
+  // Sanity: the swap actually changed something (6-bit vs 9-bit decisions).
+  bool any_difference = false;
+  for (std::size_t w = 0; w < swap_second.size(); ++w)
+    if (swap_second[w].decision_value != default_second[w].decision_value)
+      any_difference = true;
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ShardedStreamClassifier, FlushTerminatesAndLosesNothingUnderConcurrentPushes) {
+  // A producer thread streams chunks while the main thread flushes
+  // repeatedly. Each flush must terminate (it cuts its drain at the barrier
+  // instead of chasing freshly pushed windows), and across all flushes every
+  // window must appear exactly once, bit-identical to the single-threaded
+  // engine — only the flush a window lands in is unspecified.
+  const auto wf = synth_ecg(60.0, 55);
+  rt::ShardedStreamClassifier sharded(quant_detector(), short_window_config(), 2);
+  std::thread producer([&] {
+    std::span<const double> rest(wf.samples_mv);
+    while (!rest.empty()) {
+      const std::size_t n = std::min<std::size_t>(997, rest.size());
+      sharded.push_samples(2, rest.first(n));
+      rest = rest.subspan(n);
+    }
+  });
+  std::vector<rt::WindowResult> all;
+  for (int i = 0; i < 50; ++i)
+    for (const auto& r : sharded.flush()) all.push_back(r);
+  producer.join();
+  for (const auto& r : sharded.flush()) all.push_back(r);  // Drain the tail.
+
+  rt::StreamClassifier reference(quant_detector(), short_window_config());
+  reference.push_samples(2, wf.samples_mv);
+  expect_bit_identical(by_patient(all), by_patient(reference.flush()), "concurrent push");
+}
+
+TEST(ShardedStreamClassifier, ThrowsWithoutAnyModel) {
+  auto registry = std::make_shared<rt::ModelRegistry>();  // No default, no entries.
+  rt::ShardedStreamClassifier sharded(registry, short_window_config(), 2);
+  const auto wf = synth_ecg(30.0, 17);
+  sharded.push_samples(5, wf.samples_mv);
+  EXPECT_THROW(sharded.flush(), std::runtime_error);
+}
+
+TEST(ShardedStreamClassifier, RejectsBadConstruction) {
+  EXPECT_THROW(rt::ShardedStreamClassifier(nullptr, short_window_config(), 2),
+               std::invalid_argument);
+  auto config = short_window_config();
+  config.stride_s = 25.0;  // > window_s.
+  EXPECT_THROW(rt::ShardedStreamClassifier(quant_detector(), config, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace svt

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
+#include <string>
 
 #include "dsp/statistics.hpp"
 
@@ -72,6 +74,44 @@ TEST(Scaler, Validation) {
   EXPECT_THROW(scaler.transform(wrong_size), std::invalid_argument);
   scaler.set_post_gains({1.0});  // Wrong gain count.
   EXPECT_THROW(scaler.transform(x), std::invalid_argument);
+}
+
+TEST(Scaler, SaveLoadRoundTrip) {
+  StandardScaler scaler(ScalerMode::kCenterOnly);
+  scaler.fit(toy_samples());
+  scaler.set_post_gains({8.0, 2.0});
+  std::stringstream stream;
+  scaler.save(stream);
+  const auto loaded = StandardScaler::load(stream);
+  EXPECT_EQ(loaded.mode(), scaler.mode());
+  EXPECT_EQ(loaded.means(), scaler.means());
+  EXPECT_EQ(loaded.stds(), scaler.stds());
+  EXPECT_EQ(loaded.post_gains(), scaler.post_gains());
+  // Bit-exact transforms across the round trip.
+  for (const auto& row : toy_samples()) EXPECT_EQ(loaded.transform(row), scaler.transform(row));
+  // Serialisation is a fixed point.
+  std::stringstream again;
+  loaded.save(again);
+  EXPECT_EQ(stream.str(), again.str());
+}
+
+TEST(Scaler, LoadRejectsCorruptInput) {
+  StandardScaler scaler(ScalerMode::kZScore);
+  scaler.fit(toy_samples());
+  std::stringstream stream;
+  scaler.save(stream);
+  const std::string text = stream.str();
+
+  std::stringstream bad_header("not-a-scaler v1\n");
+  EXPECT_THROW(StandardScaler::load(bad_header), std::invalid_argument);
+  std::stringstream truncated(text.substr(0, text.size() / 2));
+  EXPECT_THROW(StandardScaler::load(truncated), std::invalid_argument);
+  // An out-of-range mode enum must be rejected, not silently kept.
+  std::string corrupt = text;
+  const auto mode_at = corrupt.find("mode ");
+  corrupt.replace(mode_at, corrupt.find('\n', mode_at) - mode_at, "mode 7");
+  std::stringstream bad_mode(corrupt);
+  EXPECT_THROW(StandardScaler::load(bad_mode), std::invalid_argument);
 }
 
 TEST(Scaler, TrainTestConsistency) {

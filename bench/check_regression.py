@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate for BENCH_rt_throughput.json.
+
+Compares a fresh Release run of bench/rt_throughput against the committed
+baseline (bench/baselines/BENCH_rt_throughput.json) and exits non-zero when
+any gated metric regresses by more than the threshold (default 25%).
+
+Absolute windows/s are machine-dependent (a laptop baseline vs a CI runner
+can differ by far more than any real regression), so by default every
+throughput metric is NORMALISED by the same run's `float_single_wps` — the
+plainest single-threaded loop in the bench, which acts as a proxy for the
+machine's scalar speed. A >25% drop in a *normalised* metric means the code
+path got slower relative to the machine, which is what a regression gate
+should catch. Pass --absolute to compare raw windows/s instead (only
+meaningful when baseline and fresh run share hardware).
+
+Two refinements keep the gate honest:
+
+* The normaliser itself cannot be gated as a ratio (it is 1.0 by
+  construction, so a uniform slowdown that hits every path proportionally
+  would sail through). It is therefore compared in ABSOLUTE windows/s, but
+  only when baseline and fresh run report the same `hardware_threads` —
+  cross-machine absolute numbers would false-alarm.
+* Thread-scaling metrics (the sharded/continuous sections) are gated
+  whenever the fresh run has AT LEAST as many hardware threads as the
+  baseline: extra cores can only help those paths, so the baseline's
+  machine-normalised ratio is a safe floor. They are skipped only on a
+  smaller machine than the baseline's. To tighten them after a hardware
+  change, refresh the baseline from a CI artifact (the Release jobs upload
+  BENCH_rt_throughput.json).
+
+Usage: check_regression.py FRESH_JSON BASELINE_JSON [--threshold 0.25]
+       [--absolute]
+"""
+
+import argparse
+import json
+import sys
+
+NORMALIZER = "float_single_wps"
+
+# Dotted paths into the bench JSON. Everything here is a windows/s rate
+# (higher is better). Ratios like float_batch64_speedup are implied by their
+# numerators and deliberately not double-gated.
+METRICS = [
+    "float_single_wps",
+    "float_batch64_wps",
+    "float_batch256_wps",
+    "fixed_single_wps",
+    "fixed_batch64_wps",
+    "fixed_kernel_branchfree_wps",
+]
+THREADED_METRICS = [
+    "sharded.workers_1_wps",
+    "sharded.workers_2_wps",
+    "sharded.workers_4_wps",
+    "continuous.workers_1_wps",
+    "continuous.workers_2_wps",
+    "continuous.workers_4_wps",
+]
+
+
+def lookup(doc, path):
+    node = doc
+    for key in path.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="JSON written by the fresh bench run")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="maximum allowed fractional regression (default 0.25)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="compare raw windows/s instead of machine-normalised ratios")
+    args = parser.parse_args()
+
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    fresh_hw = fresh.get("hardware_threads") or 0
+    base_hw = baseline.get("hardware_threads") or 0
+    same_hw = fresh_hw == base_hw
+    scale_armed = fresh_hw >= base_hw  # More cores can only help the threaded paths.
+    if not same_hw:
+        print(f"note: hardware_threads differ (baseline {base_hw}, fresh {fresh_hw}); "
+              f"the normaliser is not gated absolutely, and thread-scaling metrics are "
+              f"{'gated against the baseline floor' if scale_armed else 'reported but not gated'}")
+
+    fresh_norm = lookup(fresh, NORMALIZER)
+    base_norm = lookup(baseline, NORMALIZER)
+    if not args.absolute and (not fresh_norm or not base_norm):
+        print(f"error: normaliser {NORMALIZER!r} missing from an input", file=sys.stderr)
+        return 2
+
+    mode = "absolute windows/s" if args.absolute else f"normalised by {NORMALIZER}"
+    print(f"bench regression gate: threshold {args.threshold:.0%}, {mode}")
+    print(f"{'metric':<34} {'baseline':>12} {'fresh':>12} {'change':>8}  verdict")
+
+    failures = []
+    for metric in METRICS + THREADED_METRICS:
+        base_value = lookup(baseline, metric)
+        fresh_value = lookup(fresh, metric)
+        if base_value is None or fresh_value is None:
+            # A metric absent from the baseline is new since it was committed:
+            # nothing to gate against. Absent from the fresh run = bench shrank,
+            # which should fail loudly.
+            if fresh_value is None:
+                failures.append(f"{metric}: missing from fresh run")
+                print(f"{metric:<34} {base_value or 0:>12.1f} {'MISSING':>12} {'':>8}  FAIL")
+            else:
+                print(f"{metric:<34} {'(new)':>12} {fresh_value:>12.1f} {'':>8}  skip")
+            continue
+        is_normalizer = metric == NORMALIZER
+        if args.absolute or is_normalizer:
+            # The normaliser's self-ratio is 1.0 by construction, so it is
+            # always judged in absolute terms — and absolute comparisons are
+            # only meaningful on the baseline's own hardware.
+            gated = same_hw
+            base_score, fresh_score = base_value, fresh_value
+        else:
+            gated = scale_armed if metric in THREADED_METRICS else True
+            base_score, fresh_score = base_value / base_norm, fresh_value / fresh_norm
+        change = fresh_score / base_score - 1.0 if base_score else 0.0
+        regressed = change < -args.threshold
+        verdict = "ok" if not regressed else ("FAIL" if gated else "skip (hw)")
+        if regressed and gated:
+            failures.append(f"{metric}: {change:+.1%} (limit -{args.threshold:.0%})")
+        print(f"{metric:<34} {base_value:>12.1f} {fresh_value:>12.1f} {change:>+7.1%}  {verdict}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} metric(s) regressed beyond {args.threshold:.0%}:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: no gated metric regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,12 +8,19 @@
 //    (branch-free clamps) vs a reference blocked kernel whose saturation is
 //    the PR-1 style branchy out-of-line call — the fixed-point batch-path
 //    bottleneck named by the ROADMAP.
-//  * sharded streaming: end-to-end multi-patient flush throughput (raw ECG
-//    -> extraction -> batched classification) of ShardedStreamClassifier at
-//    1/2/4 workers. Extraction dominates this path, so windows/s should
-//    scale with worker count on a multi-core host (target: >= 2x at 4
-//    workers; single-core machines cannot show this and the JSON records
+//  * sharded streaming: end-to-end multi-patient throughput (raw ECG ->
+//    extraction -> batched classification) of ShardedStreamClassifier at
+//    1/2/4 workers, in both delivery modes: flush-drain (the PR-2
+//    compatibility path) and continuous sink delivery (results leave the
+//    engine per classified batch; flush() is only the terminal fence).
+//    Extraction + classification both run on the workers, so windows/s
+//    should scale with worker count on a multi-core host (target: >= 2x at
+//    4 workers; single-core machines cannot show this and the JSON records
 //    the hardware concurrency for that reason).
+//
+// CI gates on the JSON via bench/check_regression.py against the committed
+// baseline in bench/baselines/ (machine-normalised; >25% regression fails).
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <map>
@@ -182,20 +189,10 @@ struct ShardedRun {
   std::size_t windows = 0;
 };
 
-ShardedRun sharded_flush_rate(const std::shared_ptr<rt::ModelRegistry>& registry,
-                              const std::map<int, ecg::EcgWaveform>& ward,
-                              std::size_t workers) {
-  rt::StreamConfig config;
-  config.fs_hz = 250.0;
-  config.window_s = 20.0;
-  config.stride_s = 10.0;
-  const std::size_t chunk = static_cast<std::size_t>(4.0 * config.fs_hz);
-
-  using clock = std::chrono::steady_clock;
-  const auto start = clock::now();
-  rt::ShardedStreamClassifier classifier(registry, config, workers);
-  // Telemetry-shaped arrival: 4 s chunks, round-robin across the ward;
-  // extraction runs on the workers while chunks are still arriving.
+/// Telemetry-shaped arrival: 4 s chunks, round-robin across the ward;
+/// extraction + classification run on the workers while chunks arrive.
+void push_ward(rt::ShardedStreamClassifier& classifier,
+               const std::map<int, ecg::EcgWaveform>& ward, std::size_t chunk) {
   std::map<int, std::size_t> offsets;
   bool any_left = true;
   while (any_left) {
@@ -209,9 +206,47 @@ ShardedRun sharded_flush_rate(const std::shared_ptr<rt::ModelRegistry>& registry
       if (off < wf.samples_mv.size()) any_left = true;
     }
   }
+}
+
+rt::StreamConfig ward_stream_config() {
+  rt::StreamConfig config;
+  config.fs_hz = 250.0;
+  config.window_s = 20.0;
+  config.stride_s = 10.0;
+  return config;
+}
+
+/// Flush-drain mode: results leave the engine only at the terminal flush().
+ShardedRun sharded_flush_rate(const std::shared_ptr<rt::ModelRegistry>& registry,
+                              const std::map<int, ecg::EcgWaveform>& ward,
+                              std::size_t workers) {
+  const auto config = ward_stream_config();
+  const std::size_t chunk = static_cast<std::size_t>(4.0 * config.fs_hz);
+  using clock = std::chrono::steady_clock;
+  const auto start = clock::now();
+  rt::ShardedStreamClassifier classifier(registry, config, workers);
+  push_ward(classifier, ward, chunk);
   const auto results = classifier.flush();
   const double secs = std::chrono::duration<double>(clock::now() - start).count();
   return {static_cast<double>(results.size()) / secs, results.size()};
+}
+
+/// Continuous mode: a sink counts results as each patient batch classifies;
+/// the only flush() is the terminal fence.
+ShardedRun continuous_rate(const std::shared_ptr<rt::ModelRegistry>& registry,
+                           const std::map<int, ecg::EcgWaveform>& ward, std::size_t workers) {
+  const auto config = ward_stream_config();
+  const std::size_t chunk = static_cast<std::size_t>(4.0 * config.fs_hz);
+  std::atomic<std::size_t> delivered{0};
+  using clock = std::chrono::steady_clock;
+  const auto start = clock::now();
+  rt::ShardedStreamClassifier classifier(
+      registry, config, workers, rt::EngineOptions{},
+      [&delivered](std::span<const rt::WindowResult> batch) { delivered += batch.size(); });
+  push_ward(classifier, ward, chunk);
+  classifier.flush();  // Fence: every pushed chunk classified and delivered.
+  const double secs = std::chrono::duration<double>(clock::now() - start).count();
+  return {static_cast<double>(delivered.load()) / secs, delivered.load()};
 }
 
 }  // namespace
@@ -336,6 +371,7 @@ int main() {
               "\n(extraction + batched classification; host has %zu hardware threads)\n",
               hw_threads);
   std::map<std::size_t, ShardedRun> sharded;
+  std::printf("flush-drain mode (results at the terminal flush):\n");
   for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
     sharded[workers] = sharded_flush_rate(registry, ward, workers);
     std::printf("  %zu worker%s: %8.1f windows/s  (%zu windows, %.2fx 1-worker)\n", workers,
@@ -345,11 +381,28 @@ int main() {
   }
   const double scaling_4w = sharded[4].windows_per_s / sharded[1].windows_per_s;
 
+  std::map<std::size_t, ShardedRun> continuous;
+  std::printf("continuous mode (per-batch sink delivery, classification on the workers):\n");
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    continuous[workers] = continuous_rate(registry, ward, workers);
+    std::printf("  %zu worker%s: %8.1f windows/s  (%zu windows, %.2fx 1-worker)\n", workers,
+                workers == 1 ? " " : "s", continuous[workers].windows_per_s,
+                continuous[workers].windows,
+                continuous[workers].windows_per_s / continuous[1].windows_per_s);
+  }
+  const double continuous_scaling_4w =
+      continuous[4].windows_per_s / continuous[1].windows_per_s;
+
   std::printf("\nbatched float fast path vs single-window float loop: %.2fx %s\n",
               float_batch64 / float_single,
               float_batch64 / float_single >= 3.0 ? "(>= 3x target met)" : "(below 3x target!)");
   std::printf("sharded flush scaling at 4 workers: %.2fx %s\n", scaling_4w,
               scaling_4w >= 2.0
+                  ? "(>= 2x target met)"
+                  : hw_threads < 4 ? "(host has < 4 hardware threads; not meaningful here)"
+                                   : "(below 2x target!)");
+  std::printf("continuous scaling at 4 workers: %.2fx %s\n", continuous_scaling_4w,
+              continuous_scaling_4w >= 2.0
                   ? "(>= 2x target met)"
                   : hw_threads < 4 ? "(host has < 4 hardware threads; not meaningful here)"
                                    : "(below 2x target!)");
@@ -378,6 +431,13 @@ int main() {
     std::fprintf(json, "    \"workers_2_wps\": %.1f,\n", sharded[2].windows_per_s);
     std::fprintf(json, "    \"workers_4_wps\": %.1f,\n", sharded[4].windows_per_s);
     std::fprintf(json, "    \"scaling_4w\": %.3f\n", scaling_4w);
+    std::fprintf(json, "  },\n");
+    std::fprintf(json, "  \"continuous\": {\n");
+    std::fprintf(json, "    \"patients\": 16, \"duration_s\": 120.0,\n");
+    std::fprintf(json, "    \"workers_1_wps\": %.1f,\n", continuous[1].windows_per_s);
+    std::fprintf(json, "    \"workers_2_wps\": %.1f,\n", continuous[2].windows_per_s);
+    std::fprintf(json, "    \"workers_4_wps\": %.1f,\n", continuous[4].windows_per_s);
+    std::fprintf(json, "    \"scaling_4w\": %.3f\n", continuous_scaling_4w);
     std::fprintf(json, "  }\n");
     std::fprintf(json, "}\n");
     std::fclose(json);

@@ -1,20 +1,30 @@
-// Multi-patient streaming demo: the sharded serving engine running a ward of
-// concurrent patients. Each patient's single-lead ECG is synthesised with an
-// individual autonomic profile (one of them seizing mid-stream), chopped
-// into telemetry-sized chunks, and pushed round-robin -- exactly the arrival
-// pattern of a wireless body-sensor gateway. Extraction runs on worker
-// threads (patients consistently sharded across them); every flush() drains
-// the extracted windows through the packed batch kernels.
+// Multi-patient continuous-streaming demo: the sharded serving engine
+// running a ward of concurrent patients with NO result barrier. Each
+// patient's single-lead ECG is synthesised with an individual autonomic
+// profile (one of them seizing mid-stream), chopped into telemetry-sized
+// chunks, and pushed round-robin -- exactly the arrival pattern of a
+// wireless body-sensor gateway. Extraction AND classification run on the
+// worker threads (patients consistently sharded across them); every chunk
+// that completes analysis windows is classified immediately and delivered
+// through the ResultSink, so an ictal alert fires within one chunk's
+// latency instead of waiting for a flush.
 //
 // The demo also exercises the serving-infrastructure features:
-//  * per-patient models: the seizing patient gets a dedicated registry entry,
+//  * backpressure: the shard queues are bounded (kBlock policy -- a
+//    too-fast gateway is throttled, never OOMs the pipeline),
+//  * per-patient models: the seizing patient gets a dedicated registry
+//    entry,
 //  * persistence: that entry round-trips through the ServableModel text
 //    format first (what a deployment loads at startup -- no requantisation),
-//  * hot-swap: it is installed mid-stream, between two flushes, while the
-//    patient's stream stays live.
+//  * hot-swap: it is installed mid-stream while results keep flowing; the
+//    swap fences on the patient's next classified batch, and the explicit
+//    flush() around it upgrades that to a hard fence,
+//  * flush() as terminal fence: the only flush in the demo is the final
+//    drain before the summary.
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <random>
 #include <span>
 #include <sstream>
@@ -44,18 +54,40 @@ int main() {
               detector.selected_features().size(), detector.model().num_support_vectors(),
               detector.quantized() ? "yes" : "no");
 
-  // 2. One sharded runtime for the whole ward: the cohort detector is the
-  //    registry default; 4 worker threads run extraction; 60 s windows
-  //    hopping by 30 s (short windows keep the demo fast; the paper uses 3
-  //    minutes).
+  // 2. One continuous sharded runtime for the whole ward: the cohort
+  //    detector is the registry default; 4 workers run extraction +
+  //    classification; shard queues bounded at 256 chunks with blocking
+  //    backpressure; 60 s windows hopping by 30 s (short windows keep the
+  //    demo fast; the paper uses 3 minutes). The ResultSink fires as soon
+  //    as a patient's batch classifies -- alerts print mid-stream, no
+  //    flush needed.
   rt::StreamConfig sconfig;
   sconfig.fs_hz = 250.0;
   sconfig.window_s = 60.0;
   sconfig.stride_s = 30.0;
+  rt::EngineOptions options;
+  options.queue_capacity = 256;
+  options.backpressure = rt::BackpressurePolicy::kBlock;
   auto registry = std::make_shared<rt::ModelRegistry>(rt::ServableModel::from_detector(detector));
-  rt::ShardedStreamClassifier classifier(registry, sconfig, 4);
-  std::printf("runtime: %zu extraction workers, per-patient models via registry\n\n",
-              classifier.num_workers());
+
+  std::mutex print_mutex;
+  std::map<int, std::size_t> ictal_windows, total_windows;
+  rt::ResultSink sink = [&](std::span<const rt::WindowResult> batch) {
+    const std::lock_guard<std::mutex> lock(print_mutex);
+    for (const auto& r : batch) {
+      ++total_windows[r.patient_id];
+      if (r.label > 0) {
+        ++ictal_windows[r.patient_id];
+        std::printf("  ALERT patient %d: ictal window at %5.0f-%5.0f s (f=%+.3f, %zu beats)\n",
+                    r.patient_id, r.start_s, r.start_s + sconfig.window_s, r.decision_value,
+                    r.num_beats);
+      }
+    }
+  };
+  rt::ShardedStreamClassifier classifier(registry, sconfig, 4, options, std::move(sink));
+  std::printf("runtime: %zu workers, continuous delivery, %zu-chunk bounded queues (%s)\n\n",
+              classifier.num_workers(), options.queue_capacity,
+              options.backpressure == rt::BackpressurePolicy::kBlock ? "block" : "drop-oldest");
 
   // 3. A patient-3-specific model: same trained SVM, but quantised at a
   //    wider 12-bit design point (say, after a clinician flagged borderline
@@ -87,13 +119,13 @@ int main() {
     waveforms[patient.id] = ecg::synthesize_ecg(rr, resp, ecg::EcgSynthParams{}, rng);
   }
 
-  // 5. Stream 4-second telemetry chunks round-robin and flush once per
-  //    simulated minute, printing batched results as they arrive. Halfway
-  //    through, hot-swap patient 3's model while the stream is live: the
-  //    swap lands at a flush boundary, so no window is split across models.
+  // 5. Stream 4-second telemetry chunks round-robin; alerts surface from
+  //    the sink while chunks are still arriving. Halfway through, hot-swap
+  //    patient 3's model while the stream is live: the explicit flush()
+  //    fences every pre-swap window onto the old model, and every window
+  //    classified afterwards is served by the 12-bit entry.
   const std::size_t chunk = static_cast<std::size_t>(4.0 * sconfig.fs_hz);
   std::map<int, std::size_t> offsets;
-  std::map<int, std::size_t> ictal_windows, total_windows;
   bool any_left = true;
   bool swapped = false;
   std::size_t round = 0;
@@ -107,26 +139,21 @@ int main() {
       off += n;
       if (off < wf.samples_mv.size()) any_left = true;
     }
-    if (++round % 15 == 0 || !any_left) {  // ~every 60 simulated seconds.
-      for (const auto& r : classifier.flush()) {
-        ++total_windows[r.patient_id];
-        if (r.label > 0) {
-          ++ictal_windows[r.patient_id];
-          std::printf("  ALERT patient %d: ictal window at %5.0f-%5.0f s (f=%+.3f, %zu beats)\n",
-                      r.patient_id, r.start_s, r.start_s + sconfig.window_s, r.decision_value,
-                      r.num_beats);
-        }
-      }
-      if (!swapped && round >= 45) {  // ~180 simulated seconds in.
-        registry->install(3, std::make_shared<const rt::ServableModel>(patient3_model));
-        std::printf("  SWAP  patient 3 -> 12-bit model (stream live, takes effect next flush)\n");
-        swapped = true;
-      }
+    if (!swapped && ++round >= 45) {  // ~180 simulated seconds in.
+      classifier.flush();             // Hard fence: pre-swap windows use the old model.
+      registry->install(3, std::make_shared<const rt::ServableModel>(patient3_model));
+      const std::lock_guard<std::mutex> lock(print_mutex);
+      std::printf("  SWAP  patient 3 -> 12-bit model (registry generation %llu, stream live)\n",
+                  static_cast<unsigned long long>(registry->generation()));
+      swapped = true;
     }
   }
+  classifier.flush();  // Terminal fence: drain and deliver everything pushed.
 
-  std::printf("\nward summary (%zu patients, %.0f s each, %zu rejected windows):\n",
-              waveforms.size(), duration_s, classifier.rejected_windows());
+  std::printf("\nward summary (%zu patients, %.0f s each, %zu windows delivered, "
+              "%zu rejected, %zu chunks dropped):\n",
+              waveforms.size(), duration_s, classifier.delivered_windows(),
+              classifier.rejected_windows(), classifier.dropped_chunks());
   for (const auto& [pid, total] : total_windows) {
     std::printf("  patient %d (shard %zu): %zu/%zu windows flagged ictal%s\n", pid,
                 classifier.shard_of(pid), ictal_windows[pid], total,

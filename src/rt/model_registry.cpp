@@ -89,12 +89,14 @@ ModelRegistry::ModelRegistry(ServableModel default_model)
 void ModelRegistry::set_default(std::shared_ptr<const ServableModel> model) {
   const std::lock_guard<std::mutex> lock(mutex_);
   default_ = std::move(model);
+  ++generation_;
 }
 
 void ModelRegistry::install(int patient_id, std::shared_ptr<const ServableModel> model) {
   if (!model) throw std::invalid_argument("ModelRegistry::install: null model");
   const std::lock_guard<std::mutex> lock(mutex_);
   models_[patient_id] = std::move(model);
+  ++generation_;
 }
 
 void ModelRegistry::install(int patient_id, ServableModel model) {
@@ -103,7 +105,7 @@ void ModelRegistry::install(int patient_id, ServableModel model) {
 
 void ModelRegistry::erase(int patient_id) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  models_.erase(patient_id);
+  if (models_.erase(patient_id) > 0) ++generation_;
 }
 
 std::shared_ptr<const ServableModel> ModelRegistry::resolve(int patient_id) const {
@@ -115,6 +117,11 @@ std::shared_ptr<const ServableModel> ModelRegistry::resolve(int patient_id) cons
 std::size_t ModelRegistry::num_patient_models() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return models_.size();
+}
+
+std::uint64_t ModelRegistry::generation() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return generation_;
 }
 
 }  // namespace svt::rt

@@ -15,9 +15,13 @@
 //
 //  * ModelRegistry — the mutable patient -> shared_ptr<const ServableModel>
 //    map (plus a cohort-wide default), guarded by a mutex. install() is the
-//    hot-swap: it atomically replaces the pointer; the next resolve() (the
-//    sharded engine snapshots once per patient per flush) serves the new
-//    model. Old models die when the last in-flight batch drops its snapshot.
+//    hot-swap: it atomically replaces the pointer; the next resolve() serves
+//    the new model. The continuous sharded engine resolves once per
+//    classified batch, so a swap fences on the patient's next batch boundary
+//    (never mid-batch) — flush() upgrades that to a hard fence. Old models
+//    die when the last in-flight batch drops its snapshot. Every mutation
+//    bumps generation(), a monotonic counter monitoring loops can poll to
+//    detect swaps (e.g. the ROADMAP's swap-on-drift flow).
 //
 // ServableModel round-trips through the same text format as SvmModel
 // (selection + scaler + float SVM + optional QuantizedModel), so a registry
@@ -25,6 +29,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -104,10 +109,15 @@ class ModelRegistry {
   /// Patients with a dedicated entry.
   std::size_t num_patient_models() const;
 
+  /// Monotonic mutation counter: incremented by every set_default, install,
+  /// and erase. Equal generations imply no swap happened in between.
+  std::uint64_t generation() const;
+
  private:
   mutable std::mutex mutex_;
   std::shared_ptr<const ServableModel> default_;
   std::map<int, std::shared_ptr<const ServableModel>> models_;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace svt::rt

@@ -9,28 +9,36 @@
 namespace svt::rt {
 
 ShardedStreamClassifier::ShardedStreamClassifier(std::shared_ptr<ModelRegistry> registry,
-                                                 StreamConfig config, std::size_t num_workers)
-    : registry_(std::move(registry)), config_(config) {
+                                                 StreamConfig config, std::size_t num_workers,
+                                                 EngineOptions options, ResultSink sink)
+    : registry_(std::move(registry)), config_(config), options_(options) {
   if (!registry_)
     throw std::invalid_argument("ShardedStreamClassifier: null model registry");
+  if (sink) sink_ = std::make_shared<const ResultSink>(std::move(sink));
   const std::size_t n = std::max<std::size_t>(num_workers, 1);
   shards_.reserve(n);
   for (std::size_t s = 0; s < n; ++s)
-    shards_.push_back(std::make_unique<Shard>(config));  // Validates config once per shard.
+    shards_.push_back(std::make_unique<Shard>(config, options_));  // Validates config per shard.
   for (auto& shard : shards_)
     shard->worker = std::thread([this, &shard = *shard] { worker_loop(shard); });
 }
 
 ShardedStreamClassifier::ShardedStreamClassifier(const core::TailoredDetector& detector,
-                                                 StreamConfig config, std::size_t num_workers)
+                                                 StreamConfig config, std::size_t num_workers,
+                                                 EngineOptions options, ResultSink sink)
     : ShardedStreamClassifier(
           std::make_shared<ModelRegistry>(ServableModel::from_detector(detector)), config,
-          num_workers) {}
+          num_workers, options, std::move(sink)) {}
 
 ShardedStreamClassifier::~ShardedStreamClassifier() {
   for (auto& shard : shards_) shard->tasks.close();
   for (auto& shard : shards_)
     if (shard->worker.joinable()) shard->worker.join();
+}
+
+void ShardedStreamClassifier::set_result_sink(ResultSink sink) {
+  const std::lock_guard<std::mutex> lock(sink_mutex_);
+  sink_ = sink ? std::make_shared<const ResultSink>(std::move(sink)) : nullptr;
 }
 
 std::size_t ShardedStreamClassifier::shard_of(int patient_id) const {
@@ -49,124 +57,142 @@ void ShardedStreamClassifier::push_samples(int patient_id,
   shards_[shard_of(patient_id)]->tasks.push(std::move(task));
 }
 
+void ShardedStreamClassifier::evict_patient(int patient_id) {
+  Task task;
+  task.patient_id = patient_id;
+  task.evict = true;
+  // Control push: an eviction must reach the worker even when producers have
+  // the queue saturated, and must never be displaced by drop-oldest.
+  shards_[shard_of(patient_id)]->tasks.push_control(std::move(task));
+}
+
+std::size_t ShardedStreamClassifier::dropped_chunks() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->tasks.dropped();
+  return total;
+}
+
 void ShardedStreamClassifier::worker_loop(Shard& shard) {
-  std::vector<ExtractedWindow> local;
+  std::vector<ExtractedWindow> windows;
   while (auto task = shard.tasks.wait_pop()) {
-    if (task->barrier) {
+    if (task->fence) {
       {
-        const std::lock_guard<std::mutex> lock(done_mutex_);
-        ++barriers_reached_;
+        const std::lock_guard<std::mutex> lock(fence_mutex_);
+        ++fences_reached_;
       }
-      done_cv_.notify_all();
+      fence_cv_.notify_all();
       continue;
     }
-    local.clear();
+    if (task->evict) {
+      shard.extractor.erase_patient(task->patient_id);
+      continue;
+    }
+    windows.clear();
     shard.extractor.push_samples(task->patient_id, task->samples,
-                                 [&local](ExtractedWindow&& window) {
-                                   local.push_back(std::move(window));
+                                 [&windows](ExtractedWindow&& window) {
+                                   windows.push_back(std::move(window));
                                  });
     const std::size_t rejected_now = shard.extractor.rejected_windows();
     if (rejected_now != shard.rejected_reported) {
       rejected_ += rejected_now - shard.rejected_reported;
       shard.rejected_reported = rejected_now;
     }
-    if (!local.empty()) {
-      {
-        const std::lock_guard<std::mutex> lock(done_mutex_);
-        for (auto& window : local) shard.rows.push_back(std::move(window));
-        pending_rows_ += local.size();
-      }
-      done_cv_.notify_all();
+    if (windows.empty()) continue;
+    try {
+      classify_batch(task->patient_id, windows);
+    } catch (...) {
+      // Record the first error for the next flush() and keep serving: one
+      // patient without a model must not take down the whole shard.
+      const std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!error_) error_ = std::current_exception();
     }
   }
+}
+
+void ShardedStreamClassifier::classify_batch(int patient_id,
+                                             std::vector<ExtractedWindow>& windows) {
+  // Snapshot the patient's model once per batch: this is the hot-swap fence.
+  // The batch runs to completion on the snapshot even if install() replaces
+  // the registry entry mid-batch; the next batch sees the new model.
+  const auto model = registry_->resolve(patient_id);
+  if (!model)
+    throw std::runtime_error("ShardedStreamClassifier: no model for patient " +
+                             std::to_string(patient_id));
+
+  std::vector<std::vector<double>> rows;
+  rows.reserve(windows.size());
+  for (const auto& window : windows) rows.push_back(model->prepare_row(window.raw_features));
+
+  std::vector<double> values(rows.size());
+  if (model->quantized()) {
+    values = model->quantized()->dequantized_decisions(rows);
+  } else if (model->packed()) {
+    model->packed()->decision_values(rows, values);
+  } else {
+    model->model().decision_values(rows, values);
+  }
+
+  std::vector<WindowResult> batch(windows.size());
+  for (std::size_t k = 0; k < windows.size(); ++k) {
+    batch[k].patient_id = patient_id;
+    batch[k].start_s = windows[k].start_s;
+    batch[k].num_beats = windows[k].num_beats;
+    batch[k].decision_value = values[k];
+    batch[k].label = values[k] >= 0.0 ? +1 : -1;
+  }
+  deliver(batch);
+}
+
+void ShardedStreamClassifier::deliver(std::span<const WindowResult> batch) {
+  std::shared_ptr<const ResultSink> sink;
+  {
+    const std::lock_guard<std::mutex> lock(sink_mutex_);
+    sink = sink_;
+  }
+  if (sink) {
+    (*sink)(batch);
+  } else {
+    const std::lock_guard<std::mutex> lock(collected_mutex_);
+    collected_.insert(collected_.end(), batch.begin(), batch.end());
+  }
+  delivered_ += batch.size();
 }
 
 std::vector<WindowResult> ShardedStreamClassifier::flush() {
   {
-    const std::lock_guard<std::mutex> lock(done_mutex_);
-    barriers_reached_ = 0;
+    const std::lock_guard<std::mutex> lock(fence_mutex_);
+    fences_reached_ = 0;
   }
-  Task barrier;
-  barrier.barrier = true;
-  for (auto& shard : shards_) shard->tasks.push(barrier);
+  Task fence;
+  fence.fence = true;
+  // Control push: fences bypass queue capacity, so a flush cannot deadlock
+  // against a saturated shard queue, and drop-oldest can never evict one.
+  for (auto& shard : shards_) shard->tasks.push_control(fence);
+  {
+    std::unique_lock<std::mutex> lock(fence_mutex_);
+    fence_cv_.wait(lock, [this] { return fences_reached_ == shards_.size(); });
+  }
+
+  // A worker delivers a chunk's results before popping the next task, so
+  // once every fence is visible everything pushed before this flush has been
+  // delivered (to the sink, or collected below).
+  {
+    const std::lock_guard<std::mutex> lock(error_mutex_);
+    if (error_) {
+      auto error = std::exchange(error_, nullptr);  // The engine stays usable.
+      std::rethrow_exception(error);
+    }
+  }
 
   std::vector<WindowResult> results;
-  std::map<int, std::shared_ptr<const ServableModel>> snapshot;
-  std::vector<ExtractedWindow> grabbed;
-  for (;;) {
-    grabbed.clear();
-    bool all_extracted = false;
-    {
-      std::unique_lock<std::mutex> lock(done_mutex_);
-      done_cv_.wait(lock, [this] {
-        return pending_rows_ > 0 || barriers_reached_ == shards_.size();
-      });
-      for (auto& shard : shards_) {
-        for (auto& window : shard->rows) grabbed.push_back(std::move(window));
-        shard->rows.clear();
-      }
-      pending_rows_ = 0;
-      // A worker appends its rows before posting its barrier (both under
-      // done_mutex_), so once every barrier is visible here the grab above
-      // already holds everything extracted for this flush.
-      all_extracted = barriers_reached_ == shards_.size();
-    }
-    // Classify outside the lock: this is what overlaps the packed batch
-    // kernels with the extraction still running on the worker threads.
-    if (!grabbed.empty()) classify_into(grabbed, results, snapshot);
-    // Cut the drain at the barrier: rows extracted from samples pushed
-    // after it belong to the next flush, and draining them here would let a
-    // sustained concurrent producer keep this flush alive forever.
-    if (all_extracted) break;
+  {
+    const std::lock_guard<std::mutex> lock(collected_mutex_);
+    results.swap(collected_);
   }
-
   std::sort(results.begin(), results.end(), [](const WindowResult& a, const WindowResult& b) {
     return a.patient_id != b.patient_id ? a.patient_id < b.patient_id : a.start_s < b.start_s;
   });
   return results;
-}
-
-void ShardedStreamClassifier::classify_into(
-    std::vector<ExtractedWindow>& windows, std::vector<WindowResult>& out,
-    std::map<int, std::shared_ptr<const ServableModel>>& snapshot) const {
-  // Group by patient, preserving per-patient arrival (= stream) order; each
-  // patient may be served by a different model.
-  std::map<int, std::vector<std::size_t>> by_patient;
-  for (std::size_t i = 0; i < windows.size(); ++i)
-    by_patient[windows[i].patient_id].push_back(i);
-
-  for (auto& [patient_id, indices] : by_patient) {
-    auto it = snapshot.find(patient_id);
-    if (it == snapshot.end()) it = snapshot.emplace(patient_id, registry_->resolve(patient_id)).first;
-    const auto& model = it->second;
-    if (!model)
-      throw std::runtime_error("ShardedStreamClassifier: no model for patient " +
-                               std::to_string(patient_id));
-
-    std::vector<std::vector<double>> rows;
-    rows.reserve(indices.size());
-    for (std::size_t i : indices) rows.push_back(model->prepare_row(windows[i].raw_features));
-
-    std::vector<double> values(rows.size());
-    if (model->quantized()) {
-      values = model->quantized()->dequantized_decisions(rows);
-    } else if (model->packed()) {
-      model->packed()->decision_values(rows, values);
-    } else {
-      model->model().decision_values(rows, values);
-    }
-
-    for (std::size_t k = 0; k < indices.size(); ++k) {
-      const ExtractedWindow& window = windows[indices[k]];
-      WindowResult result;
-      result.patient_id = patient_id;
-      result.start_s = window.start_s;
-      result.num_beats = window.num_beats;
-      result.decision_value = values[k];
-      result.label = values[k] >= 0.0 ? +1 : -1;
-      out.push_back(result);
-    }
-  }
 }
 
 }  // namespace svt::rt

@@ -1,45 +1,70 @@
-// Sharded, pipelined multi-patient serving engine.
+// Continuous sharded multi-patient serving engine.
 //
 // Patients are consistently sharded across N worker threads; each worker
-// owns a private WindowExtractor and runs the expensive extraction stage
-// (QRS -> RR/EDR -> 53 features) concurrently with the callers that push
-// samples AND with the classification stage that drains completed windows:
+// owns a private WindowExtractor AND classifies its own patients' windows,
+// delivering results continuously — there is no global barrier anywhere in
+// the steady-state path:
 //
-//   push_samples(p, chunk)            flush()  [caller thread]
-//        │ shard_of(p)                   │ drains as rows appear
-//        ▼                               ▼
-//   ┌─────────────┐  chunk   ┌────────────────┐  rows   ┌──────────────────┐
-//   │ shard task  │ ───────> │ worker thread: │ ──────> │ snapshot model   │
-//   │ queue (x N) │          │ WindowExtractor│  (x N)  │ per patient,     │
-//   └─────────────┘          │ -> raw windows │         │ prepare + packed │
-//                            └────────────────┘         │ batch kernels    │
-//                                                       └──────────────────┘
+//   push_samples(p, chunk)
+//        │ shard_of(p)                      worker thread (one per shard)
+//        ▼                       ┌────────────────────────────────────────┐
+//   ┌─────────────┐   chunk      │ WindowExtractor -> raw windows         │
+//   │ bounded     │ ───────────> │  -> registry snapshot (per batch)      │
+//   │ shard queue │  backpressure│  -> prepare + packed batch kernel      │
+//   │ (x N)       │  block/drop  │  -> ResultSink(batch)   ──────────────────> results
+//   └─────────────┘              └────────────────────────────────────────┘
 //
-// flush() is the pipeline barrier: it enqueues a barrier token per shard and
-// classifies completed windows in batches *while* the workers are still
-// extracting, so feature extraction overlaps batched classification. It
-// returns when every shard has extracted everything pushed before the flush
-// and every window is classified. Models come from a ModelRegistry snapshot
-// taken once per patient per flush, which gives hot-swap a crisp semantic:
-// a model installed during a flush takes effect no later than the next
-// flush, and never splits a patient's flush between two models.
+// Continuous delivery: every chunk that completes windows is classified
+// immediately on the shard's worker (per-patient batch affinity: a patient's
+// windows are extracted AND classified by the one worker that owns the
+// patient), and the classified batch is handed to the ResultSink right away.
+// Delivery guarantees:
+//
+//  * each sink invocation is ONE patient's windows, in time order;
+//  * invocations for a given patient arrive in stream order (the patient's
+//    chunks are processed serially by one worker);
+//  * different patients' batches may be delivered concurrently from
+//    different workers — the sink must be thread-safe across patients.
+//
+// Backpressure: each shard queue is bounded (EngineOptions::queue_capacity)
+// with a configurable policy — kBlock throttles producers to pipeline
+// throughput (lossless), kDropOldest evicts the stalest queued chunk and
+// counts it in dropped_chunks() (freshest-data-wins for live monitoring).
+// Fences bypass capacity, so flush() works even against saturated queues.
+//
+// flush() is retained as a drain-and-fence compatibility wrapper: it fences
+// every shard (waits until everything pushed before the call has been
+// extracted, classified, and delivered) and, when no sink is installed,
+// returns the windows collected since the last flush sorted by (patient,
+// start time) — the PR-2 barrier-mode API, now just a view over the
+// continuous path. With a sink installed, flush() is a pure fence and
+// returns an empty vector.
+//
+// Hot-swap fencing: workers snapshot a patient's model from the registry
+// once per classified batch, so an install() takes effect at the patient's
+// next batch boundary — never mid-batch — and a fence (flush()) guarantees
+// every subsequent window is served by the new model. This is a tighter
+// fence than PR 2's once-per-flush snapshot: a swap lands within one chunk's
+// latency instead of at the next global flush.
 //
 // Determinism: a patient's windows are extracted by exactly one worker, in
 // push order, through per-window arithmetic identical to the single-threaded
 // StreamClassifier; the batch kernels are bit-exact under any batch
 // composition. Per-patient results are therefore bit-identical for ANY
-// worker count, shard assignment, or chunk interleaving (asserted by
-// tests/test_rt_shard.cpp). Results are returned sorted by (patient, time),
-// which is also deterministic.
+// worker count, shard assignment, chunk interleaving, or delivery mode
+// (asserted by tests/test_rt_shard.cpp and tests/test_rt_continuous.cpp).
 //
 // Thread-safety contract: push_samples may be called from many threads
-// concurrently; flush() must not run concurrently with another flush().
-// Registry installs are safe at any time from any thread.
+// concurrently (and may block under the kBlock policy); flush() must not run
+// concurrently with another flush(). Registry installs are safe at any time
+// from any thread.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -53,33 +78,69 @@
 
 namespace svt::rt {
 
+/// Receives classified windows as soon as a patient's batch completes. Each
+/// call is one patient's windows in time order; calls for one patient are in
+/// stream order; calls for different patients may be concurrent.
+using ResultSink = std::function<void(std::span<const WindowResult>)>;
+
+/// Queue sizing and backpressure for the shard queues.
+struct EngineOptions {
+  /// Maximum raw-sample chunks queued per shard; 0 = unbounded (legacy).
+  std::size_t queue_capacity = 1024;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+};
+
 class ShardedStreamClassifier {
  public:
-  /// Serve per-patient models from `registry` with `num_workers` extraction
+  /// Serve per-patient models from `registry` with `num_workers` worker
   /// threads (clamped to >= 1). Throws std::invalid_argument on a null
-  /// registry or a bad stream config (same rules as WindowExtractor).
+  /// registry or a bad stream config (same rules as WindowExtractor). If
+  /// `sink` is set, results are delivered continuously through it and
+  /// flush() becomes a pure fence.
   ShardedStreamClassifier(std::shared_ptr<ModelRegistry> registry, StreamConfig config = {},
-                          std::size_t num_workers = 1);
+                          std::size_t num_workers = 1, EngineOptions options = {},
+                          ResultSink sink = {});
 
   /// Convenience: serve one cohort-wide detector (the registry holds it as
   /// the default; per-patient models can still be installed later).
   ShardedStreamClassifier(const core::TailoredDetector& detector, StreamConfig config = {},
-                          std::size_t num_workers = 1);
+                          std::size_t num_workers = 1, EngineOptions options = {},
+                          ResultSink sink = {});
 
   ~ShardedStreamClassifier();
   ShardedStreamClassifier(const ShardedStreamClassifier&) = delete;
   ShardedStreamClassifier& operator=(const ShardedStreamClassifier&) = delete;
 
-  /// Route a chunk of raw ECG samples (mV) to the patient's shard. Returns
-  /// as soon as the copy is enqueued; extraction happens on the shard's
-  /// worker thread. Safe to call from multiple threads.
+  /// Install (or clear, with an empty function) the continuous delivery
+  /// sink. Call while no samples are in flight (e.g. right after
+  /// construction or after a flush()); batches classified after the call see
+  /// the new sink. With a sink installed the internal collection buffer is
+  /// bypassed and flush() returns an empty vector.
+  void set_result_sink(ResultSink sink);
+
+  /// Route a chunk of raw ECG samples (mV) to the patient's shard. Under
+  /// kBlock backpressure this may block until the shard drains a chunk; under
+  /// kDropOldest it returns immediately (possibly evicting the shard's
+  /// stalest queued chunk). Safe to call from multiple threads.
   void push_samples(int patient_id, std::span<const double> samples_mv);
 
-  /// Pipeline barrier: classify every window extracted from samples pushed
-  /// before this call and return the results sorted by (patient, start
-  /// time). Overlaps draining/classification with in-flight extraction.
-  /// Throws std::runtime_error if a patient resolves to no model.
+  /// Drain-and-fence: wait until every chunk pushed before this call has
+  /// been extracted, classified, and delivered. Without a sink, returns the
+  /// results collected since the last flush, sorted by (patient, start
+  /// time); with a sink, returns empty. Rethrows the first classification
+  /// error a worker hit since the last flush (e.g. a patient resolving to
+  /// no model). A throwing flush loses nothing: windows other patients
+  /// classified successfully stay collected and are returned by the next
+  /// flush(). Error-to-fence attribution is best-effort — an error from a
+  /// chunk pushed concurrently with this flush may be reported by it or by
+  /// the next one.
   std::vector<WindowResult> flush();
+
+  /// Drop a patient's extraction state (sample ring, window phase) on their
+  /// shard. Asynchronous: takes effect after chunks already queued for the
+  /// shard; fence with flush() for a synchronous guarantee. Frees memory for
+  /// patients that left the ward — the registry entry is untouched.
+  void evict_patient(int patient_id);
 
   /// Which shard (worker) serves a patient; stable for the engine's lifetime.
   std::size_t shard_of(int patient_id) const;
@@ -90,41 +151,62 @@ class ShardedStreamClassifier {
   /// a flush; may lag mid-stream while workers are extracting).
   std::size_t rejected_windows() const { return rejected_.load(); }
 
+  /// Sample chunks evicted by the kDropOldest policy across all shards.
+  std::size_t dropped_chunks() const;
+
+  /// Windows delivered (to the sink or the collection buffer) so far.
+  std::size_t delivered_windows() const { return delivered_.load(); }
+
   ModelRegistry& registry() { return *registry_; }
   const ModelRegistry& registry() const { return *registry_; }
   const StreamConfig& config() const { return config_; }
+  const EngineOptions& options() const { return options_; }
 
  private:
   struct Task {
     int patient_id = 0;
     std::vector<double> samples;
-    bool barrier = false;
+    bool fence = false;
+    bool evict = false;
   };
 
   struct Shard {
-    explicit Shard(StreamConfig config) : extractor(config) {}
+    explicit Shard(const StreamConfig& config, const EngineOptions& options)
+        : tasks(options.queue_capacity, options.backpressure), extractor(config) {}
     WorkQueue<Task> tasks;
-    WindowExtractor extractor;           ///< Touched only by the worker thread.
-    std::size_t rejected_reported = 0;   ///< Worker-local watermark.
-    std::vector<ExtractedWindow> rows;   ///< Completed windows; guarded by done_mutex_.
+    WindowExtractor extractor;          ///< Touched only by the worker thread.
+    std::size_t rejected_reported = 0;  ///< Worker-local watermark.
     std::thread worker;
   };
 
   void worker_loop(Shard& shard);
-  void classify_into(std::vector<ExtractedWindow>& windows, std::vector<WindowResult>& out,
-                     std::map<int, std::shared_ptr<const ServableModel>>& snapshot) const;
+  void classify_batch(int patient_id, std::vector<ExtractedWindow>& windows);
+  void deliver(std::span<const WindowResult> batch);
 
   std::shared_ptr<ModelRegistry> registry_;
   StreamConfig config_;
+  EngineOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  // Extraction -> classification handoff (guarded by done_mutex_).
-  std::mutex done_mutex_;
-  std::condition_variable done_cv_;
-  std::size_t pending_rows_ = 0;      ///< Completed windows not yet drained.
-  std::size_t barriers_reached_ = 0;  ///< Shards done with the current flush.
+  // Continuous delivery (sink snapshotted per batch under sink_mutex_).
+  std::mutex sink_mutex_;
+  std::shared_ptr<const ResultSink> sink_;
+
+  // Compatibility collection buffer (used only when no sink is installed).
+  std::mutex collected_mutex_;
+  std::vector<WindowResult> collected_;
+
+  // Fence protocol (guarded by fence_mutex_).
+  std::mutex fence_mutex_;
+  std::condition_variable fence_cv_;
+  std::size_t fences_reached_ = 0;  ///< Shards done with the current fence.
+
+  // First classification error since the last flush (guarded by error_mutex_).
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
 
   std::atomic<std::size_t> rejected_{0};
+  std::atomic<std::size_t> delivered_{0};
 };
 
 }  // namespace svt::rt

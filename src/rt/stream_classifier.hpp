@@ -18,8 +18,10 @@
 // pipeline (core::QuantizedModel::classify_batch) when the detector carries
 // a quantised engine. Patient streams are fully isolated: results for a
 // patient are identical whether its samples are pushed alone or interleaved
-// with other patients'. The sharded engine (rt::ShardedStreamClassifier) is
-// tested bit-identical against this one.
+// with other patients'. This engine is the determinism oracle: the
+// continuous sharded engine (rt::ShardedStreamClassifier) is tested
+// bit-identical against it per patient, in both flush-drain and
+// continuous-sink delivery modes, under any worker count.
 #pragma once
 
 #include <cstddef>

@@ -60,6 +60,10 @@ void WindowExtractor::emit_window(int patient_id, PatientState& state, const Win
   sink(std::move(out));
 }
 
+bool WindowExtractor::erase_patient(int patient_id) {
+  return patients_.erase(patient_id) > 0;
+}
+
 std::size_t WindowExtractor::buffered_samples(int patient_id) const {
   const auto it = patients_.find(patient_id);
   return it == patients_.end() ? 0 : it->second.ring.size();

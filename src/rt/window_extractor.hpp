@@ -15,7 +15,8 @@
 // selection and scaler) can be swapped without touching stream state. It is
 // single-threaded by design — the sharded engine gives each worker thread
 // its own extractor, which is what makes per-patient results independent of
-// the thread count.
+// the thread count, and patients that leave the ward can be dropped with
+// erase_patient so a long-running stream does not accumulate dead rings.
 #pragma once
 
 #include <cstddef>
@@ -60,6 +61,12 @@ class WindowExtractor {
   /// size; a first push creates the patient's stream.
   void push_samples(int patient_id, std::span<const double> samples_mv,
                     const WindowSink& sink);
+
+  /// Drop a patient's stream state (sample ring, window phase). Returns
+  /// whether the patient existed. A later push recreates the stream from
+  /// scratch (window phase restarts at 0). The rejected-window count is
+  /// cumulative across evictions.
+  bool erase_patient(int patient_id);
 
   /// Windows rejected for having fewer than min_beats R peaks.
   std::size_t rejected_windows() const { return rejected_; }

@@ -1,13 +1,34 @@
-// Minimal blocking FIFO used to feed per-shard worker threads.
+// Bounded multi-producer FIFO feeding the per-shard worker threads.
 //
 // Multiple producers (any thread calling push_samples / flush) enqueue; the
 // single shard worker blocks in wait_pop. close() drains gracefully: the
 // worker keeps popping until the queue is empty, then wait_pop returns
-// nullopt and the worker exits. Unbounded by design — the streaming runtime
-// backpressures at flush(), which is a full pipeline barrier.
+// nullopt and the worker exits.
+//
+// Capacity and backpressure: an unbounded queue lets a producer that outruns
+// extraction buffer raw ECG without limit — the pipeline OOMs instead of
+// pushing back. A WorkQueue is therefore constructed with a capacity (0 =
+// unbounded, the legacy behaviour) and a BackpressurePolicy describing what
+// push() does when the queue holds `capacity` data items:
+//
+//  * kBlock      — push() blocks until the worker drains an item (or the
+//                  queue is closed, in which case the item is rejected). The
+//                  lossless policy: a fast producer is throttled to the
+//                  pipeline's real throughput.
+//  * kDropOldest — push() evicts the oldest *data* item to make room and
+//                  succeeds immediately, incrementing dropped(). The
+//                  freshness policy for live monitoring: when the pipeline
+//                  falls behind, old telemetry is sacrificed for new.
+//
+// Control items (push_control: flush fences, eviction requests) are exempt
+// from both policies: they are never dropped, never evicted, and do not
+// count toward capacity — so a fence can always reach a worker even when
+// producers have the queue saturated, and drop-oldest can never discard a
+// barrier (which would deadlock the fence protocol).
 #pragma once
 
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -15,43 +36,118 @@
 
 namespace svt::rt {
 
+/// What push() does when a bounded queue is full (see WorkQueue).
+enum class BackpressurePolicy {
+  kBlock,      ///< Throttle the producer until the worker catches up.
+  kDropOldest  ///< Evict the oldest data item; count it in dropped().
+};
+
 template <typename T>
 class WorkQueue {
  public:
-  /// Enqueue an item. Items pushed after close() are dropped.
-  void push(T item) {
+  /// capacity == 0 means unbounded (policy is then irrelevant).
+  explicit WorkQueue(std::size_t capacity = 0,
+                     BackpressurePolicy policy = BackpressurePolicy::kBlock)
+      : capacity_(capacity), policy_(policy) {}
+
+  /// Enqueue a data item, applying the backpressure policy when the queue is
+  /// full. Returns true if the item was enqueued, false if it was rejected
+  /// (queue closed, including while blocked waiting for space).
+  bool push(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (capacity_ > 0 && policy_ == BackpressurePolicy::kBlock) {
+        space_cv_.wait(lock, [this] { return data_count_ < capacity_ || closed_; });
+      }
+      if (closed_) return false;
+      if (capacity_ > 0 && data_count_ >= capacity_) {
+        // kDropOldest: evict the oldest data entry (control entries are
+        // never evicted and never count toward capacity).
+        for (auto it = items_.begin(); it != items_.end(); ++it) {
+          if (!it->control) {
+            items_.erase(it);
+            --data_count_;
+            ++dropped_;
+            break;
+          }
+        }
+      }
+      items_.push_back(Entry{std::move(item), false});
+      ++data_count_;
+    }
+    pop_cv_.notify_one();
+    return true;
+  }
+
+  /// Enqueue a control item: always accepted while open, never dropped or
+  /// evicted, exempt from capacity. Returns false only if the queue is
+  /// closed.
+  bool push_control(T item) {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
-      if (closed_) return;
-      items_.push_back(std::move(item));
+      if (closed_) return false;
+      items_.push_back(Entry{std::move(item), true});
     }
-    cv_.notify_one();
+    pop_cv_.notify_one();
+    return true;
   }
 
   /// Block until an item is available (returns it) or the queue is closed
   /// and drained (returns nullopt).
   std::optional<T> wait_pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return !items_.empty() || closed_; });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
+    std::optional<T> item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      pop_cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+      if (items_.empty()) return std::nullopt;
+      if (!items_.front().control) --data_count_;
+      item = std::move(items_.front().item);
+      items_.pop_front();
+    }
+    space_cv_.notify_one();
     return item;
   }
 
-  /// Stop accepting items and wake all waiters once the backlog drains.
+  /// Stop accepting items; wake blocked producers (their items are rejected)
+  /// and wake the worker once the backlog drains.
   void close() {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       closed_ = true;
     }
-    cv_.notify_all();
+    pop_cv_.notify_all();
+    space_cv_.notify_all();
   }
 
+  /// Data items evicted by kDropOldest since construction.
+  std::size_t dropped() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+  }
+
+  /// Items currently queued (data + control).
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  BackpressurePolicy policy() const { return policy_; }
+
  private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
+  struct Entry {
+    T item;
+    bool control = false;
+  };
+
+  const std::size_t capacity_;
+  const BackpressurePolicy policy_;
+  mutable std::mutex mutex_;
+  std::condition_variable pop_cv_;    ///< Signalled when an item arrives / close().
+  std::condition_variable space_cv_;  ///< Signalled when a data slot frees / close().
+  std::deque<Entry> items_;
+  std::size_t data_count_ = 0;  ///< Non-control entries in items_.
+  std::size_t dropped_ = 0;
   bool closed_ = false;
 };
 

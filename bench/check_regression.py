@@ -14,23 +14,33 @@ path got slower relative to the machine, which is what a regression gate
 should catch. Pass --absolute to compare raw windows/s instead (only
 meaningful when baseline and fresh run share hardware).
 
-Two refinements keep the gate honest:
+Refinements that keep the gate honest:
 
 * The normaliser itself cannot be gated as a ratio (it is 1.0 by
   construction, so a uniform slowdown that hits every path proportionally
   would sail through). It is therefore compared in ABSOLUTE windows/s, but
   only when baseline and fresh run report the same `hardware_threads` —
   cross-machine absolute numbers would false-alarm.
-* Thread-scaling metrics (the sharded/continuous sections) are gated
-  whenever the fresh run has AT LEAST as many hardware threads as the
+* Thread-scaling metrics (the sharded/continuous/streaming sections) are
+  gated whenever the fresh run has AT LEAST as many hardware threads as the
   baseline: extra cores can only help those paths, so the baseline's
   machine-normalised ratio is a safe floor. They are skipped only on a
-  smaller machine than the baseline's. To tighten them after a hardware
-  change, refresh the baseline from a CI artifact (the Release jobs upload
-  BENCH_rt_throughput.json).
+  smaller machine than the baseline's.
+* Latency metrics are LOWER-is-better: they are normalised by multiplying
+  with the run's own machine speed (latency x float_single_wps = "windows'
+  worth of work per delivery"), and a regression is an INCREASE beyond the
+  threshold. The same floor argument as the throughput metrics applies in
+  mirror image — extra cores can only drain the pipeline faster — so they
+  are gated whenever the fresh run has at least as many hardware threads as
+  the baseline, and reported otherwise.
+* A metric present in the fresh run but absent from the committed baseline
+  is NEW since the baseline was written: it is reported, not gated, so a
+  bench can grow without a lockstep baseline refresh. A metric absent from
+  the fresh run means the bench shrank, which fails loudly.
 
 Usage: check_regression.py FRESH_JSON BASELINE_JSON [--threshold 0.25]
        [--absolute]
+       check_regression.py --self-test
 """
 
 import argparse
@@ -40,8 +50,9 @@ import sys
 NORMALIZER = "float_single_wps"
 
 # Dotted paths into the bench JSON. Everything here is a windows/s rate
-# (higher is better). Ratios like float_batch64_speedup are implied by their
-# numerators and deliberately not double-gated.
+# (higher is better) unless listed in LOWER_IS_BETTER. Ratios like
+# float_batch64_speedup are implied by their numerators and deliberately not
+# double-gated.
 METRICS = [
     "float_single_wps",
     "float_batch64_wps",
@@ -57,6 +68,15 @@ THREADED_METRICS = [
     "continuous.workers_1_wps",
     "continuous.workers_2_wps",
     "continuous.workers_4_wps",
+    "streaming.extract_wps",
+    "streaming.classify_wps",
+    "streaming.e2e_wps",
+]
+LOWER_IS_BETTER = [
+    "continuous.latency_p50_ms",
+    "continuous.latency_p99_ms",
+    "streaming.e2e_latency_p50_ms",
+    "streaming.e2e_latency_p99_ms",
 ]
 
 
@@ -69,71 +89,173 @@ def lookup(doc, path):
     return node
 
 
+def evaluate(fresh, baseline, threshold, absolute=False, echo=print):
+    """Compare the two runs; returns the list of failure strings."""
+    fresh_hw = fresh.get("hardware_threads") or 0
+    base_hw = baseline.get("hardware_threads") or 0
+    same_hw = fresh_hw == base_hw
+    scale_armed = fresh_hw >= base_hw  # More cores can only help the threaded paths.
+    if not same_hw:
+        echo(f"note: hardware_threads differ (baseline {base_hw}, fresh {fresh_hw}); "
+             f"the normaliser is not gated absolutely, and thread-scaling/latency metrics "
+             f"are {'gated against the baseline floor' if scale_armed else 'reported but not gated'}")
+
+    fresh_norm = lookup(fresh, NORMALIZER)
+    base_norm = lookup(baseline, NORMALIZER)
+    if not absolute and (not fresh_norm or not base_norm):
+        echo(f"error: normaliser {NORMALIZER!r} missing from an input")
+        return [f"{NORMALIZER}: missing"]
+
+    mode = "absolute" if absolute else f"normalised by {NORMALIZER}"
+    echo(f"bench regression gate: threshold {threshold:.0%}, {mode}")
+    echo(f"{'metric':<34} {'baseline':>12} {'fresh':>12} {'change':>8}  verdict")
+
+    failures = []
+    for metric in METRICS + THREADED_METRICS + LOWER_IS_BETTER:
+        base_value = lookup(baseline, metric)
+        fresh_value = lookup(fresh, metric)
+        if base_value is None or fresh_value is None:
+            # A metric absent from the baseline is new since it was committed:
+            # nothing to gate against (report-not-fail on first appearance).
+            # Absent from the fresh run = bench shrank: fail loudly.
+            if fresh_value is None:
+                failures.append(f"{metric}: missing from fresh run")
+                echo(f"{metric:<34} {base_value or 0:>12.1f} {'MISSING':>12} {'':>8}  FAIL")
+            else:
+                echo(f"{metric:<34} {'(new)':>12} {fresh_value:>12.1f} {'':>8}  skip")
+            continue
+        lower_better = metric in LOWER_IS_BETTER
+        is_normalizer = metric == NORMALIZER
+        if absolute or is_normalizer:
+            # The normaliser's self-ratio is 1.0 by construction, so it is
+            # always judged in absolute terms — and absolute comparisons are
+            # only meaningful on the baseline's own hardware.
+            gated = same_hw
+            base_score, fresh_score = base_value, fresh_value
+        elif lower_better:
+            # Latency x machine speed: "windows' worth of work" per delivery.
+            gated = scale_armed
+            base_score, fresh_score = base_value * base_norm, fresh_value * fresh_norm
+        else:
+            gated = scale_armed if metric in THREADED_METRICS else True
+            base_score, fresh_score = base_value / base_norm, fresh_value / fresh_norm
+        change = fresh_score / base_score - 1.0 if base_score else 0.0
+        regressed = change > threshold if lower_better else change < -threshold
+        verdict = "ok" if not regressed else ("FAIL" if gated else "skip (hw)")
+        if regressed and gated:
+            limit = f"+{threshold:.0%}" if lower_better else f"-{threshold:.0%}"
+            failures.append(f"{metric}: {change:+.1%} (limit {limit})")
+        echo(f"{metric:<34} {base_value:>12.1f} {fresh_value:>12.1f} {change:>+7.1%}  {verdict}")
+    return failures
+
+
+# --- Self-test ---------------------------------------------------------------
+
+def _doc(hw=4, norm=1000.0, **overrides):
+    """A synthetic bench JSON with every gated metric present."""
+    doc = {"hardware_threads": hw, NORMALIZER: norm}
+    for metric in METRICS:
+        doc.setdefault(metric, 500.0)
+    for metric in THREADED_METRICS + LOWER_IS_BETTER:
+        head, leaf = metric.split(".")
+        doc.setdefault(head, {})[leaf] = 5.0 if "latency" in leaf else 800.0
+    for path, value in overrides.items():
+        head, _, leaf = path.partition(".")
+        if leaf:
+            doc.setdefault(head, {})[leaf] = value
+        else:
+            doc[head] = value
+    return doc
+
+
+def self_test():
+    """Unit-style checks of the gating logic (run from ctest)."""
+    quiet = lambda *_args, **_kw: None
+    checks = []
+
+    def check(name, got, want):
+        checks.append((name, got == want, got, want))
+
+    # Identical runs pass.
+    check("identical runs pass", evaluate(_doc(), _doc(), 0.25, echo=quiet), [])
+    # A >25% normalised throughput drop fails; a small one passes.
+    check("big throughput drop fails",
+          len(evaluate(_doc(**{"fixed_batch64_wps": 300.0}), _doc(), 0.25, echo=quiet)), 1)
+    check("small throughput drop passes",
+          evaluate(_doc(**{"fixed_batch64_wps": 450.0}), _doc(), 0.25, echo=quiet), [])
+    # Improvements pass.
+    check("improvement passes",
+          evaluate(_doc(**{"streaming.e2e_wps": 5000.0}), _doc(), 0.25, echo=quiet), [])
+    # New metric (absent from baseline) is reported, not gated.
+    base_without = _doc()
+    del base_without["streaming"]
+    check("new metrics skip", evaluate(_doc(), base_without, 0.25, echo=quiet), [])
+    # Metric missing from the fresh run fails (3 throughput + 2 latency).
+    fresh_without = _doc()
+    del fresh_without["streaming"]
+    failures = evaluate(fresh_without, _doc(), 0.25, echo=quiet)
+    check("shrunken bench fails", len(failures), 5)
+    # Latency: an increase beyond the threshold fails, a decrease passes.
+    check("latency increase fails",
+          len(evaluate(_doc(**{"continuous.latency_p99_ms": 9.0}), _doc(), 0.25, echo=quiet)), 1)
+    check("latency decrease passes",
+          evaluate(_doc(**{"continuous.latency_p99_ms": 1.0}), _doc(), 0.25, echo=quiet), [])
+    # Latency gates against the baseline floor on a bigger host (more cores
+    # only drain faster) and is skipped on a smaller one.
+    check("latency gated on bigger host",
+          len(evaluate(_doc(hw=8, **{"continuous.latency_p99_ms": 9.0}), _doc(hw=4), 0.25,
+                       echo=quiet)), 1)
+    check("latency skipped on smaller host",
+          evaluate(_doc(hw=2, **{"continuous.latency_p99_ms": 9.0}), _doc(hw=4), 0.25,
+                   echo=quiet), [])
+    # Thread-scaling metrics: gated with >= baseline cores, skipped below.
+    check("thread metrics gated on bigger host",
+          len(evaluate(_doc(hw=8, **{"sharded.workers_4_wps": 100.0}), _doc(hw=4), 0.25,
+                       echo=quiet)), 1)
+    check("thread metrics skipped on smaller host",
+          evaluate(_doc(hw=2, **{"sharded.workers_4_wps": 100.0}), _doc(hw=4), 0.25,
+                   echo=quiet), [])
+    # A uniform slowdown cannot hide in the ratios on same hardware: the
+    # normaliser is gated absolutely.
+    uniform = _doc(norm=500.0)
+    for metric in METRICS:
+        uniform[metric] = 250.0
+    check("uniform slowdown caught via absolute normaliser",
+          len(evaluate(uniform, _doc(), 0.25, echo=quiet)) >= 1, True)
+
+    failed = [c for c in checks if not c[1]]
+    for name, ok, got, want in checks:
+        print(f"  {'ok  ' if ok else 'FAIL'} {name}" + ("" if ok else f" (got {got!r}, want {want!r})"))
+    if failed:
+        print(f"self-test: {len(failed)}/{len(checks)} checks failed")
+        return 1
+    print(f"self-test: all {len(checks)} checks passed")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("fresh", help="JSON written by the fresh bench run")
-    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("fresh", nargs="?", help="JSON written by the fresh bench run")
+    parser.add_argument("baseline", nargs="?", help="committed baseline JSON")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="maximum allowed fractional regression (default 0.25)")
     parser.add_argument("--absolute", action="store_true",
                         help="compare raw windows/s instead of machine-normalised ratios")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the gate's own unit checks and exit")
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.fresh or not args.baseline:
+        parser.error("FRESH_JSON and BASELINE_JSON are required (or use --self-test)")
 
     with open(args.fresh) as f:
         fresh = json.load(f)
     with open(args.baseline) as f:
         baseline = json.load(f)
 
-    fresh_hw = fresh.get("hardware_threads") or 0
-    base_hw = baseline.get("hardware_threads") or 0
-    same_hw = fresh_hw == base_hw
-    scale_armed = fresh_hw >= base_hw  # More cores can only help the threaded paths.
-    if not same_hw:
-        print(f"note: hardware_threads differ (baseline {base_hw}, fresh {fresh_hw}); "
-              f"the normaliser is not gated absolutely, and thread-scaling metrics are "
-              f"{'gated against the baseline floor' if scale_armed else 'reported but not gated'}")
-
-    fresh_norm = lookup(fresh, NORMALIZER)
-    base_norm = lookup(baseline, NORMALIZER)
-    if not args.absolute and (not fresh_norm or not base_norm):
-        print(f"error: normaliser {NORMALIZER!r} missing from an input", file=sys.stderr)
-        return 2
-
-    mode = "absolute windows/s" if args.absolute else f"normalised by {NORMALIZER}"
-    print(f"bench regression gate: threshold {args.threshold:.0%}, {mode}")
-    print(f"{'metric':<34} {'baseline':>12} {'fresh':>12} {'change':>8}  verdict")
-
-    failures = []
-    for metric in METRICS + THREADED_METRICS:
-        base_value = lookup(baseline, metric)
-        fresh_value = lookup(fresh, metric)
-        if base_value is None or fresh_value is None:
-            # A metric absent from the baseline is new since it was committed:
-            # nothing to gate against. Absent from the fresh run = bench shrank,
-            # which should fail loudly.
-            if fresh_value is None:
-                failures.append(f"{metric}: missing from fresh run")
-                print(f"{metric:<34} {base_value or 0:>12.1f} {'MISSING':>12} {'':>8}  FAIL")
-            else:
-                print(f"{metric:<34} {'(new)':>12} {fresh_value:>12.1f} {'':>8}  skip")
-            continue
-        is_normalizer = metric == NORMALIZER
-        if args.absolute or is_normalizer:
-            # The normaliser's self-ratio is 1.0 by construction, so it is
-            # always judged in absolute terms — and absolute comparisons are
-            # only meaningful on the baseline's own hardware.
-            gated = same_hw
-            base_score, fresh_score = base_value, fresh_value
-        else:
-            gated = scale_armed if metric in THREADED_METRICS else True
-            base_score, fresh_score = base_value / base_norm, fresh_value / fresh_norm
-        change = fresh_score / base_score - 1.0 if base_score else 0.0
-        regressed = change < -args.threshold
-        verdict = "ok" if not regressed else ("FAIL" if gated else "skip (hw)")
-        if regressed and gated:
-            failures.append(f"{metric}: {change:+.1%} (limit -{args.threshold:.0%})")
-        print(f"{metric:<34} {base_value:>12.1f} {fresh_value:>12.1f} {change:>+7.1%}  {verdict}")
-
+    failures = evaluate(fresh, baseline, args.threshold, args.absolute)
     if failures:
         print(f"\nFAIL: {len(failures)} metric(s) regressed beyond {args.threshold:.0%}:")
         for failure in failures:

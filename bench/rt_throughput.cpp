@@ -1,6 +1,6 @@
 // Streaming-runtime throughput, tracked across PRs via BENCH_rt_throughput.json.
 //
-// Three families of measurements:
+// Four families of measurements:
 //  * kernel rates: single-window vs batched classification, float vs
 //    fixed-point, in windows/second. The batched float fast path must stay
 //    >= 3x the single-window float loop at 64-window batches (Release).
@@ -16,10 +16,19 @@
 //    Extraction + classification both run on the workers, so windows/s
 //    should scale with worker count on a multi-core host (target: >= 2x at
 //    4 workers; single-core machines cannot show this and the JSON records
-//    the hardware concurrency for that reason).
+//    the hardware concurrency for that reason). The 1-worker continuous run
+//    also reports per-batch delivery-latency p50/p99 (queue entry -> sink).
+//  * streaming stage breakdown at the paper's overlapping configuration
+//    (180 s windows / 30 s stride, 6x sample overlap): incremental
+//    extraction vs the seed batch re-detection strategy, classification
+//    through the per-worker scratch path, and the continuous end-to-end
+//    rate + delivery latency at 1 worker.
 //
 // CI gates on the JSON via bench/check_regression.py against the committed
-// baseline in bench/baselines/ (machine-normalised; >25% regression fails).
+// baseline in bench/baselines/ (machine-normalised; >25% regression fails;
+// latency metrics gate as lower-is-better).
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -30,13 +39,17 @@
 #include <vector>
 
 #include "core/quantize.hpp"
+#include "dsp/statistics.hpp"
 #include "ecg/ecg_synth.hpp"
+#include "ecg/qrs_detect.hpp"
 #include "ecg/rr_model.hpp"
+#include "features/extractor.hpp"
 #include "features/feature_types.hpp"
 #include "fixed/fixed_point.hpp"
 #include "rt/packed_kernel.hpp"
 #include "rt/packed_model.hpp"
 #include "rt/sharded_classifier.hpp"
+#include "rt/window_extractor.hpp"
 #include "svm/kernel.hpp"
 #include "svm/model.hpp"
 #include "svm/scaler.hpp"
@@ -187,6 +200,8 @@ rt::ServableModel synthetic_servable() {
 struct ShardedRun {
   double windows_per_s = 0.0;
   std::size_t windows = 0;
+  double latency_p50_ms = 0.0;  ///< Per-batch delivery latency (continuous).
+  double latency_p99_ms = 0.0;
 };
 
 /// Telemetry-shaped arrival: 4 s chunks, round-robin across the ward;
@@ -232,10 +247,11 @@ ShardedRun sharded_flush_rate(const std::shared_ptr<rt::ModelRegistry>& registry
 }
 
 /// Continuous mode: a sink counts results as each patient batch classifies;
-/// the only flush() is the terminal fence.
+/// the only flush() is the terminal fence. Also reports the per-batch
+/// delivery-latency percentiles the engine records (queue entry -> sink).
 ShardedRun continuous_rate(const std::shared_ptr<rt::ModelRegistry>& registry,
-                           const std::map<int, ecg::EcgWaveform>& ward, std::size_t workers) {
-  const auto config = ward_stream_config();
+                           const std::map<int, ecg::EcgWaveform>& ward, std::size_t workers,
+                           rt::StreamConfig config) {
   const std::size_t chunk = static_cast<std::size_t>(4.0 * config.fs_hz);
   std::atomic<std::size_t> delivered{0};
   using clock = std::chrono::steady_clock;
@@ -246,7 +262,107 @@ ShardedRun continuous_rate(const std::shared_ptr<rt::ModelRegistry>& registry,
   push_ward(classifier, ward, chunk);
   classifier.flush();  // Fence: every pushed chunk classified and delivered.
   const double secs = std::chrono::duration<double>(clock::now() - start).count();
-  return {static_cast<double>(delivered.load()) / secs, delivered.load()};
+  ShardedRun run{static_cast<double>(delivered.load()) / secs, delivered.load()};
+  const auto latencies = classifier.delivery_latencies_s();
+  if (!latencies.empty()) {
+    run.latency_p50_ms = dsp::percentile(latencies, 50.0) * 1e3;
+    run.latency_p99_ms = dsp::percentile(latencies, 99.0) * 1e3;
+  }
+  return run;
+}
+
+// --- Streaming stage breakdown at the paper's overlapping stride -------------
+
+rt::StreamConfig overlap_stream_config() {
+  rt::StreamConfig config;
+  config.fs_hz = 250.0;
+  config.window_s = 180.0;  // The paper's 3-minute analysis window...
+  config.stride_s = 30.0;   // ...hopped every 30 s: 6x sample overlap.
+  return config;
+}
+
+struct StageRates {
+  std::size_t windows = 0;       ///< Windows emitted by the incremental path.
+  std::size_t ref_windows = 0;   ///< Windows emitted by the batch reference.
+  double extract_wps = 0.0;
+  double extract_ref_wps = 0.0;  ///< Seed-style re-detection per window.
+  double classify_wps = 0.0;
+};
+
+/// Extraction only: incremental WindowExtractor over the ward, counting sink.
+StageRates stage_breakdown(const std::shared_ptr<rt::ModelRegistry>& registry,
+                           const std::map<int, ecg::EcgWaveform>& ward,
+                           const rt::StreamConfig& config) {
+  StageRates rates;
+
+  // Dry pass: count emitted windows and keep their raw features for the
+  // classify-only stage.
+  std::vector<std::array<double, features::kNumFeatures>> raw_windows;
+  {
+    rt::WindowExtractor extractor(config);
+    for (const auto& [pid, wf] : ward)
+      extractor.push_samples(pid, wf.samples_mv, [&raw_windows](rt::ExtractedWindow&& w) {
+        raw_windows.push_back(w.raw_features);
+      });
+  }
+  rates.windows = raw_windows.size();
+  if (rates.windows == 0) return rates;  // Degenerate ward: nothing to rate.
+
+  rates.extract_wps = measure(rates.windows, [&](std::size_t) {
+    rt::WindowExtractor extractor(config);
+    double acc = 0.0;
+    for (const auto& [pid, wf] : ward)
+      extractor.push_samples(pid, wf.samples_mv,
+                             [&acc](rt::ExtractedWindow&& w) { acc += w.raw_features[0]; });
+    g_sink_f = acc;
+  });
+
+  // The seed extraction strategy at the same configuration: copy each
+  // window's samples and re-run the whole batch Pan-Tompkins chain + the
+  // allocating feature path on it — the O(window/stride) re-processing the
+  // incremental detector removes.
+  const auto window = static_cast<std::size_t>(config.window_s * config.fs_hz);
+  const auto stride = static_cast<std::size_t>(config.stride_s * config.fs_hz);
+  const auto batch_pass = [&]() -> std::size_t {
+    std::size_t emitted = 0;
+    double acc = 0.0;
+    for (const auto& entry : ward) {
+      const auto& wf = entry.second;
+      for (std::size_t start = 0; start + window <= wf.samples_mv.size(); start += stride) {
+        ecg::EcgWaveform slice;
+        slice.fs_hz = config.fs_hz;
+        slice.samples_mv.assign(
+            wf.samples_mv.begin() + static_cast<std::ptrdiff_t>(start),
+            wf.samples_mv.begin() + static_cast<std::ptrdiff_t>(start + window));
+        const auto qrs = ecg::detect_qrs(slice);
+        if (qrs.size() < config.min_beats || qrs.size() < 2) continue;
+        const auto feats =
+            features::extract_features(qrs.to_rr_series(), qrs.to_edr(config.edr_fs_hz));
+        acc += feats[0];
+        ++emitted;
+      }
+    }
+    g_sink_f = acc;
+    return emitted;
+  };
+  rates.ref_windows = batch_pass();
+  if (rates.ref_windows > 0)
+    rates.extract_ref_wps = measure(rates.ref_windows, [&](std::size_t) { batch_pass(); });
+
+  // Classification only: the serving front half (select + scale) plus the
+  // batched fixed-point kernel over the pre-extracted raw windows, through
+  // the per-worker scratch path the sharded engine uses.
+  const auto model = registry->resolve(1);
+  std::vector<std::vector<double>> rows(raw_windows.size());
+  rt::KernelScratch kernel_scratch;
+  std::vector<double> values;
+  rates.classify_wps = measure(raw_windows.size(), [&](std::size_t) {
+    for (std::size_t k = 0; k < raw_windows.size(); ++k)
+      model->prepare_row(raw_windows[k], rows[k]);
+    model->quantized()->dequantized_decisions(rows, kernel_scratch, values);
+    g_sink_f = values[0];
+  });
+  return rates;
 }
 
 }  // namespace
@@ -384,7 +500,7 @@ int main() {
   std::map<std::size_t, ShardedRun> continuous;
   std::printf("continuous mode (per-batch sink delivery, classification on the workers):\n");
   for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
-    continuous[workers] = continuous_rate(registry, ward, workers);
+    continuous[workers] = continuous_rate(registry, ward, workers, ward_stream_config());
     std::printf("  %zu worker%s: %8.1f windows/s  (%zu windows, %.2fx 1-worker)\n", workers,
                 workers == 1 ? " " : "s", continuous[workers].windows_per_s,
                 continuous[workers].windows,
@@ -392,6 +508,28 @@ int main() {
   }
   const double continuous_scaling_4w =
       continuous[4].windows_per_s / continuous[1].windows_per_s;
+  std::printf("  delivery latency @1 worker: p50 %.2f ms, p99 %.2f ms\n",
+              continuous[1].latency_p50_ms, continuous[1].latency_p99_ms);
+
+  // --- Streaming stage breakdown (incremental extraction engine) --------------
+  const auto overlap_config = overlap_stream_config();
+  const auto overlap_ward = synth_ward(4, 600.0);
+  std::printf("\nstreaming stage breakdown: 4 patients x 600 s ECG @ 250 Hz, %g s windows"
+              " / %g s stride (6x overlap)\n",
+              overlap_config.window_s, overlap_config.stride_s);
+  const auto stages = stage_breakdown(registry, overlap_ward, overlap_config);
+  const double extract_speedup =
+      stages.extract_ref_wps > 0.0 ? stages.extract_wps / stages.extract_ref_wps : 0.0;
+  std::printf("  extract (incremental, O(1)/sample):   %10.1f windows/s  (%zu windows)\n",
+              stages.extract_wps, stages.windows);
+  std::printf("  extract (seed batch re-detection):    %10.1f windows/s  (%zu windows)\n",
+              stages.extract_ref_wps, stages.ref_windows);
+  std::printf("  incremental extraction speedup:       %10.2fx\n", extract_speedup);
+  std::printf("  classify (scratch path, fixed-point): %10.1f windows/s\n", stages.classify_wps);
+  const auto e2e = continuous_rate(registry, overlap_ward, 1, overlap_config);
+  std::printf("  end-to-end continuous @1 worker:      %10.1f windows/s  (%zu windows,"
+              " p50 %.2f ms, p99 %.2f ms)\n",
+              e2e.windows_per_s, e2e.windows, e2e.latency_p50_ms, e2e.latency_p99_ms);
 
   std::printf("\nbatched float fast path vs single-window float loop: %.2fx %s\n",
               float_batch64 / float_single,
@@ -437,7 +575,22 @@ int main() {
     std::fprintf(json, "    \"workers_1_wps\": %.1f,\n", continuous[1].windows_per_s);
     std::fprintf(json, "    \"workers_2_wps\": %.1f,\n", continuous[2].windows_per_s);
     std::fprintf(json, "    \"workers_4_wps\": %.1f,\n", continuous[4].windows_per_s);
-    std::fprintf(json, "    \"scaling_4w\": %.3f\n", continuous_scaling_4w);
+    std::fprintf(json, "    \"scaling_4w\": %.3f,\n", continuous_scaling_4w);
+    std::fprintf(json, "    \"latency_p50_ms\": %.3f,\n", continuous[1].latency_p50_ms);
+    std::fprintf(json, "    \"latency_p99_ms\": %.3f\n", continuous[1].latency_p99_ms);
+    std::fprintf(json, "  },\n");
+    std::fprintf(json, "  \"streaming\": {\n");
+    std::fprintf(json, "    \"patients\": 4, \"duration_s\": 600.0,\n");
+    std::fprintf(json, "    \"window_s\": %.1f, \"stride_s\": %.1f,\n", overlap_config.window_s,
+                 overlap_config.stride_s);
+    std::fprintf(json, "    \"extract_wps\": %.1f,\n", stages.extract_wps);
+    std::fprintf(json, "    \"extract_batch_ref_wps\": %.1f,\n", stages.extract_ref_wps);
+    std::fprintf(json, "    \"extract_speedup_vs_batch\": %.3f,\n", extract_speedup);
+    std::fprintf(json, "    \"classify_wps\": %.1f,\n", stages.classify_wps);
+    std::fprintf(json, "    \"e2e_wps\": %.1f,\n", e2e.windows_per_s);
+    std::fprintf(json, "    \"e2e_latency_p50_ms\": %.3f,\n", e2e.latency_p50_ms);
+    std::fprintf(json, "    \"e2e_latency_p99_ms\": %.3f,\n", e2e.latency_p99_ms);
+    std::fprintf(json, "    \"simd_kernel\": %s\n", rt::simd_kernel_enabled() ? "true" : "false");
     std::fprintf(json, "  }\n");
     std::fprintf(json, "}\n");
     std::fclose(json);

@@ -167,14 +167,23 @@ __int128 QuantizedModel::decision_accumulator(std::span<const std::int64_t> qx) 
 
 std::vector<__int128> QuantizedModel::batch_accumulators(
     std::span<const std::vector<double>> xs) const {
+  rt::KernelScratch scratch;
+  batch_accumulators(xs, scratch);
+  return std::move(scratch.accs);
+}
+
+void QuantizedModel::batch_accumulators(std::span<const std::vector<double>> xs,
+                                        rt::KernelScratch& scratch) const {
   const std::size_t nwin = xs.size();
   const std::size_t nfeat = num_features();
-  std::vector<__int128> accs(nwin);
-  if (nwin == 0) return accs;
+  auto& accs = scratch.accs;
+  accs.assign(nwin, 0);
+  if (nwin == 0) return;
 
   // Quantise every window directly into the feature-major layout the blocked
   // kernel consumes: qxt[f * nwin + w].
-  std::vector<std::int64_t> qxt(nwin * nfeat);
+  auto& qxt = scratch.qxt;
+  qxt.resize(nwin * nfeat);
   for (std::size_t w = 0; w < nwin; ++w) {
     if (xs[w].size() != nfeat)
       throw std::invalid_argument("QuantizedModel: feature-count mismatch");
@@ -199,7 +208,6 @@ std::vector<__int128> QuantizedModel::batch_accumulators(
   kernel.dot_truncate_bits = config_.dot_truncate_bits;
   kernel.square_truncate_bits = config_.square_truncate_bits;
   rt::batch_quantized_accumulators(kernel, qxt.data(), nwin, accs.data());
-  return accs;
 }
 
 int QuantizedModel::classify(std::span<const double> x) const {
@@ -301,11 +309,19 @@ QuantizedModel QuantizedModel::load(std::istream& is) {
 
 std::vector<double> QuantizedModel::dequantized_decisions(
     std::span<const std::vector<double>> xs) const {
-  const auto accs = batch_accumulators(xs);
-  std::vector<double> values(accs.size());
-  for (std::size_t w = 0; w < accs.size(); ++w)
-    values[w] = static_cast<double>(accs[w]) * acc2_scale_;
+  rt::KernelScratch scratch;
+  std::vector<double> values;
+  dequantized_decisions(xs, scratch, values);
   return values;
+}
+
+void QuantizedModel::dequantized_decisions(std::span<const std::vector<double>> xs,
+                                           rt::KernelScratch& scratch,
+                                           std::vector<double>& out) const {
+  batch_accumulators(xs, scratch);
+  out.resize(scratch.accs.size());
+  for (std::size_t w = 0; w < scratch.accs.size(); ++w)
+    out[w] = static_cast<double>(scratch.accs[w]) * acc2_scale_;
 }
 
 }  // namespace svt::core

@@ -35,6 +35,10 @@
 #include "hw/accelerator_model.hpp"
 #include "svm/model.hpp"
 
+namespace svt::rt {
+struct KernelScratch;  // rt/packed_kernel.hpp
+}
+
 namespace svt::core {
 
 struct QuantConfig {
@@ -78,6 +82,13 @@ class QuantizedModel {
   /// per-window path, scaled by the MAC2 LSB.
   std::vector<double> dequantized_decisions(std::span<const std::vector<double>> xs) const;
 
+  /// Scratch variant: stages the quantised feature-major batch and the
+  /// accumulators in `scratch` and writes the values into `out` (resized),
+  /// so repeated batch classification allocates nothing once warm.
+  /// Bit-identical to the allocating overload.
+  void dequantized_decisions(std::span<const std::vector<double>> xs, rt::KernelScratch& scratch,
+                             std::vector<double>& out) const;
+
   /// Quantise a test vector into Dbits integers (saturating, per-feature).
   std::vector<std::int64_t> quantize_input(std::span<const double> x) const;
 
@@ -115,8 +126,11 @@ class QuantizedModel {
   __int128 decision_accumulator(std::span<const std::int64_t> qx) const;
 
   /// Batched accumulators over the packed (flattened) SV table; bit-exact
-  /// with decision_accumulator() per window.
+  /// with decision_accumulator() per window. The scratch variant stages the
+  /// quantised batch in scratch.qxt and leaves the result in scratch.accs.
   std::vector<__int128> batch_accumulators(std::span<const std::vector<double>> xs) const;
+  void batch_accumulators(std::span<const std::vector<double>> xs,
+                          rt::KernelScratch& scratch) const;
 
   QuantConfig config_;
   hw::PipelineConfig pipeline_;

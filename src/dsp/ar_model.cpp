@@ -70,21 +70,35 @@ ArModel ar_yule_walker(std::span<const double> x, std::size_t order) {
 }
 
 ArModel ar_burg(std::span<const double> x, std::size_t order) {
+  BurgScratch scratch;
+  ar_burg(x, order, scratch);
+  return ArModel{std::move(scratch.a), scratch.noise_variance};
+}
+
+void ar_burg(std::span<const double> x, std::size_t order, BurgScratch& scratch) {
   if (order == 0) throw std::invalid_argument("ar_burg: order == 0");
   if (x.size() <= order) throw std::invalid_argument("ar_burg: series too short");
-  std::vector<double> centred(x.begin(), x.end());
+  auto& centred = scratch.centred;
+  centred.assign(x.begin(), x.end());
   remove_mean(centred);
   const std::size_t n = centred.size();
 
-  std::vector<double> f(centred);  // Forward prediction errors.
-  std::vector<double> b(centred);  // Backward prediction errors.
-  std::vector<double> a;           // Predictor coefficients built incrementally.
+  auto& f = scratch.f;  // Forward prediction errors.
+  auto& b = scratch.b;  // Backward prediction errors.
+  auto& a = scratch.a;  // Predictor coefficients built incrementally.
+  f.assign(centred.begin(), centred.end());
+  b.assign(centred.begin(), centred.end());
+  a.clear();
   a.reserve(order);
 
   double err = 0.0;
   for (double v : centred) err += v * v;
   err /= static_cast<double>(n);
-  if (err <= 0.0) return ArModel{std::vector<double>(order, 0.0), 0.0};
+  if (err <= 0.0) {
+    a.assign(order, 0.0);
+    scratch.noise_variance = 0.0;
+    return;
+  }
 
   for (std::size_t m = 0; m < order; ++m) {
     // Reflection coefficient k_m = 2 * sum f[i] b[i-1] / (sum f^2 + sum b^2).
@@ -96,7 +110,8 @@ ArModel ar_burg(std::span<const double> x, std::size_t order) {
     const double k = den > 0.0 ? 2.0 * num / den : 0.0;
 
     // Update predictor coefficients (step-up recursion).
-    std::vector<double> prev = a;
+    auto& prev = scratch.prev;
+    prev.assign(a.begin(), a.end());
     a.push_back(k);
     for (std::size_t j = 0; j < m; ++j) a[j] = prev[j] - k * prev[m - 1 - j];
 
@@ -110,7 +125,7 @@ ArModel ar_burg(std::span<const double> x, std::size_t order) {
     err *= (1.0 - k * k);
     if (err < 0.0) err = 0.0;
   }
-  return ArModel{std::move(a), err};
+  scratch.noise_variance = err;
 }
 
 std::vector<double> reflection_to_predictor(std::span<const double> reflection) {

@@ -45,6 +45,18 @@ ArModel ar_yule_walker(std::span<const double> x, std::size_t order);
 /// AR estimation by Burg's method. Throws if x.size() <= order or order == 0.
 ArModel ar_burg(std::span<const double> x, std::size_t order);
 
+/// Reusable workspace for the scratch Burg path (forward/backward error
+/// series, coefficient vectors). Allocation-free once warm.
+struct BurgScratch {
+  std::vector<double> centred, f, b, a, prev;
+  double noise_variance = 0.0;
+};
+
+/// Scratch variant of ar_burg: coefficients land in scratch.a (size =
+/// order) and the prediction-error variance in scratch.noise_variance.
+/// Bit-identical to ar_burg — the allocating overload delegates here.
+void ar_burg(std::span<const double> x, std::size_t order, BurgScratch& scratch);
+
 /// Reflection coefficients -> predictor coefficients (step-up recursion).
 std::vector<double> reflection_to_predictor(std::span<const double> reflection);
 

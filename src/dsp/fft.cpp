@@ -78,4 +78,58 @@ std::vector<double> magnitude_squared_spectrum(std::span<const double> x, std::s
   return mag;
 }
 
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  if (!is_power_of_two(n)) throw std::invalid_argument("FftPlan: size must be a power of two");
+  bitrev_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) bitrev_[i] = i;
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j |= bit;
+    bitrev_[i] = j;
+  }
+  // Per-stage twiddle chains, generated with the same w *= wlen recurrence
+  // fft_core runs inside each butterfly block: table lookups therefore feed
+  // the butterflies the exact doubles the planless path computes.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = -2.0 * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    std::vector<std::complex<double>> stage(len / 2);
+    std::complex<double> w(1.0, 0.0);
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      stage[k] = w;
+      w *= wlen;
+    }
+    twiddles_.push_back(std::move(stage));
+  }
+}
+
+void fft_inplace(std::span<std::complex<double>> x, const FftPlan& plan) {
+  const std::size_t n = x.size();
+  if (n != plan.size()) throw std::invalid_argument("fft_inplace: size != plan size");
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = plan.bitrev_[i];
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  std::size_t stage = 0;
+  for (std::size_t len = 2; len <= n; len <<= 1, ++stage) {
+    const auto& tw = plan.twiddles_[stage];
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = x[i + k];
+        const std::complex<double> v = x[i + k + len / 2] * tw[k];
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+      }
+    }
+  }
+}
+
+const FftPlan& FftPlanCache::get(std::size_t n) {
+  const auto it = plans_.find(n);
+  if (it != plans_.end()) return it->second;
+  return plans_.emplace(n, FftPlan(n)).first->second;
+}
+
 }  // namespace svt::dsp

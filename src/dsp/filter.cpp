@@ -10,15 +10,6 @@ namespace svt::dsp {
 Biquad::Biquad(double b0, double b1, double b2, double a1, double a2)
     : b0_(b0), b1_(b1), b2_(b2), a1_(a1), a2_(a2) {}
 
-double Biquad::process(double x) {
-  const double y = b0_ * x + b1_ * x1_ + b2_ * x2_ - a1_ * y1_ - a2_ * y2_;
-  x2_ = x1_;
-  x1_ = x;
-  y2_ = y1_;
-  y1_ = y;
-  return y;
-}
-
 void Biquad::reset() { x1_ = x2_ = y1_ = y2_ = 0.0; }
 
 std::vector<double> Biquad::filter(std::span<const double> x) {

@@ -15,8 +15,17 @@ class Biquad {
   Biquad() = default;
   Biquad(double b0, double b1, double b2, double a1, double a2);
 
-  /// Process one sample, updating internal state.
-  double process(double x);
+  /// Process one sample, updating internal state. Inline: the streaming QRS
+  /// detector runs two of these per raw sample, where an out-of-line call
+  /// would dominate the per-sample cost.
+  double process(double x) {
+    const double y = b0_ * x + b1_ * x1_ + b2_ * x2_ - a1_ * y1_ - a2_ * y2_;
+    x2_ = x1_;
+    x1_ = x;
+    y2_ = y1_;
+    y1_ = y;
+    return y;
+  }
 
   /// Reset internal state to zero.
   void reset();

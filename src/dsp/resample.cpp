@@ -22,11 +22,10 @@ void validate_series(std::span<const double> times_s, std::span<const double> va
   }
 }
 
-}  // namespace
-
-double interpolate_at(std::span<const double> times_s, std::span<const double> values,
-                      double query_time_s) {
-  validate_series(times_s, values, "interpolate_at");
+/// interpolate_at without the per-call series validation (the resampling
+/// loop validates once up front); arithmetic is identical.
+double interpolate_unchecked(std::span<const double> times_s, std::span<const double> values,
+                             double query_time_s) {
   if (query_time_s <= times_s.front()) return values.front();
   if (query_time_s >= times_s.back()) return values.back();
   // First element strictly greater than the query.
@@ -39,20 +38,33 @@ double interpolate_at(std::span<const double> times_s, std::span<const double> v
   return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 
-UniformSeries resample_linear(std::span<const double> times_s, std::span<const double> values,
-                              double fs_hz) {
+}  // namespace
+
+double interpolate_at(std::span<const double> times_s, std::span<const double> values,
+                      double query_time_s) {
+  validate_series(times_s, values, "interpolate_at");
+  return interpolate_unchecked(times_s, values, query_time_s);
+}
+
+void resample_linear_into(std::span<const double> times_s, std::span<const double> values,
+                          double fs_hz, double& start_time_s, std::vector<double>& out_values) {
   validate_series(times_s, values, "resample_linear");
   if (fs_hz <= 0.0) throw std::invalid_argument("resample_linear: fs_hz <= 0");
-  UniformSeries out;
-  out.fs_hz = fs_hz;
-  out.start_time_s = times_s.front();
+  start_time_s = times_s.front();
   const double duration = times_s.back() - times_s.front();
   const auto n = static_cast<std::size_t>(std::floor(duration * fs_hz)) + 1;
-  out.values.resize(n);
+  out_values.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const double t = out.start_time_s + static_cast<double>(i) / fs_hz;
-    out.values[i] = interpolate_at(times_s, values, t);
+    const double t = start_time_s + static_cast<double>(i) / fs_hz;
+    out_values[i] = interpolate_unchecked(times_s, values, t);
   }
+}
+
+UniformSeries resample_linear(std::span<const double> times_s, std::span<const double> values,
+                              double fs_hz) {
+  UniformSeries out;
+  out.fs_hz = fs_hz;
+  resample_linear_into(times_s, values, fs_hz, out.start_time_s, out.values);
   return out;
 }
 

@@ -29,6 +29,14 @@ struct UniformSeries {
 UniformSeries resample_linear(std::span<const double> times_s, std::span<const double> values,
                               double fs_hz);
 
+/// Scratch variant of resample_linear: the grid values land in `out_values`
+/// (resized; capacity reused across calls) and the grid origin in
+/// `start_time_s`. Validates the series once up front instead of per grid
+/// point; the interpolation arithmetic is identical, so the resampled values
+/// are bit-identical to resample_linear.
+void resample_linear_into(std::span<const double> times_s, std::span<const double> values,
+                          double fs_hz, double& start_time_s, std::vector<double>& out_values);
+
 /// Linear interpolation at a single query time (clamps outside the range).
 double interpolate_at(std::span<const double> times_s, std::span<const double> values,
                       double query_time_s);

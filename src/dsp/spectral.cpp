@@ -51,6 +51,53 @@ PsdEstimate periodogram(std::span<const double> x, double fs_hz, WindowType wind
 }
 
 PsdEstimate welch_psd(std::span<const double> x, double fs_hz, const WelchParams& params) {
+  SpectralScratch scratch;
+  PsdEstimate out;
+  welch_psd(x, fs_hz, params, scratch, out);
+  return out;
+}
+
+namespace {
+
+/// One windowed segment's PSD through the scratch FFT path; `accumulate`
+/// adds the segment's power into `out` instead of (re)initialising it.
+/// Value-identical to segment_psd: the taper product goes straight into the
+/// zero-padded FFT buffer and the per-bin normalisation runs in the same
+/// order.
+void segment_psd_into(std::span<const double> x, double fs_hz, std::span<const double> w,
+                      SpectralScratch& scratch, PsdEstimate& out, bool accumulate) {
+  SVT_ASSERT(x.size() == w.size());
+  const std::size_t nfft = next_power_of_two(x.size());
+  auto& buf = scratch.fft_buf;
+  buf.assign(nfft, {0.0, 0.0});
+  for (std::size_t i = 0; i < x.size(); ++i) buf[i] = {x[i] * w[i], 0.0};
+  fft_inplace(buf, scratch.plans.get(nfft));
+
+  const std::size_t half = nfft / 2;
+  const double norm = fs_hz * window_power(w);
+  const double df = fs_hz / static_cast<double>(nfft);
+  if (!accumulate) {
+    out.frequency_hz.resize(half + 1);
+    out.power.resize(half + 1);
+  }
+  SVT_ASSERT(out.power.size() == half + 1);
+  for (std::size_t k = 0; k <= half; ++k) {
+    double p = std::norm(buf[k]) / norm;
+    const bool interior = k != 0 && k != half;
+    if (interior) p *= 2.0;  // One-sided estimate folds the negative axis.
+    if (accumulate) {
+      out.power[k] += p;
+    } else {
+      out.frequency_hz[k] = df * static_cast<double>(k);
+      out.power[k] = p;
+    }
+  }
+}
+
+}  // namespace
+
+void welch_psd(std::span<const double> x, double fs_hz, const WelchParams& params,
+               SpectralScratch& scratch, PsdEstimate& out) {
   if (x.empty()) throw std::invalid_argument("welch_psd: empty input");
   if (fs_hz <= 0.0) throw std::invalid_argument("welch_psd: fs_hz <= 0");
   if (params.segment_length == 0) throw std::invalid_argument("welch_psd: segment_length == 0");
@@ -60,31 +107,25 @@ PsdEstimate welch_psd(std::span<const double> x, double fs_hz, const WelchParams
   const std::size_t seg = std::min(params.segment_length, x.size());
   auto hop = static_cast<std::size_t>(
       std::max(1.0, std::round(static_cast<double>(seg) * (1.0 - params.overlap_fraction))));
-  const auto w = make_window(params.window, seg);
+  if (scratch.window_len != seg || scratch.window_type != params.window ||
+      scratch.window.empty()) {
+    scratch.window = make_window(params.window, seg);
+    scratch.window_len = seg;
+    scratch.window_type = params.window;
+  }
 
-  PsdEstimate acc;
+  // seg <= x.size() by construction, so the loop always runs at least once.
   std::size_t count = 0;
   for (std::size_t start = 0; start + seg <= x.size(); start += hop) {
-    std::vector<double> segment(x.begin() + static_cast<std::ptrdiff_t>(start),
-                                x.begin() + static_cast<std::ptrdiff_t>(start + seg));
-    if (params.detrend_segments) remove_mean(segment);
-    PsdEstimate p = segment_psd(segment, fs_hz, w);
-    if (count == 0) {
-      acc = std::move(p);
-    } else {
-      SVT_ASSERT(acc.power.size() == p.power.size());
-      for (std::size_t k = 0; k < acc.power.size(); ++k) acc.power[k] += p.power[k];
-    }
+    scratch.segment.assign(x.begin() + static_cast<std::ptrdiff_t>(start),
+                           x.begin() + static_cast<std::ptrdiff_t>(start + seg));
+    if (params.detrend_segments) remove_mean(scratch.segment);
+    segment_psd_into(scratch.segment, fs_hz, scratch.window, scratch, out,
+                     /*accumulate=*/count > 0);
     ++count;
   }
-  if (count == 0) {
-    // Series shorter than one segment: single periodogram over everything.
-    std::vector<double> whole(x.begin(), x.end());
-    if (params.detrend_segments) remove_mean(whole);
-    return segment_psd(whole, fs_hz, make_window(params.window, whole.size()));
-  }
-  for (double& p : acc.power) p /= static_cast<double>(count);
-  return acc;
+  SVT_ASSERT(count > 0);
+  for (double& p : out.power) p /= static_cast<double>(count);
 }
 
 double band_power(const PsdEstimate& psd, double f_lo, double f_hi) {

@@ -6,10 +6,12 @@
 // the Welch estimator and band integration those features are built on.
 #pragma once
 
+#include <complex>
 #include <cstddef>
 #include <span>
 #include <vector>
 
+#include "dsp/fft.hpp"
 #include "dsp/window.hpp"
 
 namespace svt::dsp {
@@ -40,6 +42,25 @@ struct WelchParams {
 /// to a single periodogram over the whole series. Throws on empty input,
 /// fs_hz <= 0, segment_length == 0 or overlap outside [0,1).
 PsdEstimate welch_psd(std::span<const double> x, double fs_hz, const WelchParams& params = {});
+
+/// Reusable workspace for the scratch Welch path: segment copy, cached
+/// taper, FFT buffer and per-size FFT plans. Allocation-free once warm
+/// (every buffer keeps its capacity between calls; the plan cache holds one
+/// plan per distinct FFT size seen).
+struct SpectralScratch {
+  std::vector<double> segment;
+  std::vector<double> window;  ///< Cached taper for (window_type, window_len).
+  WindowType window_type = WindowType::kHann;
+  std::size_t window_len = 0;
+  std::vector<std::complex<double>> fft_buf;
+  FftPlanCache plans;
+};
+
+/// Scratch variant of welch_psd: the estimate lands in `out` (resized;
+/// capacity reused across calls). Same validation rules and bit-identical
+/// results — the allocating overload above delegates here.
+void welch_psd(std::span<const double> x, double fs_hz, const WelchParams& params,
+               SpectralScratch& scratch, PsdEstimate& out);
 
 /// Integrated power in [f_lo, f_hi) via trapezoid-free bin summation
 /// (power * resolution for bins whose centre falls in the band).

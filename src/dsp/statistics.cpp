@@ -61,9 +61,14 @@ double max_value(std::span<const double> x) {
 
 double percentile(std::span<const double> x, double p) {
   require_non_empty(x, "percentile");
-  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of [0,100]");
   std::vector<double> sorted(x.begin(), x.end());
   std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, p);
+}
+
+double percentile_sorted(std::span<const double> sorted, double p) {
+  require_non_empty(sorted, "percentile_sorted");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of [0,100]");
   if (sorted.size() == 1) return sorted.front();
   const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(pos));
@@ -125,10 +130,23 @@ double pearson(std::span<const double> x, std::span<const double> y) {
 }
 
 std::vector<double> successive_differences(std::span<const double> x) {
-  if (x.size() < 2) throw std::invalid_argument("successive_differences: need at least 2 samples");
-  std::vector<double> d(x.size() - 1);
-  for (std::size_t i = 0; i + 1 < x.size(); ++i) d[i] = x[i + 1] - x[i];
+  std::vector<double> d;
+  successive_differences_into(x, d);
   return d;
+}
+
+void successive_differences_into(std::span<const double> x, std::vector<double>& out) {
+  if (x.size() < 2) throw std::invalid_argument("successive_differences: need at least 2 samples");
+  out.resize(x.size() - 1);
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) out[i] = x[i + 1] - x[i];
+}
+
+double fraction_abs_above(std::span<const double> values, double threshold) {
+  std::size_t count = 0;
+  for (double v : values) {
+    if (std::abs(v) > threshold) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(values.size());
 }
 
 double rmssd(std::span<const double> x) {
@@ -138,11 +156,7 @@ double rmssd(std::span<const double> x) {
 
 double fraction_successive_diff_above(std::span<const double> x, double threshold) {
   const auto d = successive_differences(x);
-  std::size_t count = 0;
-  for (double v : d) {
-    if (std::abs(v) > threshold) ++count;
-  }
-  return static_cast<double>(count) / static_cast<double>(d.size());
+  return fraction_abs_above(d, threshold);
 }
 
 std::vector<double> autocorrelation(std::span<const double> x, std::size_t max_lag) {

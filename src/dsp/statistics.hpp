@@ -42,6 +42,11 @@ double median(std::span<const double> x);
 /// out-of-range p.
 double percentile(std::span<const double> x, double p);
 
+/// percentile() over an ALREADY ascending-sorted span (no copy, no sort).
+/// The scratch feature path sorts once and reads several percentiles from
+/// the same buffer; percentile() delegates here, so both agree bit-for-bit.
+double percentile_sorted(std::span<const double> sorted, double p);
+
 /// Inter-quartile range (P75 - P25).
 double iqr(std::span<const double> x);
 
@@ -62,6 +67,15 @@ double pearson(std::span<const double> x, std::span<const double> y);
 
 /// Successive differences x[i+1]-x[i]; size N-1. Throws if x has < 2 samples.
 std::vector<double> successive_differences(std::span<const double> x);
+
+/// Scratch variant: differences land in `out` (resized; capacity reused).
+/// The allocating overload and the zero-allocation HRV path share this
+/// implementation. Throws if x has < 2 samples.
+void successive_differences_into(std::span<const double> x, std::vector<double>& out);
+
+/// Fraction (in [0,1]) of values with |v| > threshold. Shared by
+/// fraction_successive_diff_above and the scratch HRV path.
+double fraction_abs_above(std::span<const double> values, double threshold);
 
 /// Root mean square of successive differences (the HRV "RMSSD" primitive).
 double rmssd(std::span<const double> x);

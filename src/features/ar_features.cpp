@@ -1,5 +1,8 @@
 #include "features/ar_features.hpp"
 
+#include <algorithm>
+
+#include "common/assert.hpp"
 #include "dsp/ar_model.hpp"
 #include "dsp/statistics.hpp"
 
@@ -7,11 +10,19 @@ namespace svt::features {
 
 std::array<double, kNumArFeatures> compute_ar_features(const ecg::RespirationSeries& edr) {
   std::array<double, kNumArFeatures> f{};
-  if (edr.values.size() <= kArOrder + 1) return f;
-  if (dsp::stddev_population(edr.values) <= 0.0) return f;
-  const auto model = dsp::ar_burg(edr.values, kArOrder);
-  for (std::size_t i = 0; i < kNumArFeatures; ++i) f[i] = model.coefficients[i];
+  FeatureScratch scratch;
+  compute_ar_features(edr, scratch, f);
   return f;
+}
+
+void compute_ar_features(const ecg::RespirationSeries& edr, FeatureScratch& scratch,
+                         std::span<double> f) {
+  SVT_ASSERT(f.size() == kNumArFeatures);
+  std::fill(f.begin(), f.end(), 0.0);
+  if (edr.values.size() <= kArOrder + 1) return;
+  if (dsp::stddev_population(edr.values) <= 0.0) return;
+  dsp::ar_burg(edr.values, kArOrder, scratch.burg);
+  for (std::size_t i = 0; i < kNumArFeatures; ++i) f[i] = scratch.burg.a[i];
 }
 
 }  // namespace svt::features

@@ -6,8 +6,10 @@
 #pragma once
 
 #include <array>
+#include <span>
 
 #include "ecg/rr_model.hpp"
+#include "features/feature_scratch.hpp"
 #include "features/feature_types.hpp"
 
 namespace svt::features {
@@ -17,5 +19,11 @@ inline constexpr std::size_t kArOrder = kNumArFeatures;  // AR(9).
 /// AR(9) coefficients of the EDR series (all-zero if the window is too short
 /// or the series is constant).
 std::array<double, kNumArFeatures> compute_ar_features(const ecg::RespirationSeries& edr);
+
+/// Scratch variant: writes the kNumArFeatures values into `out` (out.size()
+/// must equal kNumArFeatures) with no heap allocation once the scratch is
+/// warm. Bit-identical to the allocating overload.
+void compute_ar_features(const ecg::RespirationSeries& edr, FeatureScratch& scratch,
+                         std::span<double> out);
 
 }  // namespace svt::features

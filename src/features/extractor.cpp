@@ -78,18 +78,23 @@ std::vector<double> category_gains(const std::vector<std::size_t>& feature_indic
 
 std::vector<double> extract_features(const ecg::RrSeries& rr,
                                      const ecg::RespirationSeries& edr) {
-  std::vector<double> f;
-  f.reserve(kNumFeatures);
-  const auto hrv = compute_hrv_features(rr);
-  const auto lorentz = compute_lorentz_features(rr);
-  const auto ar = compute_ar_features(edr);
-  const auto psd = compute_psd_features(edr);
-  f.insert(f.end(), hrv.begin(), hrv.end());
-  f.insert(f.end(), lorentz.begin(), lorentz.end());
-  f.insert(f.end(), ar.begin(), ar.end());
-  f.insert(f.end(), psd.begin(), psd.end());
-  SVT_ASSERT(f.size() == kNumFeatures);
+  FeatureScratch scratch;
+  std::vector<double> f(kNumFeatures);
+  extract_features(rr, edr, scratch, f);
   return f;
+}
+
+void extract_features(const ecg::RrSeries& rr, const ecg::RespirationSeries& edr,
+                      FeatureScratch& scratch, std::span<double> out) {
+  SVT_ASSERT(out.size() == kNumFeatures);
+  std::size_t off = 0;
+  compute_hrv_features(rr, scratch, out.subspan(off, kNumHrvFeatures));
+  off += kNumHrvFeatures;
+  compute_lorentz_features(rr, scratch, out.subspan(off, kNumLorentzFeatures));
+  off += kNumLorentzFeatures;
+  compute_ar_features(edr, scratch, out.subspan(off, kNumArFeatures));
+  off += kNumArFeatures;
+  compute_psd_features(edr, scratch, out.subspan(off, kNumPsdFeatures));
 }
 
 std::vector<double> extract_features(const ecg::WindowRecord& window) {

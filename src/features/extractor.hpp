@@ -2,9 +2,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "ecg/dataset.hpp"
+#include "features/feature_scratch.hpp"
 #include "features/feature_types.hpp"
 
 namespace svt::features {
@@ -34,6 +36,12 @@ std::vector<double> extract_features(const ecg::WindowRecord& window);
 /// from raw ECG samples via QRS detection rather than from a dataset).
 std::vector<double> extract_features(const ecg::RrSeries& rr,
                                      const ecg::RespirationSeries& edr);
+
+/// Scratch variant: writes the kNumFeatures values into `out` (out.size()
+/// must equal kNumFeatures) with no heap allocation once the scratch is
+/// warm. Bit-identical to the allocating overloads, which delegate here.
+void extract_features(const ecg::RrSeries& rr, const ecg::RespirationSeries& edr,
+                      FeatureScratch& scratch, std::span<double> out);
 
 /// Extract features for every window of a dataset (session order).
 FeatureMatrix extract_feature_matrix(const ecg::Dataset& dataset);

@@ -1,0 +1,43 @@
+// Reusable per-worker workspace for the zero-allocation feature path.
+//
+// One FeatureScratch holds every buffer the 53-feature extraction chain
+// needs — the HRV heart-rate / successive-difference / percentile-sort
+// buffers, the Lorentz rotation buffers, the Burg forward/backward error
+// series, and the Welch segment / taper / FFT-plan scratch — so steady-
+// state window emission performs no heap allocation (every vector keeps its
+// capacity between windows; the FFT plan cache holds one plan per distinct
+// length seen).
+//
+// Ownership: scratch is NOT thread-safe and carries no per-patient state —
+// every value is fully overwritten per call, so one scratch can serve any
+// number of interleaved patients (asserted by tests/test_features.cpp). The
+// sharded engine gives each worker thread its own scratch via the worker's
+// private WindowExtractor.
+//
+// Bit-exactness: the scratch overloads of compute_*_features and
+// extract_features are THE implementation; the allocating overloads
+// delegate to them with a local scratch, so both paths agree bit-for-bit.
+#pragma once
+
+#include <vector>
+
+#include "dsp/ar_model.hpp"
+#include "dsp/spectral.hpp"
+
+namespace svt::features {
+
+struct FeatureScratch {
+  // HRV (features 1-8).
+  std::vector<double> hr;      ///< Instantaneous heart rate per interval.
+  std::vector<double> diffs;   ///< Successive RR differences.
+  std::vector<double> sorted;  ///< Sorted RR copy for the percentiles.
+  // Lorentz (features 9-15).
+  std::vector<double> u, v;  ///< 45-degree rotated successive-pair axes.
+  // AR (features 16-24).
+  dsp::BurgScratch burg;
+  // PSD (features 25-53).
+  dsp::SpectralScratch spectral;
+  dsp::PsdEstimate psd;
+};
+
+}  // namespace svt::features

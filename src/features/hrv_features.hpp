@@ -2,8 +2,10 @@
 #pragma once
 
 #include <array>
+#include <span>
 
 #include "ecg/rr_model.hpp"
+#include "features/feature_scratch.hpp"
 #include "features/feature_types.hpp"
 
 namespace svt::features {
@@ -21,5 +23,11 @@ namespace svt::features {
 /// Windows with fewer than 4 beats yield all-zero features (an unusable
 /// window; the generator never produces one, but the API stays total).
 std::array<double, kNumHrvFeatures> compute_hrv_features(const ecg::RrSeries& rr);
+
+/// Scratch variant: writes the kNumHrvFeatures values into `out`
+/// (out.size() must equal kNumHrvFeatures) with no heap allocation once
+/// the scratch is warm. Bit-identical to the allocating overload.
+void compute_hrv_features(const ecg::RrSeries& rr, FeatureScratch& scratch,
+                          std::span<double> out);
 
 }  // namespace svt::features

@@ -1,20 +1,34 @@
 #include "features/lorentz_features.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
+#include "common/assert.hpp"
 #include "dsp/statistics.hpp"
 
 namespace svt::features {
 
 std::array<double, kNumLorentzFeatures> compute_lorentz_features(const ecg::RrSeries& rr) {
   std::array<double, kNumLorentzFeatures> f{};
-  if (rr.size() < 4) return f;
+  FeatureScratch scratch;
+  compute_lorentz_features(rr, scratch, f);
+  return f;
+}
+
+void compute_lorentz_features(const ecg::RrSeries& rr, FeatureScratch& scratch,
+                              std::span<double> f) {
+  SVT_ASSERT(f.size() == kNumLorentzFeatures);
+  std::fill(f.begin(), f.end(), 0.0);
+  if (rr.size() < 4) return;
   const auto& x = rr.rr_s;
 
   // Rotate successive pairs by 45 degrees: u along the identity line,
   // v perpendicular to it. SD1 = std(v), SD2 = std(u).
-  std::vector<double> u(x.size() - 1), v(x.size() - 1);
+  auto& u = scratch.u;
+  auto& v = scratch.v;
+  u.resize(x.size() - 1);
+  v.resize(x.size() - 1);
   for (std::size_t i = 0; i + 1 < x.size(); ++i) {
     u[i] = (x[i + 1] + x[i]) / std::numbers::sqrt2;
     v[i] = (x[i + 1] - x[i]) / std::numbers::sqrt2;
@@ -32,7 +46,6 @@ std::array<double, kNumLorentzFeatures> compute_lorentz_features(const ecg::RrSe
   const double cu = dsp::mean(u);
   const double cv = dsp::mean(v);
   f[6] = std::sqrt(cu * cu + cv * cv) * 1e3;    // Centroid distance [ms].
-  return f;
 }
 
 }  // namespace svt::features

@@ -8,8 +8,10 @@
 #pragma once
 
 #include <array>
+#include <span>
 
 #include "ecg/rr_model.hpp"
+#include "features/feature_scratch.hpp"
 #include "features/feature_types.hpp"
 
 namespace svt::features {
@@ -25,5 +27,11 @@ namespace svt::features {
 ///
 /// Windows with fewer than 4 beats yield all-zero features.
 std::array<double, kNumLorentzFeatures> compute_lorentz_features(const ecg::RrSeries& rr);
+
+/// Scratch variant: writes the kNumLorentzFeatures values into `out`
+/// (out.size() must equal kNumLorentzFeatures) with no heap allocation once
+/// the scratch is warm. Bit-identical to the allocating overload.
+void compute_lorentz_features(const ecg::RrSeries& rr, FeatureScratch& scratch,
+                              std::span<double> out);
 
 }  // namespace svt::features

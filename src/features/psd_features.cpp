@@ -1,7 +1,9 @@
 #include "features/psd_features.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "common/assert.hpp"
 #include "dsp/spectral.hpp"
 #include "dsp/statistics.hpp"
 
@@ -9,13 +11,23 @@ namespace svt::features {
 
 std::array<double, kNumPsdFeatures> compute_psd_features(const ecg::RespirationSeries& edr) {
   std::array<double, kNumPsdFeatures> f{};
-  if (edr.values.size() < 32 || edr.fs_hz <= 0.0) return f;
-  if (dsp::stddev_population(edr.values) <= 0.0) return f;
+  FeatureScratch scratch;
+  compute_psd_features(edr, scratch, f);
+  return f;
+}
+
+void compute_psd_features(const ecg::RespirationSeries& edr, FeatureScratch& scratch,
+                          std::span<double> f) {
+  SVT_ASSERT(f.size() == kNumPsdFeatures);
+  std::fill(f.begin(), f.end(), 0.0);
+  if (edr.values.size() < 32 || edr.fs_hz <= 0.0) return;
+  if (dsp::stddev_population(edr.values) <= 0.0) return;
 
   dsp::WelchParams wp;
   wp.segment_length = 256;
   wp.overlap_fraction = 0.5;
-  const auto psd = dsp::welch_psd(edr.values, edr.fs_hz, wp);
+  dsp::welch_psd(edr.values, edr.fs_hz, wp, scratch.spectral, scratch.psd);
+  const auto& psd = scratch.psd;
 
   constexpr double kEps = 1e-12;
   const double nyquist = edr.fs_hz / 2.0;
@@ -31,7 +43,6 @@ std::array<double, kNumPsdFeatures> compute_psd_features(const ecg::RespirationS
   f[26] = std::log10((low + kEps) / (high + kEps));
   f[27] = dsp::peak_frequency(psd, 0.05, 0.60);
   f[28] = dsp::spectral_edge_frequency(psd, 0.95);
-  return f;
 }
 
 }  // namespace svt::features

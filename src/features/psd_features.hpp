@@ -8,8 +8,10 @@
 #pragma once
 
 #include <array>
+#include <span>
 
 #include "ecg/rr_model.hpp"
+#include "features/feature_scratch.hpp"
 #include "features/feature_types.hpp"
 
 namespace svt::features {
@@ -23,5 +25,11 @@ inline constexpr std::size_t kNumPsdBands = 25;
 ///  27     peak (dominant respiratory) frequency in [0.05, 0.6) Hz
 ///  28     95% spectral edge frequency
 std::array<double, kNumPsdFeatures> compute_psd_features(const ecg::RespirationSeries& edr);
+
+/// Scratch variant: writes the kNumPsdFeatures values into `out` (out.size()
+/// must equal kNumPsdFeatures) with no heap allocation once the scratch is
+/// warm. Bit-identical to the allocating overload.
+void compute_psd_features(const ecg::RespirationSeries& edr, FeatureScratch& scratch,
+                          std::span<double> out);
 
 }  // namespace svt::features

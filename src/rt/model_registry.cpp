@@ -38,14 +38,20 @@ ServableModel ServableModel::from_detector(const core::TailoredDetector& detecto
 
 std::vector<double> ServableModel::prepare_row(std::span<const double> raw_features) const {
   std::vector<double> x;
-  x.reserve(selected_.size());
+  prepare_row(raw_features, x);
+  return x;
+}
+
+void ServableModel::prepare_row(std::span<const double> raw_features,
+                                std::vector<double>& out) const {
+  out.clear();
+  out.reserve(selected_.size());
   for (std::size_t j : selected_) {
     if (j >= raw_features.size())
       throw std::invalid_argument("ServableModel::prepare_row: feature vector too short");
-    x.push_back(raw_features[j]);
+    out.push_back(raw_features[j]);
   }
-  scaler_.transform_inplace(x);
-  return x;
+  scaler_.transform_inplace(out);
 }
 
 void ServableModel::save(std::ostream& os) const {

@@ -64,6 +64,11 @@ class ServableModel {
   /// the raw vector is too short.
   std::vector<double> prepare_row(std::span<const double> raw_features) const;
 
+  /// Scratch variant: the prepared row lands in `out` (resized; capacity
+  /// reused across calls), so the serving hot loop performs no allocation
+  /// once warm. Bit-identical to the allocating overload.
+  void prepare_row(std::span<const double> raw_features, std::vector<double>& out) const;
+
   const std::vector<std::size_t>& selected_features() const { return selected_; }
   const svm::StandardScaler& scaler() const { return scaler_; }
   const svm::SvmModel& model() const { return model_; }

@@ -9,6 +9,15 @@
 // match them: bit-exactly for the fixed-point path, and to rounding of
 // `pow(s,2)` vs `s*s` for the float path.
 //
+// The fixed-point kernel has two implementations with identical results:
+// a portable branch-free scalar path (always compiled, exposed as
+// batch_quantized_accumulators_scalar for parity tests), and an explicitly
+// vectorised path (AVX2, else SSE4.2) selected at COMPILE time when the
+// library is built with SVT_SIMD on a target that has the ISA — saturation
+// becomes vector min/max and the multiply-shift runs across the window-
+// block lanes. Integer arithmetic is exact, so the two paths are bit-
+// identical (asserted across feature widths by tests/test_rt_batch.cpp).
+//
 // This header is a leaf: it depends only on svt::fixed, so both the float
 // SVM layer and the fixed-point core can route their batch entry points
 // through it without a dependency cycle.
@@ -25,12 +34,26 @@ namespace svt::rt {
 /// block of accumulators and partial dot products stays in registers/L1.
 inline constexpr std::size_t kWindowBlock = 16;
 
+/// Reusable buffers for the batch classification hot loop: the transposed
+/// (feature-major) float batch, the quantised feature-major batch, and the
+/// MAC2 accumulators. Callers that classify repeatedly (the serving
+/// engines) keep one per worker so the per-batch transpose/quantise staging
+/// allocates nothing once warm. Not thread-safe; carries no model or
+/// patient state.
+struct KernelScratch {
+  std::vector<double> xt;
+  std::vector<std::int64_t> qxt;
+  std::vector<__int128> accs;
+};
+
 /// Transpose a row-major batch (nwin x nfeat) into feature-major layout
-/// (nfeat x nwin): out[f * nwin + w] = in[w * nfeat + f]. The feature-major
-/// layout makes the innermost per-window loops of the blocked kernels
-/// contiguous (unit stride), which is what lets them vectorise. (The
-/// quantised batch path needs no transpose: it quantises straight into the
-/// feature-major layout.)
+/// (nfeat x nwin): out[f * nwin + w] = in[w * nfeat + f]. Blocked/tiled so
+/// both sides stream through the cache a tile at a time instead of striding
+/// the whole matrix per element. The feature-major layout makes the
+/// innermost per-window loops of the blocked kernels contiguous (unit
+/// stride), which is what lets them vectorise. (The quantised batch path
+/// needs no transpose: it quantises straight into the feature-major
+/// layout.)
 void transpose_batch(const double* in, std::size_t nwin, std::size_t nfeat, double* out);
 
 /// Batched float decision values of a quadratic-polynomial SVM:
@@ -46,6 +69,9 @@ void batch_quadratic_decisions(const double* xt, std::size_t nwin, std::size_t n
 /// the per-window engine in core::QuantizedModel (MAC1 with per-feature
 /// scale-back shifts -> +1 -> truncate -> square -> truncate -> MAC2), with
 /// every stage saturating to the same widths. All pointers are borrowed.
+/// Contract: q_svs and the quantised inputs are Dbits integers with
+/// Dbits <= 20 (enforced by QuantizedModel::build), so products fit 32x32
+/// signed multiplies — the property the SIMD path relies on.
 struct PackedQuantKernel {
   std::size_t nfeat = 0;
   std::size_t nsv = 0;
@@ -64,7 +90,19 @@ struct PackedQuantKernel {
 
 /// Batched integer decision accumulators (sign = class), bit-exact with the
 /// per-window engine. `qxt` is the quantised batch in feature-major layout.
+/// Dispatches to the vector path in SVT_SIMD builds, else runs the scalar
+/// reference; both produce identical bits.
 void batch_quantized_accumulators(const PackedQuantKernel& kernel, const std::int64_t* qxt,
                                   std::size_t nwin, __int128* out);
+
+/// The portable branch-free scalar reference (always compiled): the
+/// bit-exactness oracle for the SIMD path.
+void batch_quantized_accumulators_scalar(const PackedQuantKernel& kernel,
+                                         const std::int64_t* qxt, std::size_t nwin,
+                                         __int128* out);
+
+/// True when this build dispatches batch_quantized_accumulators to an
+/// explicit vector implementation (SVT_SIMD build on an AVX2/SSE4.2 target).
+bool simd_kernel_enabled();
 
 }  // namespace svt::rt

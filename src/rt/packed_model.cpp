@@ -34,11 +34,18 @@ void PackedModel::decision_values_flat(const double* xs, std::size_t nwin, doubl
 
 void PackedModel::decision_values(std::span<const std::vector<double>> xs,
                                   std::span<double> out) const {
+  KernelScratch scratch;
+  decision_values(xs, out, scratch);
+}
+
+void PackedModel::decision_values(std::span<const std::vector<double>> xs, std::span<double> out,
+                                  KernelScratch& scratch) const {
   if (out.size() != xs.size())
     throw std::invalid_argument("PackedModel::decision_values: output size mismatch");
   const std::size_t nwin = xs.size();
   if (nwin == 0) return;
-  std::vector<double> xt(nwin * nfeat_);
+  auto& xt = scratch.xt;
+  xt.resize(nwin * nfeat_);
   for (std::size_t w = 0; w < nwin; ++w) {
     if (xs[w].size() != nfeat_)
       throw std::invalid_argument("PackedModel::decision_values: feature-count mismatch");

@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "rt/packed_kernel.hpp"
 #include "svm/model.hpp"
 
 namespace svt::rt {
@@ -26,6 +27,11 @@ class PackedModel {
   /// SvmModel::decision_value per window (same accumulation order).
   void decision_values(std::span<const std::vector<double>> xs, std::span<double> out) const;
   std::vector<double> decision_values(std::span<const std::vector<double>> xs) const;
+
+  /// Scratch variant: stages the transposed batch in `scratch.xt` instead
+  /// of a per-call allocation. Bit-identical results.
+  void decision_values(std::span<const std::vector<double>> xs, std::span<double> out,
+                       KernelScratch& scratch) const;
 
   /// Batched decision values over a flat row-major batch (nwin x nfeat).
   void decision_values_flat(const double* xs, std::size_t nwin, double* out) const;

@@ -54,6 +54,7 @@ void ShardedStreamClassifier::push_samples(int patient_id,
   Task task;
   task.patient_id = patient_id;
   task.samples.assign(samples_mv.begin(), samples_mv.end());
+  task.enqueued = std::chrono::steady_clock::now();
   shards_[shard_of(patient_id)]->tasks.push(std::move(task));
 }
 
@@ -63,6 +64,15 @@ void ShardedStreamClassifier::evict_patient(int patient_id) {
   task.evict = true;
   // Control push: an eviction must reach the worker even when producers have
   // the queue saturated, and must never be displaced by drop-oldest.
+  shards_[shard_of(patient_id)]->tasks.push_control(std::move(task));
+}
+
+void ShardedStreamClassifier::end_stream(int patient_id) {
+  Task task;
+  task.patient_id = patient_id;
+  task.end_stream = true;
+  task.enqueued = std::chrono::steady_clock::now();
+  // Control push, like evictions: the end of a stream must not be dropped.
   shards_[shard_of(patient_id)]->tasks.push_control(std::move(task));
 }
 
@@ -88,10 +98,14 @@ void ShardedStreamClassifier::worker_loop(Shard& shard) {
       continue;
     }
     windows.clear();
-    shard.extractor.push_samples(task->patient_id, task->samples,
-                                 [&windows](ExtractedWindow&& window) {
-                                   windows.push_back(std::move(window));
-                                 });
+    const auto collect = [&windows](ExtractedWindow&& window) {
+      windows.push_back(std::move(window));
+    };
+    if (task->end_stream) {
+      shard.extractor.end_patient(task->patient_id, collect);
+    } else {
+      shard.extractor.push_samples(task->patient_id, task->samples, collect);
+    }
     const std::size_t rejected_now = shard.extractor.rejected_windows();
     if (rejected_now != shard.rejected_reported) {
       rejected_ += rejected_now - shard.rejected_reported;
@@ -99,7 +113,18 @@ void ShardedStreamClassifier::worker_loop(Shard& shard) {
     }
     if (windows.empty()) continue;
     try {
-      classify_batch(task->patient_id, windows);
+      classify_batch(task->patient_id, windows, shard);
+      const double latency =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - task->enqueued)
+              .count();
+      const std::lock_guard<std::mutex> lock(shard.latency_mutex);
+      if (shard.latencies_s.size() < kLatencyReservoir) {
+        shard.latencies_s.push_back(latency);
+      } else {
+        // Reservoir full: overwrite the oldest entry (recent-window view).
+        shard.latencies_s[shard.latency_next] = latency;
+        shard.latency_next = (shard.latency_next + 1) % kLatencyReservoir;
+      }
     } catch (...) {
       // Record the first error for the next flush() and keep serving: one
       // patient without a model must not take down the whole shard.
@@ -110,7 +135,8 @@ void ShardedStreamClassifier::worker_loop(Shard& shard) {
 }
 
 void ShardedStreamClassifier::classify_batch(int patient_id,
-                                             std::vector<ExtractedWindow>& windows) {
+                                             std::vector<ExtractedWindow>& windows,
+                                             Shard& shard) {
   // Snapshot the patient's model once per batch: this is the hot-swap fence.
   // The batch runs to completion on the snapshot even if install() replaces
   // the registry entry mid-batch; the next batch sees the new model.
@@ -119,21 +145,30 @@ void ShardedStreamClassifier::classify_batch(int patient_id,
     throw std::runtime_error("ShardedStreamClassifier: no model for patient " +
                              std::to_string(patient_id));
 
-  std::vector<std::vector<double>> rows;
-  rows.reserve(windows.size());
-  for (const auto& window : windows) rows.push_back(model->prepare_row(window.raw_features));
+  // All staging lives in the shard's scratch: rows, values and the kernel's
+  // transpose/quantise buffers keep their capacity between batches, so the
+  // steady-state serve loop performs no heap allocation.
+  const std::size_t n = windows.size();
+  ClassifyScratch& scratch = shard.scratch;
+  if (scratch.rows.size() < n) scratch.rows.resize(n);
+  for (std::size_t k = 0; k < n; ++k)
+    model->prepare_row(windows[k].raw_features, scratch.rows[k]);
+  const std::span<const std::vector<double>> rows(scratch.rows.data(), n);
 
-  std::vector<double> values(rows.size());
+  auto& values = scratch.values;
   if (model->quantized()) {
-    values = model->quantized()->dequantized_decisions(rows);
+    model->quantized()->dequantized_decisions(rows, scratch.kernel, values);
   } else if (model->packed()) {
-    model->packed()->decision_values(rows, values);
+    values.resize(n);
+    model->packed()->decision_values(rows, values, scratch.kernel);
   } else {
+    values.resize(n);
     model->model().decision_values(rows, values);
   }
 
-  std::vector<WindowResult> batch(windows.size());
-  for (std::size_t k = 0; k < windows.size(); ++k) {
+  auto& batch = scratch.batch;
+  batch.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
     batch[k].patient_id = patient_id;
     batch[k].start_s = windows[k].start_s;
     batch[k].num_beats = windows[k].num_beats;
@@ -141,6 +176,15 @@ void ShardedStreamClassifier::classify_batch(int patient_id,
     batch[k].label = values[k] >= 0.0 ? +1 : -1;
   }
   deliver(batch);
+}
+
+std::vector<double> ShardedStreamClassifier::delivery_latencies_s() const {
+  std::vector<double> all;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->latency_mutex);
+    all.insert(all.end(), shard->latencies_s.begin(), shard->latencies_s.end());
+  }
+  return all;
 }
 
 void ShardedStreamClassifier::deliver(std::span<const WindowResult> batch) {

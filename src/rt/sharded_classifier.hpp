@@ -61,6 +61,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -136,10 +137,19 @@ class ShardedStreamClassifier {
   /// the next one.
   std::vector<WindowResult> flush();
 
-  /// Drop a patient's extraction state (sample ring, window phase) on their
-  /// shard. Asynchronous: takes effect after chunks already queued for the
-  /// shard; fence with flush() for a synchronous guarantee. Frees memory for
-  /// patients that left the ward — the registry entry is untouched.
+  /// End a finite patient stream: the owning worker flushes the detector
+  /// tail, classifies and delivers the trailing windows the live path holds
+  /// back (see WindowExtractor::end_patient), and drops the patient's
+  /// stream state. Asynchronous like push_samples; fence with flush() to
+  /// wait for the tail delivery. Live monitoring streams never end; use
+  /// this when replaying finite recordings so no full window is lost.
+  void end_stream(int patient_id);
+
+  /// Drop a patient's extraction state (detector, beat ring, window phase)
+  /// on their shard. Asynchronous: takes effect after chunks already queued
+  /// for the shard; fence with flush() for a synchronous guarantee. Frees
+  /// memory for patients that left the ward — the registry entry is
+  /// untouched.
   void evict_patient(int patient_id);
 
   /// Which shard (worker) serves a patient; stable for the engine's lifetime.
@@ -157,6 +167,20 @@ class ShardedStreamClassifier {
   /// Windows delivered (to the sink or the collection buffer) so far.
   std::size_t delivered_windows() const { return delivered_.load(); }
 
+  /// Per-batch delivery latencies in seconds: for every delivered batch,
+  /// the time from its chunk's push_samples() submission to the sink (or
+  /// collection buffer) receiving the classified windows — under kBlock
+  /// backpressure this deliberately includes the producer's wait for queue
+  /// space, since that is part of the latency a submitter observes. Bounded:
+  /// each
+  /// shard keeps a fixed-size reservoir of the most recent batches
+  /// (kLatencyReservoir), so long-running engines report a recent-window
+  /// percentile view at constant memory. Drives the continuous path's
+  /// p50/p99 tracking in bench/rt_throughput. Snapshot is consistent
+  /// mid-stream (per-shard mutex); for an exact account of everything
+  /// pushed, fence with flush() first.
+  std::vector<double> delivery_latencies_s() const;
+
   ModelRegistry& registry() { return *registry_; }
   const ModelRegistry& registry() const { return *registry_; }
   const StreamConfig& config() const { return config_; }
@@ -168,6 +192,17 @@ class ShardedStreamClassifier {
     std::vector<double> samples;
     bool fence = false;
     bool evict = false;
+    bool end_stream = false;
+    std::chrono::steady_clock::time_point enqueued;  ///< For delivery latency.
+  };
+
+  /// Per-worker classification staging, reused across batches so the serve
+  /// hot loop is allocation-free once warm (one per shard, worker-only).
+  struct ClassifyScratch {
+    std::vector<std::vector<double>> rows;  ///< Prepared (selected+scaled) rows.
+    std::vector<double> values;
+    std::vector<WindowResult> batch;
+    KernelScratch kernel;
   };
 
   struct Shard {
@@ -175,12 +210,21 @@ class ShardedStreamClassifier {
         : tasks(options.queue_capacity, options.backpressure), extractor(config) {}
     WorkQueue<Task> tasks;
     WindowExtractor extractor;          ///< Touched only by the worker thread.
+    ClassifyScratch scratch;            ///< Touched only by the worker thread.
     std::size_t rejected_reported = 0;  ///< Worker-local watermark.
+    mutable std::mutex latency_mutex;   ///< Guards the latency reservoir.
+    std::vector<double> latencies_s;    ///< Most recent delivered batches.
+    std::size_t latency_next = 0;       ///< Overwrite cursor once full.
     std::thread worker;
   };
 
+  /// Per-shard bound on the delivery-latency reservoir: once full, the
+  /// oldest samples are overwritten, so a long-running engine keeps a
+  /// recent-window percentile view at fixed memory.
+  static constexpr std::size_t kLatencyReservoir = 4096;
+
   void worker_loop(Shard& shard);
-  void classify_batch(int patient_id, std::vector<ExtractedWindow>& windows);
+  void classify_batch(int patient_id, std::vector<ExtractedWindow>& windows, Shard& shard);
   void deliver(std::span<const WindowResult> batch);
 
   std::shared_ptr<ModelRegistry> registry_;

@@ -20,13 +20,22 @@ void StreamClassifier::push_samples(int patient_id, std::span<const double> samp
     // The detector's per-window front half (feature selection + scaling); the
     // back half (the decision kernel) is deferred to flush(), where all
     // queued rows go through one batched call.
-    pending_rows_.push_back(detector_.prepare_row(window.raw_features));
-    WindowResult meta;
-    meta.patient_id = window.patient_id;
-    meta.start_s = window.start_s;
-    meta.num_beats = window.num_beats;
-    pending_meta_.push_back(meta);
+    queue_window(window);
   });
+}
+
+bool StreamClassifier::end_stream(int patient_id) {
+  return extractor_.end_patient(
+      patient_id, [this](ExtractedWindow&& window) { queue_window(window); });
+}
+
+void StreamClassifier::queue_window(const ExtractedWindow& window) {
+  pending_rows_.push_back(detector_.prepare_row(window.raw_features));
+  WindowResult meta;
+  meta.patient_id = window.patient_id;
+  meta.start_s = window.start_s;
+  meta.num_beats = window.num_beats;
+  pending_meta_.push_back(meta);
 }
 
 std::vector<WindowResult> StreamClassifier::flush() {

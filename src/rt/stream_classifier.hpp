@@ -57,6 +57,12 @@ class StreamClassifier {
   /// A first push creates the patient's stream.
   void push_samples(int patient_id, std::span<const double> samples_mv);
 
+  /// End a finite patient stream: flushes the detector tail and queues the
+  /// trailing windows the live path holds back (see
+  /// WindowExtractor::end_patient), then drops the patient's stream state.
+  /// Returns whether the patient existed. Follow with flush() to classify.
+  bool end_stream(int patient_id);
+
   /// Windows extracted and queued, awaiting the next flush().
   std::size_t pending_windows() const { return pending_meta_.size(); }
 
@@ -75,10 +81,15 @@ class StreamClassifier {
   std::size_t num_patients() const { return extractor_.num_patients(); }
   std::size_t window_samples() const { return extractor_.window_samples(); }
   std::size_t stride_samples() const { return extractor_.stride_samples(); }
+  /// Detection lookahead: a window classifies once this many samples past
+  /// its end have been pushed (see WindowExtractor::emission_lag_samples).
+  std::size_t emission_lag_samples() const { return extractor_.emission_lag_samples(); }
   const StreamConfig& config() const { return extractor_.config(); }
   const core::TailoredDetector& detector() const { return detector_; }
 
  private:
+  void queue_window(const ExtractedWindow& window);
+
   core::TailoredDetector detector_;
   std::optional<PackedModel> packed_;
   WindowExtractor extractor_;

@@ -4,7 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
-#include "ecg/qrs_detect.hpp"
+#include "dsp/resample.hpp"
+#include "dsp/statistics.hpp"
 #include "features/extractor.hpp"
 
 namespace svt::rt {
@@ -20,44 +21,93 @@ WindowExtractor::WindowExtractor(StreamConfig config) : config_(config) {
   stride_samples_ = static_cast<std::size_t>(std::llround(config.stride_s * config.fs_hz));
   if (window_samples_ == 0 || stride_samples_ == 0)
     throw std::invalid_argument("WindowExtractor: window/stride shorter than one sample");
+  // Probe detector: validates fs against the QRS band-pass up front (instead
+  // of on the first push) and fixes the emission lookahead.
+  const ecg::StreamingQrsDetector probe(config.fs_hz);
+  emission_lag_samples_ = static_cast<std::size_t>(probe.finality_lag());
 }
 
 void WindowExtractor::push_samples(int patient_id, std::span<const double> samples_mv,
                                    const WindowSink& sink) {
   auto it = patients_.find(patient_id);
   if (it == patients_.end())
-    it = patients_.emplace(patient_id, PatientState(window_samples_)).first;
+    it = patients_.emplace(patient_id, PatientState(config_.fs_hz)).first;
   PatientState& state = it->second;
-  while (!samples_mv.empty()) {
-    const std::size_t taken = state.ring.push(samples_mv);
-    samples_mv = samples_mv.subspan(taken);
-    while (state.ring.size() >= window_samples_) {
-      emit_window(patient_id, state, sink);
-      state.ring.drop(stride_samples_);
-      state.consumed += stride_samples_;
-    }
+
+  state.detector.push(samples_mv);
+  state.pushed += static_cast<std::int64_t>(samples_mv.size());
+
+  // A window [start, start + W) is complete once every beat that can fall
+  // inside it is final — i.e. the detector's frontier has passed its end.
+  const auto window = static_cast<std::int64_t>(window_samples_);
+  while (state.detector.final_through() >= state.consumed + window) {
+    emit_window(patient_id, state, sink);
+    state.consumed += static_cast<std::int64_t>(stride_samples_);
+    state.detector.drop_beats_before(state.consumed);
   }
 }
 
 void WindowExtractor::emit_window(int patient_id, PatientState& state, const WindowSink& sink) {
-  ecg::EcgWaveform window;
-  window.fs_hz = config_.fs_hz;
-  window.samples_mv.resize(window_samples_);
-  state.ring.copy_out(window.samples_mv);
+  const std::int64_t start = state.consumed;
+  const std::int64_t end = start + static_cast<std::int64_t>(window_samples_);
 
-  const auto qrs = ecg::detect_qrs(window);
-  if (qrs.size() < config_.min_beats || qrs.size() < 2) {
+  // Slice the window's beats out of the ring (the head is already >= start:
+  // the stride advance drops older beats). Times are window-relative, so
+  // identical beat patterns give bit-identical features anywhere in the
+  // stream.
+  const auto& ring = state.detector.beats();
+  beat_times_.clear();
+  beat_amps_.clear();
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const ecg::Beat& beat = ring[i];
+    if (beat.sample_index >= end) break;
+    beat_times_.push_back(static_cast<double>(beat.sample_index - start) / config_.fs_hz);
+    beat_amps_.push_back(beat.amplitude_mv);
+  }
+  const std::size_t nbeats = beat_times_.size();
+  if (nbeats < config_.min_beats || nbeats < 2) {
     ++rejected_;
     return;
   }
 
+  // RR tachogram, same construction as QrsDetection::to_rr_series.
+  rr_scratch_.beat_times_s.clear();
+  rr_scratch_.rr_s.clear();
+  for (std::size_t i = 1; i < nbeats; ++i) {
+    rr_scratch_.beat_times_s.push_back(beat_times_[i]);
+    rr_scratch_.rr_s.push_back(beat_times_[i] - beat_times_[i - 1]);
+  }
+
+  // EDR series, same construction as QrsDetection::to_edr.
+  double edr_start = 0.0;
+  dsp::resample_linear_into(beat_times_, beat_amps_, config_.edr_fs_hz, edr_start,
+                            edr_scratch_.values);
+  edr_scratch_.fs_hz = config_.edr_fs_hz;
+  dsp::remove_mean(edr_scratch_.values);
+
   ExtractedWindow out;
   out.patient_id = patient_id;
-  out.start_s = static_cast<double>(state.consumed) / config_.fs_hz;
-  out.num_beats = qrs.size();
-  out.raw_features =
-      features::extract_features(qrs.to_rr_series(), qrs.to_edr(config_.edr_fs_hz));
+  out.start_s = static_cast<double>(start) / config_.fs_hz;
+  out.num_beats = nbeats;
+  features::extract_features(rr_scratch_, edr_scratch_, scratch_, out.raw_features);
   sink(std::move(out));
+}
+
+bool WindowExtractor::end_patient(int patient_id, const WindowSink& sink) {
+  const auto it = patients_.find(patient_id);
+  if (it == patients_.end()) return false;
+  PatientState& state = it->second;
+  // finish() runs the remaining decisions with the batch detector's
+  // end-of-record clamping, so every beat is final through the last sample.
+  state.detector.finish();
+  const auto window = static_cast<std::int64_t>(window_samples_);
+  while (state.consumed + window <= state.pushed) {
+    emit_window(patient_id, state, sink);
+    state.consumed += static_cast<std::int64_t>(stride_samples_);
+    state.detector.drop_beats_before(state.consumed);
+  }
+  patients_.erase(it);
+  return true;
 }
 
 bool WindowExtractor::erase_patient(int patient_id) {
@@ -66,7 +116,8 @@ bool WindowExtractor::erase_patient(int patient_id) {
 
 std::size_t WindowExtractor::buffered_samples(int patient_id) const {
   const auto it = patients_.find(patient_id);
-  return it == patients_.end() ? 0 : it->second.ring.size();
+  return it == patients_.end() ? 0
+                               : static_cast<std::size_t>(it->second.pushed - it->second.consumed);
 }
 
 }  // namespace svt::rt

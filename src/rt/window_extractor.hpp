@@ -1,31 +1,50 @@
-// The extraction stage of the streaming pipeline, factored out of the
-// monolithic StreamClassifier so every serving engine (single-threaded or
-// sharded) reuses the exact same front half:
+// The extraction stage of the streaming pipeline, shared by every serving
+// engine (single-threaded or sharded):
 //
 //   push_samples(patient, chunk)
-//   ┌─────────────┐  full  ┌──────────────────────────────────┐
-//   │ per-patient │ window │ QRS detect -> RR + EDR series    │  sink(
-//   │ sample ring │ ─────> │ -> 53 raw features               │ ─ ExtractedWindow)
-//   │  (overlap)  │        │ (selection/scaling is the        │
-//   └─────────────┘        │  model's job, not the stream's)  │
-//                          └──────────────────────────────────┘
+//   ┌──────────────────────────┐ beats ┌───────────────────────────────────┐
+//   │ per-patient              │ ring  │ slice beats in [start, start+W)   │  sink(
+//   │ StreamingQrsDetector     │ ────> │ -> RR + EDR series (scratch)      │ ─ ExtractedWindow)
+//   │ (each sample seen ONCE)  │       │ -> 53 raw features (zero-alloc)   │
+//   └──────────────────────────┘       └───────────────────────────────────┘
+//
+// Extraction is *incremental*: each raw sample runs through the online
+// Pan-Tompkins chain exactly once as it arrives, and a window is assembled
+// by slicing the beats that fall inside [start, start + window_s) out of
+// the patient's beat ring — overlapping strides therefore cost O(1) work
+// per sample instead of re-running the whole filter chain window_s/stride_s
+// times per sample, and emission performs no heap allocation in steady
+// state (one features::FeatureScratch per extractor, reused across every
+// patient and window).
+//
+// Because detection is causal with a bounded lookahead (the R-peak search
+// runs behind the integrator), a window is emitted once the detector's
+// finality frontier passes the window end — emission_lag_samples() (~190 ms
+// at 250 Hz) after the last sample of the window arrives. Beat times inside
+// a window are relative to the window start, so identical beat patterns
+// produce bit-identical features wherever they sit in the stream.
 //
 // The extractor is deliberately model-free: it emits *raw full-length*
 // feature vectors, so per-patient models (which each carry their own feature
 // selection and scaler) can be swapped without touching stream state. It is
 // single-threaded by design — the sharded engine gives each worker thread
-// its own extractor, which is what makes per-patient results independent of
-// the thread count, and patients that leave the ward can be dropped with
-// erase_patient so a long-running stream does not accumulate dead rings.
+// its own extractor (and therefore its own scratch), which is what makes
+// per-patient results independent of the thread count, and patients that
+// leave the ward can be dropped with erase_patient so a long-running stream
+// does not accumulate dead detector state.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <span>
 #include <vector>
 
-#include "rt/ring_buffer.hpp"
+#include "ecg/streaming_qrs.hpp"
+#include "features/feature_scratch.hpp"
+#include "features/feature_types.hpp"
 
 namespace svt::rt {
 
@@ -34,8 +53,8 @@ struct StreamConfig {
   double window_s = 180.0;  ///< Analysis window length (paper: 3 minutes).
   double stride_s = 180.0;  ///< Hop between windows; < window_s overlaps.
   double edr_fs_hz = 4.0;   ///< Uniform EDR resampling rate.
-  /// Windows whose QRS detection finds fewer R peaks than this are rejected
-  /// (counted, not emitted): too few beats to rebuild the RR/EDR series.
+  /// Windows with fewer beats than this are rejected (counted, not
+  /// emitted): too few beats to rebuild the RR/EDR series.
   std::size_t min_beats = 4;
 };
 
@@ -43,8 +62,9 @@ struct StreamConfig {
 struct ExtractedWindow {
   int patient_id = 0;
   double start_s = 0.0;       ///< Window start within the patient's stream.
-  std::size_t num_beats = 0;  ///< R peaks detected in the window.
-  std::vector<double> raw_features;  ///< Full-length, unselected, unscaled.
+  std::size_t num_beats = 0;  ///< R peaks inside the window.
+  /// Full-length, unselected, unscaled features (fixed-size: no heap).
+  std::array<double, features::kNumFeatures> raw_features{};
 };
 
 /// Receives each extracted window as soon as it is complete.
@@ -53,26 +73,41 @@ using WindowSink = std::function<void(ExtractedWindow&&)>;
 class WindowExtractor {
  public:
   /// Throws std::invalid_argument on a non-positive sampling rate, window,
-  /// or stride, stride_s > window_s, or a window shorter than one sample.
+  /// or stride, stride_s > window_s, a window shorter than one sample, or a
+  /// sampling rate too low for the QRS band-pass (fs_hz <= 30).
   explicit WindowExtractor(StreamConfig config = {});
 
   /// Ingest a chunk of raw ECG samples (mV) for one patient, invoking `sink`
-  /// for every full window that becomes available. Chunks may be of any
+  /// for every window whose beats have become final. Chunks may be of any
   /// size; a first push creates the patient's stream.
   void push_samples(int patient_id, std::span<const double> samples_mv,
                     const WindowSink& sink);
 
-  /// Drop a patient's stream state (sample ring, window phase). Returns
-  /// whether the patient existed. A later push recreates the stream from
-  /// scratch (window phase restarts at 0). The rejected-window count is
+  /// End a finite stream: flush the detector's tail (the batch detector's
+  /// end-of-record semantics), emit every remaining window that has a full
+  /// complement of samples — including the trailing windows the live-stream
+  /// path holds back for emission_lag_samples() — then drop the patient's
+  /// state. Returns whether the patient existed. Live monitoring streams
+  /// never call this; offline/recorded sessions end with it so no full
+  /// window is lost.
+  bool end_patient(int patient_id, const WindowSink& sink);
+
+  /// Drop a patient's stream state (detector, beat ring, window phase).
+  /// Returns whether the patient existed. A later push recreates the stream
+  /// from scratch (window phase restarts at 0). The rejected-window count is
   /// cumulative across evictions.
   bool erase_patient(int patient_id);
 
   /// Windows rejected for having fewer than min_beats R peaks.
   std::size_t rejected_windows() const { return rejected_; }
 
-  /// Samples currently buffered for a patient (0 for unknown patients).
+  /// Samples accumulated toward a patient's next window (0 for unknown
+  /// patients): samples pushed minus samples consumed by emitted windows.
   std::size_t buffered_samples(int patient_id) const;
+
+  /// Detection lookahead: a window is emitted once this many samples past
+  /// its end have been pushed (the online detector's finality lag).
+  std::size_t emission_lag_samples() const { return emission_lag_samples_; }
 
   std::size_t num_patients() const { return patients_.size(); }
   std::size_t window_samples() const { return window_samples_; }
@@ -81,9 +116,10 @@ class WindowExtractor {
 
  private:
   struct PatientState {
-    SampleRing ring;
-    std::size_t consumed = 0;  ///< Samples dropped so far = next window start.
-    explicit PatientState(std::size_t capacity) : ring(capacity) {}
+    ecg::StreamingQrsDetector detector;
+    std::int64_t pushed = 0;    ///< Samples ingested so far.
+    std::int64_t consumed = 0;  ///< Next window start (samples).
+    explicit PatientState(double fs_hz) : detector(fs_hz) {}
   };
 
   void emit_window(int patient_id, PatientState& state, const WindowSink& sink);
@@ -91,8 +127,17 @@ class WindowExtractor {
   StreamConfig config_;
   std::size_t window_samples_ = 0;
   std::size_t stride_samples_ = 0;
+  std::size_t emission_lag_samples_ = 0;
   std::map<int, PatientState> patients_;
   std::size_t rejected_ = 0;
+
+  // Per-extractor scratch (extractors are single-threaded): reused across
+  // every patient and window, so steady-state emission never allocates.
+  features::FeatureScratch scratch_;
+  ecg::RrSeries rr_scratch_;
+  ecg::RespirationSeries edr_scratch_;
+  std::vector<double> beat_times_;  ///< Window-relative beat times.
+  std::vector<double> beat_amps_;
 };
 
 }  // namespace svt::rt

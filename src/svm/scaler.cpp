@@ -33,6 +33,10 @@ void StandardScaler::fit(std::span<const std::vector<double>> samples) {
 }
 
 void StandardScaler::transform_inplace(std::vector<double>& sample) const {
+  transform_inplace(std::span<double>(sample));
+}
+
+void StandardScaler::transform_inplace(std::span<double> sample) const {
   if (!fitted()) throw std::invalid_argument("StandardScaler: not fitted");
   if (sample.size() != mean_.size())
     throw std::invalid_argument("StandardScaler::transform: size mismatch");

@@ -30,6 +30,10 @@ class StandardScaler {
   /// Transform one sample in place. Throws if not fitted or size mismatch.
   void transform_inplace(std::vector<double>& sample) const;
 
+  /// Span variant (the implementation; the vector overload delegates): lets
+  /// the zero-allocation serving path scale rows in caller-owned buffers.
+  void transform_inplace(std::span<double> sample) const;
+
   /// Transform a copy.
   std::vector<double> transform(std::span<const double> sample) const;
 

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <cstdint>
 #include <numbers>
+#include <random>
 #include <set>
 
 #include "features/ar_features.hpp"
@@ -182,6 +185,38 @@ TEST(Extractor, FullVectorDimensions) {
   EXPECT_EQ(matrix.num_features(), kNumFeatures);
   EXPECT_EQ(matrix.labels.size(), matrix.size());
   EXPECT_EQ(matrix.session_index.size(), matrix.size());
+}
+
+TEST(Extractor, ScratchPathBitIdenticalToAllocatingPath) {
+  // One reused FeatureScratch across many (deliberately different) windows
+  // must reproduce the allocating path exactly — stale buffer contents from
+  // a previous window must never leak into the next.
+  FeatureScratch scratch;
+  std::array<double, kNumFeatures> out{};
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    std::mt19937_64 rng(seed);
+    std::normal_distribution<double> jitter(0.0, 0.05);
+    ecg::RrSeries rr;
+    double t = 0.0;
+    const std::size_t nbeats = 20 + 30 * static_cast<std::size_t>(seed % 3);
+    for (std::size_t i = 0; i < nbeats; ++i) {
+      const double interval = 0.8 + jitter(rng);
+      t += interval;
+      rr.beat_times_s.push_back(t);
+      rr.rr_s.push_back(interval);
+    }
+    ecg::RespirationSeries edr;
+    edr.fs_hz = 4.0;
+    const std::size_t nedr = 64 + 96 * static_cast<std::size_t>(seed % 2);
+    for (std::size_t i = 0; i < nedr; ++i)
+      edr.values.push_back(std::sin(0.5 * static_cast<double>(i)) + jitter(rng));
+
+    const auto want = extract_features(rr, edr);
+    extract_features(rr, edr, scratch, out);
+    ASSERT_EQ(want.size(), out.size());
+    for (std::size_t j = 0; j < want.size(); ++j)
+      EXPECT_EQ(out[j], want[j]) << "feature " << j << " seed " << seed;
+  }
 }
 
 TEST(FeatureMatrix, SelectFeaturesAndRows) {

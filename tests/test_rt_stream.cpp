@@ -1,6 +1,7 @@
-// StreamClassifier: ring-buffer window boundaries (partial windows,
-// overlap), chunk-size invariance, multi-patient isolation, and agreement
-// with the underlying tailored detector.
+// StreamClassifier: window boundaries under the incremental extractor
+// (partial windows, overlap, emission lag, end-of-stream), chunk-size
+// invariance, multi-patient isolation, and agreement with the underlying
+// tailored detector.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -13,7 +14,6 @@
 #include "ecg/ecg_synth.hpp"
 #include "ecg/rr_model.hpp"
 #include "features/extractor.hpp"
-#include "rt/ring_buffer.hpp"
 #include "rt/stream_classifier.hpp"
 
 namespace svt {
@@ -52,23 +52,6 @@ rt::StreamConfig short_window_config() {
   config.window_s = 20.0;
   config.stride_s = 10.0;
   return config;
-}
-
-TEST(SampleRing, PushCopyDropWrapAround) {
-  rt::SampleRing ring(5);
-  EXPECT_EQ(ring.capacity(), 5u);
-  const std::vector<double> a{1, 2, 3};
-  EXPECT_EQ(ring.push(a), 3u);
-  ring.drop(2);
-  const std::vector<double> b{4, 5, 6, 7};
-  EXPECT_EQ(ring.push(b), 4u);  // Wraps around the physical end.
-  EXPECT_EQ(ring.size(), 5u);
-  EXPECT_TRUE(ring.full());
-  std::vector<double> out(5);
-  ring.copy_out(out);
-  EXPECT_EQ(out, (std::vector<double>{3, 4, 5, 6, 7}));
-  // A full ring consumes nothing more.
-  EXPECT_EQ(ring.push(a), 0u);
 }
 
 TEST(StreamClassifier, RejectsBadConfig) {
@@ -111,13 +94,17 @@ TEST(StreamClassifier, WindowBoundariesWithOverlap) {
 TEST(StreamClassifier, PartialWindowEmitsNothing) {
   rt::StreamClassifier sc(detector(), short_window_config());
   const auto wf = synth_ecg(30.0, 2);
-  // One sample short of a full window: nothing may be emitted yet.
+  // A window classifies once the incremental detector's finality frontier
+  // passes its end: window_samples + emission_lag_samples pushed samples.
+  const std::size_t due = sc.window_samples() + sc.emission_lag_samples();
   std::span<const double> samples(wf.samples_mv);
-  sc.push_samples(7, samples.first(sc.window_samples() - 1));
+  ASSERT_GT(samples.size(), due);
+  // One sample short: nothing may be emitted yet.
+  sc.push_samples(7, samples.first(due - 1));
   EXPECT_EQ(sc.pending_windows() + sc.rejected_windows(), 0u);
-  EXPECT_EQ(sc.buffered_samples(7), sc.window_samples() - 1);
+  EXPECT_EQ(sc.buffered_samples(7), due - 1);
   // The missing sample completes the window.
-  sc.push_samples(7, samples.subspan(sc.window_samples() - 1, 1));
+  sc.push_samples(7, samples.subspan(due - 1, 1));
   EXPECT_EQ(sc.pending_windows() + sc.rejected_windows(), 1u);
 }
 
@@ -143,6 +130,25 @@ TEST(StreamClassifier, ChunkSizeDoesNotChangeResults) {
     EXPECT_EQ(got[w].label, expected[w].label);
     EXPECT_EQ(got[w].num_beats, expected[w].num_beats);
   }
+}
+
+TEST(StreamClassifier, EndStreamClassifiesHeldBackTailWindows) {
+  rt::StreamClassifier sc(detector(), short_window_config());
+  const auto wf = synth_ecg(65.0, 9);
+  // Trim so the final window ends exactly at the last sample.
+  const std::size_t total = sc.window_samples() + 4 * sc.stride_samples();
+  ASSERT_LE(total, wf.samples_mv.size());
+  sc.push_samples(5, std::span(wf.samples_mv).first(total));
+  const std::size_t live = sc.pending_windows() + sc.rejected_windows();
+  EXPECT_LT(live, 5u);  // The trailing window is held back by the lag.
+  ASSERT_TRUE(sc.end_stream(5));
+  EXPECT_FALSE(sc.end_stream(5));  // Stream state is gone.
+  EXPECT_EQ(sc.num_patients(), 0u);
+  // Every full window of the finite record is now accounted for.
+  EXPECT_EQ(sc.pending_windows() + sc.rejected_windows(), 5u);
+  const auto results = sc.flush();
+  EXPECT_EQ(results.size() + sc.rejected_windows(), 5u);
+  for (const auto& r : results) EXPECT_EQ(r.label, r.decision_value >= 0.0 ? 1 : -1);
 }
 
 TEST(StreamClassifier, MultiPatientStreamsAreIsolated) {

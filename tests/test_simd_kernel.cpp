@@ -1,0 +1,192 @@
+// Bit-exactness of the (optionally SIMD-widened) fixed-point batch kernel
+// against the scalar branch-free reference across feature widths 8-16, the
+// tiled transpose against the naive permutation, and scratch-buffer reuse
+// across interleaved models and batch sizes. In SVT_SIMD builds the
+// dispatching entry point runs the vector path, so these tests are the
+// SIMD parity gate; in scalar builds they degenerate to self-consistency
+// (and simd_kernel_enabled() reports which one this binary is).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "core/quantize.hpp"
+#include "fixed/fixed_point.hpp"
+#include "rt/packed_kernel.hpp"
+#include "rt/packed_model.hpp"
+#include "svm/kernel.hpp"
+#include "svm/model.hpp"
+
+namespace svt {
+namespace {
+
+svm::SvmModel random_quadratic_model(std::size_t nsv, std::size_t nfeat, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> sv_dist(-2.0, 2.0);
+  std::uniform_real_distribution<double> alpha_dist(-1.0, 1.0);
+  svm::SvmModel m;
+  m.kernel = svm::quadratic_kernel();
+  m.support_vectors.resize(nsv, std::vector<double>(nfeat));
+  m.alpha_y.resize(nsv);
+  for (std::size_t i = 0; i < nsv; ++i) {
+    for (std::size_t j = 0; j < nfeat; ++j) m.support_vectors[i][j] = sv_dist(rng);
+    m.alpha_y[i] = alpha_dist(rng);
+  }
+  m.bias = -0.3;
+  return m;
+}
+
+std::vector<std::vector<double>> random_batch(std::size_t nwin, std::size_t nfeat,
+                                              double spread, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-spread, spread);
+  std::vector<std::vector<double>> xs(nwin, std::vector<double>(nfeat));
+  for (auto& row : xs)
+    for (auto& v : row) v = dist(rng);
+  return xs;
+}
+
+/// Rebuild the borrowed-pointer kernel description a QuantizedModel's batch
+/// path uses, from its published properties (the same tables build() uses).
+struct KernelTables {
+  std::vector<std::int64_t> qsvs, qalpha;
+  std::vector<int> shifts;
+  rt::PackedQuantKernel kernel;
+};
+
+KernelTables make_kernel(const core::QuantizedModel& qm, const svm::SvmModel& model) {
+  KernelTables t;
+  const std::size_t nfeat = qm.num_features();
+  const std::size_t nsv = qm.num_support_vectors();
+  const auto& ranges = qm.feature_ranges();
+  int rmax = ranges[0];
+  for (int r : ranges) rmax = std::max(rmax, r);
+  t.shifts.resize(nfeat);
+  for (std::size_t j = 0; j < nfeat; ++j) t.shifts[j] = 2 * (rmax - ranges[j]);
+  t.qsvs.resize(nsv * nfeat);
+  for (std::size_t i = 0; i < nsv; ++i)
+    for (std::size_t j = 0; j < nfeat; ++j) {
+      const fixed::QuantFormat fmt{qm.config().feature_bits, ranges[j]};
+      t.qsvs[i * nfeat + j] = fmt.quantize(model.support_vectors[i][j]);
+    }
+  const fixed::QuantFormat alpha_fmt{qm.config().alpha_bits, qm.global_alpha_range_log2()};
+  t.qalpha.resize(nsv);
+  for (std::size_t i = 0; i < nsv; ++i) t.qalpha[i] = alpha_fmt.quantize(model.alpha_y[i]);
+  t.kernel.nfeat = nfeat;
+  t.kernel.nsv = nsv;
+  t.kernel.q_svs = t.qsvs.data();
+  t.kernel.q_alpha_y = t.qalpha.data();
+  t.kernel.product_shifts = t.shifts.data();
+  t.kernel.q_one = 17;  // Nonzero so the +1 stage is exercised.
+  t.kernel.q_bias = -129;
+  t.kernel.mac1_bits = qm.pipeline().mac1_accumulator_bits();
+  t.kernel.kin_bits = qm.pipeline().kernel_input_bits();
+  t.kernel.kout_bits = qm.pipeline().kernel_output_bits();
+  t.kernel.mac2_bits = std::min(126, qm.pipeline().mac2_accumulator_bits());
+  t.kernel.dot_truncate_bits = qm.config().dot_truncate_bits;
+  t.kernel.square_truncate_bits = qm.config().square_truncate_bits;
+  return t;
+}
+
+TEST(SimdKernel, BitExactVsScalarAcrossWidths8To16) {
+  const std::size_t nfeat = 30;
+  const auto model = random_quadratic_model(40, nfeat, 7);
+  // Spread 3.0 pushes inputs past the SV ranges: saturation lanes light up.
+  const auto xs = random_batch(67, nfeat, 3.0, 11);
+  const std::size_t nwin = xs.size();
+  for (int bits = 8; bits <= 16; ++bits) {
+    core::QuantConfig qc;
+    qc.feature_bits = bits;
+    const auto qm = core::QuantizedModel::build(model, qc);
+    const auto tables = make_kernel(qm, model);
+
+    std::vector<std::int64_t> qxt(nwin * nfeat);
+    for (std::size_t w = 0; w < nwin; ++w) {
+      const auto qx = qm.quantize_input(xs[w]);
+      for (std::size_t f = 0; f < nfeat; ++f) qxt[f * nwin + w] = qx[f];
+    }
+
+    std::vector<__int128> dispatched(nwin), scalar(nwin);
+    rt::batch_quantized_accumulators(tables.kernel, qxt.data(), nwin, dispatched.data());
+    rt::batch_quantized_accumulators_scalar(tables.kernel, qxt.data(), nwin, scalar.data());
+    for (std::size_t w = 0; w < nwin; ++w) {
+      EXPECT_TRUE(dispatched[w] == scalar[w]) << "width " << bits << " window " << w;
+    }
+  }
+}
+
+TEST(SimdKernel, FullModelBatchBitExactVsPerWindowAcrossWidths) {
+  // End-to-end: classify_batch routes through the dispatched kernel; the
+  // per-window engine is pure scalar. Equality across widths proves the
+  // whole quantise -> MAC1 -> square -> MAC2 chain is SIMD-invariant.
+  const auto model = random_quadratic_model(25, 20, 19);
+  const auto xs = random_batch(33, 20, 2.5, 23);
+  for (int bits = 8; bits <= 16; bits += 2) {
+    core::QuantConfig qc;
+    qc.feature_bits = bits;
+    const auto qm = core::QuantizedModel::build(model, qc);
+    const auto batch_labels = qm.classify_batch(xs);
+    const auto batch_values = qm.dequantized_decisions(xs);
+    for (std::size_t w = 0; w < xs.size(); ++w) {
+      EXPECT_EQ(batch_labels[w], qm.classify(xs[w])) << "width " << bits;
+      EXPECT_EQ(batch_values[w], qm.dequantized_decision(xs[w])) << "width " << bits;
+    }
+  }
+}
+
+TEST(SimdKernel, TiledTransposeMatchesNaive) {
+  // Extents straddling the tile size (32), including non-multiples.
+  const std::vector<std::pair<std::size_t, std::size_t>> shapes{
+      {1, 1}, {7, 53}, {32, 32}, {33, 31}, {100, 64}, {129, 97}};
+  for (const auto& [nwin, nfeat] : shapes) {
+    std::mt19937_64 rng(nwin * 1000 + nfeat);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    std::vector<double> in(nwin * nfeat);
+    for (auto& v : in) v = dist(rng);
+    std::vector<double> tiled(in.size()), naive(in.size());
+    rt::transpose_batch(in.data(), nwin, nfeat, tiled.data());
+    for (std::size_t w = 0; w < nwin; ++w)
+      for (std::size_t f = 0; f < nfeat; ++f) naive[f * nwin + w] = in[w * nfeat + f];
+    EXPECT_EQ(tiled, naive) << nwin << "x" << nfeat;
+  }
+}
+
+TEST(KernelScratch, ReuseAcrossModelsAndBatchSizesIsBitExact) {
+  // One scratch serving interleaved models of different widths and batch
+  // sizes must match the allocating entry points exactly.
+  const auto model_a = random_quadratic_model(30, 24, 41);
+  const auto model_b = random_quadratic_model(50, 12, 43);
+  core::QuantConfig qc;
+  const auto qa = core::QuantizedModel::build(model_a, qc);
+  const auto qb = core::QuantizedModel::build(model_b, qc);
+  const rt::PackedModel pa(model_a);
+
+  rt::KernelScratch scratch;
+  std::vector<double> out;
+  for (const std::size_t nwin : {std::size_t{40}, std::size_t{3}, std::size_t{17}}) {
+    const auto xa = random_batch(nwin, 24, 2.0, 100 + nwin);
+    const auto xb = random_batch(nwin, 12, 2.0, 200 + nwin);
+
+    qa.dequantized_decisions(xa, scratch, out);
+    EXPECT_EQ(out, qa.dequantized_decisions(xa));
+    qb.dequantized_decisions(xb, scratch, out);
+    EXPECT_EQ(out, qb.dequantized_decisions(xb));
+
+    std::vector<double> packed_out(nwin);
+    pa.decision_values(xa, packed_out, scratch);
+    EXPECT_EQ(packed_out, pa.decision_values(xa));
+  }
+}
+
+TEST(SimdKernel, ReportsDispatchMode) {
+  // Informational: which path this binary runs (the parity above holds for
+  // both). SVT_SIMD CI legs grep for this line.
+  RecordProperty("simd_kernel_enabled", rt::simd_kernel_enabled() ? "true" : "false");
+  SUCCEED() << "simd_kernel_enabled=" << (rt::simd_kernel_enabled() ? "true" : "false");
+}
+
+}  // namespace
+}  // namespace svt

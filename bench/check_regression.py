@@ -21,11 +21,12 @@ Refinements that keep the gate honest:
   would sail through). It is therefore compared in ABSOLUTE windows/s, but
   only when baseline and fresh run report the same `hardware_threads` —
   cross-machine absolute numbers would false-alarm.
-* Thread-scaling metrics (the sharded/continuous/streaming sections) are
-  gated whenever the fresh run has AT LEAST as many hardware threads as the
-  baseline: extra cores can only help those paths, so the baseline's
-  machine-normalised ratio is a safe floor. They are skipped only on a
-  smaller machine than the baseline's.
+* Thread-scaling metrics (the sharded/continuous/streaming sections, and
+  the replay x-real-time multiples, which run through the same threaded
+  engine) are gated whenever the fresh run has AT LEAST as many hardware
+  threads as the baseline: extra cores can only help those paths, so the
+  baseline's machine-normalised ratio is a safe floor. They are skipped
+  only on a smaller machine than the baseline's.
 * Latency metrics are LOWER-is-better: they are normalised by multiplying
   with the run's own machine speed (latency x float_single_wps = "windows'
   worth of work per delivery"), and a regression is an INCREASE beyond the
@@ -72,6 +73,14 @@ THREADED_METRICS = [
     "streaming.classify_wps",
     "streaming.e2e_wps",
 ]
+# x-real-time replay multiples (higher is better): dimensionless ratios of
+# recorded seconds to wall seconds, but machine-dependent like any
+# throughput, so they normalise and gate exactly like the thread-scaling
+# metrics (the replay runs through the threaded engine).
+REPLAY_METRICS = [
+    "replay.x_realtime_1w",
+    "replay.x_realtime_2w",
+]
 LOWER_IS_BETTER = [
     "continuous.latency_p50_ms",
     "continuous.latency_p99_ms",
@@ -111,7 +120,7 @@ def evaluate(fresh, baseline, threshold, absolute=False, echo=print):
     echo(f"{'metric':<34} {'baseline':>12} {'fresh':>12} {'change':>8}  verdict")
 
     failures = []
-    for metric in METRICS + THREADED_METRICS + LOWER_IS_BETTER:
+    for metric in METRICS + THREADED_METRICS + REPLAY_METRICS + LOWER_IS_BETTER:
         base_value = lookup(baseline, metric)
         fresh_value = lookup(fresh, metric)
         if base_value is None or fresh_value is None:
@@ -137,7 +146,7 @@ def evaluate(fresh, baseline, threshold, absolute=False, echo=print):
             gated = scale_armed
             base_score, fresh_score = base_value * base_norm, fresh_value * fresh_norm
         else:
-            gated = scale_armed if metric in THREADED_METRICS else True
+            gated = scale_armed if metric in THREADED_METRICS + REPLAY_METRICS else True
             base_score, fresh_score = base_value / base_norm, fresh_value / fresh_norm
         change = fresh_score / base_score - 1.0 if base_score else 0.0
         regressed = change > threshold if lower_better else change < -threshold
@@ -156,7 +165,7 @@ def _doc(hw=4, norm=1000.0, **overrides):
     doc = {"hardware_threads": hw, NORMALIZER: norm}
     for metric in METRICS:
         doc.setdefault(metric, 500.0)
-    for metric in THREADED_METRICS + LOWER_IS_BETTER:
+    for metric in THREADED_METRICS + REPLAY_METRICS + LOWER_IS_BETTER:
         head, leaf = metric.split(".")
         doc.setdefault(head, {})[leaf] = 5.0 if "latency" in leaf else 800.0
     for path, value in overrides.items():
@@ -215,6 +224,23 @@ def self_test():
     check("thread metrics skipped on smaller host",
           evaluate(_doc(hw=2, **{"sharded.workers_4_wps": 100.0}), _doc(hw=4), 0.25,
                    echo=quiet), [])
+    # Replay x-real-time multiples: same rules as the thread-scaling class —
+    # normalised higher-is-better, gated only with >= baseline cores, and
+    # report-not-fail before the baseline records them.
+    check("replay regression fails",
+          len(evaluate(_doc(**{"replay.x_realtime_1w": 100.0}), _doc(), 0.25, echo=quiet)), 1)
+    check("replay improvement passes",
+          evaluate(_doc(**{"replay.x_realtime_2w": 5000.0}), _doc(), 0.25, echo=quiet), [])
+    check("replay skipped on smaller host",
+          evaluate(_doc(hw=2, **{"replay.x_realtime_2w": 100.0}), _doc(hw=4), 0.25,
+                   echo=quiet), [])
+    base_without_replay = _doc()
+    del base_without_replay["replay"]
+    check("new replay metrics skip", evaluate(_doc(), base_without_replay, 0.25, echo=quiet), [])
+    fresh_without_replay = _doc()
+    del fresh_without_replay["replay"]
+    check("missing replay metrics fail",
+          len(evaluate(fresh_without_replay, _doc(), 0.25, echo=quiet)), 2)
     # A uniform slowdown cannot hide in the ratios on same hardware: the
     # normaliser is gated absolutely.
     uniform = _doc(norm=500.0)

@@ -23,6 +23,14 @@
 //    extraction vs the seed batch re-detection strategy, classification
 //    through the per-worker scratch path, and the continuous end-to-end
 //    rate + delivery latency at 1 worker.
+//  * WFDB cohort replay: a writer-generated fixture ward replayed through
+//    rt::CohortReplayer (chunked admission -> sharded engine ->
+//    end-of-record flush), reported as the achieved x-real-time multiple at
+//    1 and 2 workers. Each pass re-decodes the records from disk, but the
+//    replayer's clock starts after decode, so the multiple covers admission
+//    -> delivery of the streaming pipeline only. The fixture directory is
+//    left in the CWD (bench_replay_fixture/) and uploaded with the CI bench
+//    artifact so a regression can be replayed offline from the run page.
 //
 // CI gates on the JSON via bench/check_regression.py against the committed
 // baseline in bench/baselines/ (machine-normalised; >25% regression fails;
@@ -46,6 +54,8 @@
 #include "features/extractor.hpp"
 #include "features/feature_types.hpp"
 #include "fixed/fixed_point.hpp"
+#include "io/cohort_fixture.hpp"
+#include "rt/cohort_replayer.hpp"
 #include "rt/packed_kernel.hpp"
 #include "rt/packed_model.hpp"
 #include "rt/sharded_classifier.hpp"
@@ -170,31 +180,10 @@ std::map<int, ecg::EcgWaveform> synth_ward(std::size_t patients, double duration
     ecg::SessionSignalParams sp;
     sp.duration_s = duration_s;
     std::mt19937_64 rng(7000 + p);
-    const auto rr = ecg::generate_rr_series(profile, events, sp, rng);
-    const auto resp = ecg::generate_respiration(profile, events, sp, rng);
-    ward[static_cast<int>(p)] = ecg::synthesize_ecg(rr, resp, ecg::EcgSynthParams{}, rng);
+    ward[static_cast<int>(p)] =
+        ecg::synthesize_session(profile, events, sp, ecg::EcgSynthParams{}, rng);
   }
   return ward;
-}
-
-/// A serving model over the full raw feature set (identity selection +
-/// synthetic scaler + random quantised quadratic SVM): the bench needs the
-/// extraction + classification *path*, not a trained detector.
-rt::ServableModel synthetic_servable() {
-  const std::size_t nfeat = features::kNumFeatures;
-  auto model = random_model(21, nfeat);
-  std::vector<std::size_t> selected(nfeat);
-  for (std::size_t j = 0; j < nfeat; ++j) selected[j] = j;
-  std::mt19937_64 rng(23);
-  std::normal_distribution<double> gauss(0.0, 1.0);
-  std::vector<std::vector<double>> fit_rows(16, std::vector<double>(nfeat));
-  for (auto& row : fit_rows)
-    for (auto& v : row) v = gauss(rng);
-  svm::StandardScaler scaler(svm::ScalerMode::kZScore);
-  scaler.fit(fit_rows);
-  auto quantized = core::QuantizedModel::build(model, core::QuantConfig{});
-  return rt::ServableModel(std::move(selected), std::move(scaler), std::move(model),
-                           std::move(quantized));
 }
 
 struct ShardedRun {
@@ -481,7 +470,10 @@ int main() {
 
   // --- Sharded end-to-end streaming ------------------------------------------
   const std::size_t hw_threads = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
-  auto registry = std::make_shared<rt::ModelRegistry>(synthetic_servable());
+  // The ward benches need the extraction + classification *path*, not a
+  // trained detector: the deterministic full-feature serving model (shared
+  // with the replay fixtures and examples) keeps them training-free.
+  auto registry = std::make_shared<rt::ModelRegistry>(rt::synthetic_full_feature_model());
   const auto ward = synth_ward(16, 120.0);
   std::printf("\nsharded streaming: 16 patients x 120 s ECG @ 250 Hz, 20 s windows / 10 s stride"
               "\n(extraction + batched classification; host has %zu hardware threads)\n",
@@ -531,6 +523,40 @@ int main() {
               " p50 %.2f ms, p99 %.2f ms)\n",
               e2e.windows_per_s, e2e.windows, e2e.latency_p50_ms, e2e.latency_p99_ms);
 
+  // --- WFDB cohort replay ------------------------------------------------------
+  io::CohortFixtureParams fixture;
+  fixture.num_patients = 8;
+  fixture.duration_s = 120.0;
+  const auto fixture_records = io::write_synthetic_cohort("bench_replay_fixture", fixture);
+  std::printf("\nwfdb cohort replay: %zu records x %.0f s @ %.0f Hz (fmt 212+16), as fast as"
+              " possible\n",
+              fixture_records.size(), fixture.duration_s, fixture.fs_hz);
+  // One replay of this fixture lasts only a few ms, so (like measure())
+  // passes are repeated until ~0.4 s of wall time accumulates and the
+  // x-real-time multiple is taken over the aggregate — each pass decodes
+  // from disk and streams from phase 0 (end_stream drops the patients).
+  struct ReplayRate {
+    double x_realtime = 0.0;
+    std::size_t windows = 0;
+  };
+  std::map<std::size_t, ReplayRate> replay;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}}) {
+    rt::CohortReplayer replayer(registry, ward_stream_config(), workers);
+    double recorded_s = 0.0, wall_s = 0.0;
+    std::size_t passes = 0;
+    do {
+      const auto report = replayer.replay_directory("bench_replay_fixture");
+      recorded_s += report.total_duration_s;
+      wall_s += report.wall_s;
+      replay[workers].windows = report.windows;
+      ++passes;
+    } while (wall_s < 0.4);
+    replay[workers].x_realtime = recorded_s / wall_s;
+    std::printf("  %zu worker%s: %10.0fx real time  (%zu windows/pass, %zu passes)\n", workers,
+                workers == 1 ? " " : "s", replay[workers].x_realtime, replay[workers].windows,
+                passes);
+  }
+
   std::printf("\nbatched float fast path vs single-window float loop: %.2fx %s\n",
               float_batch64 / float_single,
               float_batch64 / float_single >= 3.0 ? "(>= 3x target met)" : "(below 3x target!)");
@@ -578,6 +604,13 @@ int main() {
     std::fprintf(json, "    \"scaling_4w\": %.3f,\n", continuous_scaling_4w);
     std::fprintf(json, "    \"latency_p50_ms\": %.3f,\n", continuous[1].latency_p50_ms);
     std::fprintf(json, "    \"latency_p99_ms\": %.3f\n", continuous[1].latency_p99_ms);
+    std::fprintf(json, "  },\n");
+    std::fprintf(json, "  \"replay\": {\n");
+    std::fprintf(json, "    \"patients\": %zu, \"duration_s\": %.1f,\n", fixture.num_patients,
+                 fixture.duration_s);
+    std::fprintf(json, "    \"x_realtime_1w\": %.1f,\n", replay[1].x_realtime);
+    std::fprintf(json, "    \"x_realtime_2w\": %.1f,\n", replay[2].x_realtime);
+    std::fprintf(json, "    \"windows\": %zu\n", replay[1].windows);
     std::fprintf(json, "  },\n");
     std::fprintf(json, "  \"streaming\": {\n");
     std::fprintf(json, "    \"patients\": 4, \"duration_s\": 600.0,\n");

@@ -73,4 +73,12 @@ EcgWaveform synthesize_ecg(const RrSeries& rr, const RespirationSeries& respirat
   return out;
 }
 
+EcgWaveform synthesize_session(const PatientProfile& patient, const SessionEvents& events,
+                               const SessionSignalParams& session, const EcgSynthParams& params,
+                               std::mt19937_64& rng) {
+  const RrSeries rr = generate_rr_series(patient, events, session, rng);
+  const RespirationSeries resp = generate_respiration(patient, events, session, rng);
+  return synthesize_ecg(rr, resp, params, rng);
+}
+
 }  // namespace svt::ecg

@@ -57,4 +57,11 @@ struct EcgWaveform {
 EcgWaveform synthesize_ecg(const RrSeries& rr, const RespirationSeries& respiration,
                            const EcgSynthParams& params, std::mt19937_64& rng);
 
+/// One-call session synthesis: generate the RR tachogram and respiration for
+/// a session and render the waveform — the full acquisition chain every ward
+/// fixture, bench, and example needs. Deterministic given the rng state.
+EcgWaveform synthesize_session(const PatientProfile& patient, const SessionEvents& events,
+                               const SessionSignalParams& session, const EcgSynthParams& params,
+                               std::mt19937_64& rng);
+
 }  // namespace svt::ecg

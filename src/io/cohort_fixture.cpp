@@ -1,0 +1,107 @@
+#include "io/cohort_fixture.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <random>
+#include <stdexcept>
+
+#include "ecg/ecg_synth.hpp"
+#include "ecg/patient.hpp"
+#include "ecg/rr_model.hpp"
+
+namespace svt::io {
+
+namespace {
+
+/// A deterministic slow respiration-shaped confounder channel, so the
+/// multi-channel records carry a plausible non-ECG signal the replayer must
+/// skip over.
+std::vector<double> resp_channel_mv(std::size_t num_samples, double fs_hz, int patient_id) {
+  std::vector<double> mv(num_samples);
+  const double rate_hz = 0.22 + 0.01 * static_cast<double>(patient_id % 5);
+  for (std::size_t s = 0; s < num_samples; ++s) {
+    const double t = static_cast<double>(s) / fs_hz;
+    mv[s] = 0.6 * std::sin(2.0 * std::numbers::pi * rate_hz * t) +
+            0.1 * std::sin(2.0 * std::numbers::pi * 1.7 * rate_hz * t);
+  }
+  return mv;
+}
+
+}  // namespace
+
+std::vector<FixtureRecord> write_synthetic_cohort(const std::string& dir,
+                                                  const CohortFixtureParams& params) {
+  if (params.num_patients == 0) throw std::invalid_argument("cohort fixture: no patients");
+  if (params.duration_s <= 0.0 || params.fs_hz <= 0.0)
+    throw std::invalid_argument("cohort fixture: non-positive duration or sampling rate");
+
+  std::vector<FixtureRecord> records;
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < params.num_patients; ++i) {
+    const int patient_id = static_cast<int>(i) + 1;
+    char name[16];
+    std::snprintf(name, sizeof(name), "p%03d", patient_id);
+
+    ecg::PatientProfile profile;
+    profile.id = patient_id;
+    profile.baseline_hr_bpm = 66.0 + 4.0 * static_cast<double>(i % 5);
+    ecg::SessionEvents events;
+    if (params.with_seizures && i % 2 == 1)
+      events.seizures.push_back({0.4 * params.duration_s, 0.3 * params.duration_s, 1.2});
+    ecg::SessionSignalParams session;
+    session.duration_s = params.duration_s;
+    ecg::EcgSynthParams synth;
+    synth.fs_hz = params.fs_hz;
+    std::mt19937_64 rng(params.seed + static_cast<std::uint64_t>(patient_id));
+    auto waveform = ecg::synthesize_session(profile, events, session, synth, rng);
+
+    // Trim to the nominal length, then force the rotation's sample-count
+    // parity (i % 4 in {2, 3} -> odd) so both format-212 tails occur.
+    std::size_t num_samples = std::min(
+        waveform.samples_mv.size(), static_cast<std::size_t>(params.duration_s * params.fs_hz));
+    const bool want_odd = i % 4 == 2 || i % 4 == 3;
+    if (num_samples > 1 && (num_samples % 2 == 1) != want_odd) --num_samples;
+    waveform.samples_mv.resize(num_samples);
+
+    SignalSpec ecg_spec;
+    ecg_spec.format = i % 2 == 0 ? 212 : 16;
+    ecg_spec.file_name = std::string(name) + ".dat";
+    ecg_spec.adc_gain = params.adc_gain;
+    ecg_spec.baseline = i % 4 == 2 ? 200 : 0;
+    ecg_spec.adc_resolution = ecg_spec.format == 212 ? 12 : 16;
+    ecg_spec.adc_zero = ecg_spec.baseline;
+    ecg_spec.units = "mV";
+    ecg_spec.description = "ECG lead I (synthetic)";
+
+    RecordHeader header;
+    header.record_name = name;
+    header.fs_hz = params.fs_hz;
+    std::vector<std::vector<int>> adc;
+    if (i % 2 == 1) {  // Two-channel record: RESP first, the ECG second.
+      SignalSpec resp_spec = ecg_spec;
+      resp_spec.units = "au";
+      resp_spec.description = "RESP (synthetic)";
+      header.signals.push_back(resp_spec);
+      adc.push_back(quantize_signal_mv(resp_channel_mv(num_samples, params.fs_hz, patient_id),
+                                       resp_spec));
+    }
+    header.signals.push_back(ecg_spec);
+    adc.push_back(quantize_signal_mv(waveform.samples_mv, ecg_spec));
+    write_record(dir, header, adc);
+
+    FixtureRecord written;
+    written.name = name;
+    written.patient_id = patient_id;
+    written.num_samples = num_samples;
+    written.num_signals = header.num_signals();
+    written.ecg_channel = header.num_signals() - 1;
+    written.format = ecg_spec.format;
+    records.push_back(written);
+    names.push_back(name);
+  }
+  write_records_index(dir, names);
+  return records;
+}
+
+}  // namespace svt::io

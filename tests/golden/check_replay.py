@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Golden-file diff for the replay-smoke CI job.
+
+Compares the decision stream emitted by `replay_cohort --emit` against the
+committed golden file (tests/golden/replay_smoke.txt). Every line is one
+classified window: `patient start_s label decision num_beats`, sorted by
+(patient, start_s), so the stream is deterministic under any worker count.
+
+The integer fields (patient, label, num_beats) and the window time must
+match EXACTLY — a changed window count, a flipped label, or a shifted
+window start is a real behaviour change in the ingest/replay path. The
+float decision value is compared within a RELATIVE tolerance
+(|fresh - golden| <= tol * max(1, |golden|), default tol 1e-6): the
+fixture model classifies through the fixed-point pipeline, so decisions
+are normally bit-reproducible across compilers (integer arithmetic;
+benign FP drift in the feature chain is absorbed by input quantisation
+unless a feature sits exactly on a quantiser boundary), and the slack only
+exists for that boundary case. Decision margins are several orders of
+magnitude larger (replay_cohort prints the smallest |decision| margin);
+regenerate the golden with --update if the fixtures or the model change
+deliberately.
+
+Usage: check_replay.py FRESH GOLDEN [--tol 1e-6]
+       check_replay.py FRESH GOLDEN --update   # rewrite GOLDEN from FRESH
+"""
+
+import argparse
+import shutil
+import sys
+
+
+def parse(path):
+    rows = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if len(fields) != 5:
+                sys.exit(f"{path}:{lineno}: expected 5 fields "
+                         f"(patient start_s label decision beats), got {len(fields)}")
+            try:
+                rows.append((int(fields[0]), fields[1], int(fields[2]), float(fields[3]),
+                             int(fields[4]), lineno))
+            except ValueError as err:
+                sys.exit(f"{path}:{lineno}: {err}")
+    if not rows:
+        sys.exit(f"{path}: no decision lines")
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="decision stream from replay_cohort --emit")
+    parser.add_argument("golden", help="committed golden file")
+    parser.add_argument("--tol", type=float, default=1e-6,
+                        help="max relative decision drift: |fresh - golden| <= "
+                             "tol * max(1, |golden|) (default 1e-6)")
+    parser.add_argument("--update", action="store_true",
+                        help="overwrite GOLDEN with FRESH instead of comparing")
+    args = parser.parse_args()
+
+    if args.update:
+        parse(args.fresh)  # Refuse to commit an empty/garbled stream.
+        shutil.copyfile(args.fresh, args.golden)
+        print(f"updated {args.golden} from {args.fresh}")
+        return 0
+
+    fresh = parse(args.fresh)
+    golden = parse(args.golden)
+    failures = []
+    if len(fresh) != len(golden):
+        failures.append(f"window count: fresh {len(fresh)} vs golden {len(golden)}")
+    max_drift = 0.0
+    for f, g in zip(fresh, golden):
+        f_pid, f_start, f_label, f_decision, f_beats, f_line = f
+        g_pid, g_start, g_label, g_decision, g_beats, g_line = g
+        where = f"fresh:{f_line} vs golden:{g_line}"
+        if (f_pid, f_start, f_beats) != (g_pid, g_start, g_beats):
+            failures.append(f"{where}: window identity (patient {f_pid} @ {f_start}, "
+                            f"{f_beats} beats) != (patient {g_pid} @ {g_start}, {g_beats} beats)")
+            continue
+        if f_label != g_label:
+            failures.append(f"{where}: label {f_label} != {g_label} "
+                            f"(patient {f_pid} @ {f_start})")
+        drift = abs(f_decision - g_decision) / max(1.0, abs(g_decision))
+        max_drift = max(max_drift, drift)
+        if drift > args.tol:
+            failures.append(f"{where}: decision {f_decision:+.6f} vs {g_decision:+.6f} "
+                            f"(relative drift {drift:.2e} > tol {args.tol:.2e})")
+
+    print(f"replay golden gate: {len(golden)} windows, max decision drift "
+          f"{max_drift:.2e} (tol {args.tol:.2e})")
+    if failures:
+        print(f"\nFAIL: {len(failures)} mismatch(es) vs {args.golden}:")
+        for failure in failures[:40]:
+            print(f"  - {failure}")
+        if len(failures) > 40:
+            print(f"  ... and {len(failures) - 40} more")
+        return 1
+    print("OK: replayed decision stream matches the golden file")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

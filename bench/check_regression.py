@@ -21,9 +21,10 @@ Refinements that keep the gate honest:
   would sail through). It is therefore compared in ABSOLUTE windows/s, but
   only when baseline and fresh run report the same `hardware_threads` —
   cross-machine absolute numbers would false-alarm.
-* Thread-scaling metrics (the sharded/continuous/streaming sections, and
-  the replay x-real-time multiples, which run through the same threaded
-  engine) are gated whenever the fresh run has AT LEAST as many hardware
+* Thread-scaling metrics (the sharded/continuous/streaming sections, the
+  replay x-real-time multiples, and the network-gateway serving rates,
+  which all run through the same threaded engine) are gated whenever the
+  fresh run has AT LEAST as many hardware
   threads as the baseline: extra cores can only help those paths, so the
   baseline's machine-normalised ratio is a safe floor. They are skipped
   only on a smaller machine than the baseline's.
@@ -81,11 +82,21 @@ REPLAY_METRICS = [
     "replay.x_realtime_1w",
     "replay.x_realtime_2w",
 ]
+# Network-gateway serving rates: the UDS-loopback round trip runs through
+# the same threaded engine plus socket I/O, so they normalise and gate like
+# the thread-scaling class (the delivery percentiles gate lower-is-better
+# below; net.streams is a configured count, recorded but not gated).
+NET_METRICS = [
+    "net.ingest_msamples_s",
+    "net.round_trip_wps",
+]
 LOWER_IS_BETTER = [
     "continuous.latency_p50_ms",
     "continuous.latency_p99_ms",
     "streaming.e2e_latency_p50_ms",
     "streaming.e2e_latency_p99_ms",
+    "net.delivery_p50_ms",
+    "net.delivery_p99_ms",
 ]
 
 
@@ -120,7 +131,7 @@ def evaluate(fresh, baseline, threshold, absolute=False, echo=print):
     echo(f"{'metric':<34} {'baseline':>12} {'fresh':>12} {'change':>8}  verdict")
 
     failures = []
-    for metric in METRICS + THREADED_METRICS + REPLAY_METRICS + LOWER_IS_BETTER:
+    for metric in METRICS + THREADED_METRICS + REPLAY_METRICS + NET_METRICS + LOWER_IS_BETTER:
         base_value = lookup(baseline, metric)
         fresh_value = lookup(fresh, metric)
         if base_value is None or fresh_value is None:
@@ -146,7 +157,7 @@ def evaluate(fresh, baseline, threshold, absolute=False, echo=print):
             gated = scale_armed
             base_score, fresh_score = base_value * base_norm, fresh_value * fresh_norm
         else:
-            gated = scale_armed if metric in THREADED_METRICS + REPLAY_METRICS else True
+            gated = scale_armed if metric in THREADED_METRICS + REPLAY_METRICS + NET_METRICS else True
             base_score, fresh_score = base_value / base_norm, fresh_value / fresh_norm
         change = fresh_score / base_score - 1.0 if base_score else 0.0
         regressed = change > threshold if lower_better else change < -threshold
@@ -165,9 +176,9 @@ def _doc(hw=4, norm=1000.0, **overrides):
     doc = {"hardware_threads": hw, NORMALIZER: norm}
     for metric in METRICS:
         doc.setdefault(metric, 500.0)
-    for metric in THREADED_METRICS + REPLAY_METRICS + LOWER_IS_BETTER:
+    for metric in THREADED_METRICS + REPLAY_METRICS + NET_METRICS + LOWER_IS_BETTER:
         head, leaf = metric.split(".")
-        doc.setdefault(head, {})[leaf] = 5.0 if "latency" in leaf else 800.0
+        doc.setdefault(head, {})[leaf] = 5.0 if leaf.endswith("_ms") else 800.0
     for path, value in overrides.items():
         head, _, leaf = path.partition(".")
         if leaf:
@@ -241,6 +252,25 @@ def self_test():
     del fresh_without_replay["replay"]
     check("missing replay metrics fail",
           len(evaluate(fresh_without_replay, _doc(), 0.25, echo=quiet)), 2)
+    # Network serving metrics: throughput gates like the thread-scaling
+    # class, delivery p99 gates lower-is-better, and the whole section is
+    # report-not-fail until the baseline records it.
+    check("net throughput regression fails",
+          len(evaluate(_doc(**{"net.round_trip_wps": 100.0}), _doc(), 0.25, echo=quiet)), 1)
+    check("net throughput improvement passes",
+          evaluate(_doc(**{"net.ingest_msamples_s": 5000.0}), _doc(), 0.25, echo=quiet), [])
+    check("net delivery p99 increase fails",
+          len(evaluate(_doc(**{"net.delivery_p99_ms": 9.0}), _doc(), 0.25, echo=quiet)), 1)
+    check("net skipped on smaller host",
+          evaluate(_doc(hw=2, **{"net.round_trip_wps": 100.0}), _doc(hw=4), 0.25,
+                   echo=quiet), [])
+    base_without_net = _doc()
+    del base_without_net["net"]
+    check("new net metrics skip", evaluate(_doc(), base_without_net, 0.25, echo=quiet), [])
+    fresh_without_net = _doc()
+    del fresh_without_net["net"]
+    check("missing net metrics fail",
+          len(evaluate(fresh_without_net, _doc(), 0.25, echo=quiet)), 4)
     # A uniform slowdown cannot hide in the ratios on same hardware: the
     # normaliser is gated absolutely.
     uniform = _doc(norm=500.0)

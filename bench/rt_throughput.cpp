@@ -23,6 +23,13 @@
 //    extraction vs the seed batch re-detection strategy, classification
 //    through the per-worker scratch path, and the continuous end-to-end
 //    rate + delivery latency at 1 worker.
+//  * network serving gateway: the same telemetry ward streamed over a Unix
+//    domain socket loopback through net::ServeGateway by several concurrent
+//    GatewayClient connections — streams sustained, ingest rate in
+//    Msamples/s, round-trip windows/s (connect -> every decision received),
+//    and the gateway-side decision-delivery p50/p99 (sink entry -> bytes
+//    handed to the kernel). The UDS leg isolates protocol + framing +
+//    thread-handoff cost from NIC behaviour.
 //  * WFDB cohort replay: a writer-generated fixture ward replayed through
 //    rt::CohortReplayer (chunked admission -> sharded engine ->
 //    end-of-record flush), reported as the achieved x-real-time multiple at
@@ -35,6 +42,8 @@
 // CI gates on the JSON via bench/check_regression.py against the committed
 // baseline in bench/baselines/ (machine-normalised; >25% regression fails;
 // latency metrics gate as lower-is-better).
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
 #include <atomic>
@@ -43,6 +52,7 @@
 #include <map>
 #include <random>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -55,6 +65,9 @@
 #include "features/feature_types.hpp"
 #include "fixed/fixed_point.hpp"
 #include "io/cohort_fixture.hpp"
+#include "net/client.hpp"
+#include "net/gateway.hpp"
+#include "net/socket.hpp"
 #include "rt/cohort_replayer.hpp"
 #include "rt/packed_kernel.hpp"
 #include "rt/packed_model.hpp"
@@ -354,6 +367,103 @@ StageRates stage_breakdown(const std::shared_ptr<rt::ModelRegistry>& registry,
   return rates;
 }
 
+// --- Network serving gateway -------------------------------------------------
+
+struct NetRun {
+  std::size_t streams = 0;        ///< Concurrent patient streams sustained.
+  std::size_t windows = 0;        ///< Decisions received per pass.
+  std::size_t passes = 0;
+  double ingest_msamples_s = 0.0;
+  double round_trip_wps = 0.0;    ///< connect -> every decision received.
+  double delivery_p50_ms = 0.0;   ///< Gateway sink entry -> send() handed off.
+  double delivery_p99_ms = 0.0;
+};
+
+/// Loopback serving: the ward streamed through a UDS ServeGateway by
+/// `connections` concurrent GatewayClients (patients dealt round-robin),
+/// 4 s chunks, as fast as possible. Each pass covers connect -> finish()
+/// — finish() blocks on the gateway's kStats answer, which it sends only
+/// after fencing the engine, so the clock stops with every decision
+/// delivered. Like the replay bench, passes repeat until ~0.4 s of wall
+/// time accumulates.
+NetRun net_gateway_rate(const std::shared_ptr<rt::ModelRegistry>& registry,
+                        const std::map<int, ecg::EcgWaveform>& ward, std::size_t workers,
+                        std::size_t connections) {
+  const auto config = ward_stream_config();
+  net::GatewayOptions options;
+  options.num_workers = workers;
+  net::ServeGateway gateway(registry, config, options);
+  const auto endpoint = gateway.add_listener(net::Endpoint::unix_path(
+      "/tmp/svt_bench_gateway_" + std::to_string(::getpid()) + ".sock"));
+  gateway.start();
+
+  // Deal the ward round-robin across the connections.
+  std::vector<std::vector<int>> pids(connections);
+  std::vector<std::vector<const std::vector<double>*>> samples(connections);
+  std::size_t total_samples = 0;
+  {
+    std::size_t i = 0;
+    for (const auto& [pid, wf] : ward) {
+      pids[i % connections].push_back(pid);
+      samples[i % connections].push_back(&wf.samples_mv);
+      total_samples += wf.samples_mv.size();
+      ++i;
+    }
+  }
+  const std::size_t chunk = static_cast<std::size_t>(4.0 * config.fs_hz);
+
+  NetRun run;
+  run.streams = ward.size();
+  using clock = std::chrono::steady_clock;
+  const auto start = clock::now();
+  double secs = 0.0;
+  std::size_t total_windows = 0;
+  do {
+    std::atomic<std::size_t> delivered{0};
+    std::vector<std::thread> drivers;
+    drivers.reserve(connections);
+    for (std::size_t c = 0; c < connections; ++c) {
+      drivers.emplace_back([&, c] {
+        net::GatewayClient client(endpoint);
+        if (!client.hello_ack()) return;
+        for (const int pid : pids[c]) client.open_stream(pid, config.fs_hz);
+        std::vector<std::size_t> offsets(pids[c].size(), 0);
+        bool any_left = !pids[c].empty();
+        while (any_left) {
+          any_left = false;
+          for (std::size_t p = 0; p < pids[c].size(); ++p) {
+            const auto& mv = *samples[c][p];
+            std::size_t& off = offsets[p];
+            if (off >= mv.size()) continue;
+            const std::size_t n = std::min(chunk, mv.size() - off);
+            client.send_samples(pids[c][p], std::span(mv).subspan(off, n));
+            off += n;
+            if (off < mv.size()) any_left = true;
+          }
+        }
+        for (const int pid : pids[c]) client.end_stream(pid);
+        if (client.finish()) delivered += client.decisions().size();
+      });
+    }
+    for (auto& t : drivers) t.join();
+    run.windows = delivered.load();
+    total_windows += run.windows;
+    ++run.passes;
+    secs = std::chrono::duration<double>(clock::now() - start).count();
+  } while (secs < 0.4);
+
+  run.ingest_msamples_s =
+      static_cast<double>(run.passes * total_samples) / secs / 1e6;
+  run.round_trip_wps = static_cast<double>(total_windows) / secs;
+  const auto latencies = gateway.delivery_latencies_s();
+  if (!latencies.empty()) {
+    run.delivery_p50_ms = dsp::percentile(latencies, 50.0) * 1e3;
+    run.delivery_p99_ms = dsp::percentile(latencies, 99.0) * 1e3;
+  }
+  gateway.stop();
+  return run;
+}
+
 }  // namespace
 
 int main() {
@@ -557,6 +667,20 @@ int main() {
                 passes);
   }
 
+  // --- Network serving gateway -------------------------------------------------
+  constexpr std::size_t kNetWorkers = 2;
+  constexpr std::size_t kNetConnections = 4;
+  std::printf("\nnetwork serving gateway: 16 patients x 120 s over UDS loopback,"
+              " %zu connections, 4 s chunks, %zu workers\n",
+              kNetConnections, kNetWorkers);
+  const auto net_run = net_gateway_rate(registry, ward, kNetWorkers, kNetConnections);
+  std::printf("  streams sustained:    %zu concurrent patient streams\n", net_run.streams);
+  std::printf("  ingest:               %10.2f Msamples/s\n", net_run.ingest_msamples_s);
+  std::printf("  round trip:           %10.1f windows/s  (%zu windows/pass, %zu passes)\n",
+              net_run.round_trip_wps, net_run.windows, net_run.passes);
+  std::printf("  delivery (sink -> send): p50 %.2f ms, p99 %.2f ms\n", net_run.delivery_p50_ms,
+              net_run.delivery_p99_ms);
+
   std::printf("\nbatched float fast path vs single-window float loop: %.2fx %s\n",
               float_batch64 / float_single,
               float_batch64 / float_single >= 3.0 ? "(>= 3x target met)" : "(below 3x target!)");
@@ -624,6 +748,16 @@ int main() {
     std::fprintf(json, "    \"e2e_latency_p50_ms\": %.3f,\n", e2e.latency_p50_ms);
     std::fprintf(json, "    \"e2e_latency_p99_ms\": %.3f,\n", e2e.latency_p99_ms);
     std::fprintf(json, "    \"simd_kernel\": %s\n", rt::simd_kernel_enabled() ? "true" : "false");
+    std::fprintf(json, "  },\n");
+    std::fprintf(json, "  \"net\": {\n");
+    std::fprintf(json, "    \"patients\": 16, \"duration_s\": 120.0,\n");
+    std::fprintf(json, "    \"workers\": %zu, \"connections\": %zu,\n", kNetWorkers,
+                 kNetConnections);
+    std::fprintf(json, "    \"streams\": %zu,\n", net_run.streams);
+    std::fprintf(json, "    \"ingest_msamples_s\": %.3f,\n", net_run.ingest_msamples_s);
+    std::fprintf(json, "    \"round_trip_wps\": %.1f,\n", net_run.round_trip_wps);
+    std::fprintf(json, "    \"delivery_p50_ms\": %.3f,\n", net_run.delivery_p50_ms);
+    std::fprintf(json, "    \"delivery_p99_ms\": %.3f\n", net_run.delivery_p99_ms);
     std::fprintf(json, "  }\n");
     std::fprintf(json, "}\n");
     std::fclose(json);

@@ -1,0 +1,447 @@
+#include "net/gateway.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace svt::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kRecvBufferBytes = 64 * 1024;
+
+}  // namespace
+
+ServeGateway::ServeGateway(std::shared_ptr<rt::ModelRegistry> registry, rt::StreamConfig config,
+                           GatewayOptions options)
+    : options_(options),
+      engine_(std::move(registry), config, options.num_workers, options.engine,
+              [this](std::span<const rt::WindowResult> batch) { deliver(batch); }) {}
+
+ServeGateway::~ServeGateway() { stop(); }
+
+Endpoint ServeGateway::add_listener(const Endpoint& endpoint) {
+  if (started_.load()) throw std::logic_error("ServeGateway: add_listener after start()");
+  auto listener = std::make_unique<Listener>(Listener::listen(endpoint));
+  const Endpoint bound = listener->local_endpoint();
+  listeners_.push_back(std::move(listener));
+  return bound;
+}
+
+void ServeGateway::start() {
+  if (listeners_.empty()) throw std::logic_error("ServeGateway: start() without a listener");
+  if (started_.exchange(true)) return;
+  for (auto& listener : listeners_)
+    accept_threads_.emplace_back([this, &listener] { accept_loop(*listener); });
+}
+
+void ServeGateway::stop() {
+  if (stopping_.exchange(true)) {
+    // A second stop() (e.g. destructor after an explicit stop) still joins
+    // anything the first one left.
+  }
+  // Wake the accept loops first, close the fds only after the joins: a
+  // listener fd closed while another thread polls it is a race (and the fd
+  // number could be reused under that thread).
+  for (auto& listener : listeners_) listener->request_stop();
+  for (auto& thread : accept_threads_)
+    if (thread.joinable()) thread.join();
+  accept_threads_.clear();
+  for (auto& listener : listeners_) listener->close();
+
+  // Tear down live connections: waking the readers (socket shutdown) and the
+  // writers (queue close) lets every per-connection thread run its normal
+  // exit path, then join them all.
+  std::vector<std::shared_ptr<Connection>> live;
+  {
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (auto& [id, conn] : connections_) live.push_back(conn);
+    connections_.clear();
+  }
+  for (auto& conn : live) {
+    conn->socket.shutdown_both();
+    conn->send_queue.close();
+  }
+  for (auto& conn : live) {
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->writer.joinable()) conn->writer.join();
+  }
+}
+
+void ServeGateway::wait_connections_closed(std::size_t n) {
+  std::unique_lock<std::mutex> lock(conn_mutex_);
+  conn_cv_.wait(lock, [this, n] { return connections_closed_.load() >= n; });
+}
+
+GatewayStats ServeGateway::stats() const {
+  GatewayStats s;
+  s.connections_accepted = connections_accepted_.load();
+  s.connections_closed = connections_closed_.load();
+  s.streams_opened = streams_opened_.load();
+  s.streams_closed = streams_closed_.load();
+  s.frames_received = frames_received_.load();
+  s.samples_ingested = samples_ingested_.load();
+  s.decision_batches_sent = decision_batches_sent_.load();
+  s.decision_windows_sent = decision_windows_sent_.load();
+  s.protocol_errors = protocol_errors_.load();
+  s.orphan_batches = orphan_batches_.load();
+  return s;
+}
+
+std::vector<double> ServeGateway::delivery_latencies_s() const {
+  const std::lock_guard<std::mutex> lock(latency_mutex_);
+  return latencies_s_;
+}
+
+void ServeGateway::record_send_latency(double seconds) {
+  const std::lock_guard<std::mutex> lock(latency_mutex_);
+  if (latencies_s_.size() < kLatencyReservoir) {
+    latencies_s_.push_back(seconds);
+  } else {
+    latencies_s_[latency_next_] = seconds;
+    latency_next_ = (latency_next_ + 1) % kLatencyReservoir;
+  }
+}
+
+void ServeGateway::accept_loop(Listener& listener) {
+  while (true) {
+    Socket sock = listener.accept();
+    if (!sock.valid()) return;  // Listener closed (stop()) or fatal error.
+    auto conn = std::make_shared<Connection>(std::move(sock), options_);
+    connections_accepted_.fetch_add(1);
+    {
+      const std::lock_guard<std::mutex> lock(conn_mutex_);
+      reap_finished_locked();
+      if (stopping_.load()) {
+        // Raced with stop(): do not register a connection nobody will join.
+        conn->socket.shutdown_both();
+        connections_closed_.fetch_add(1);
+        conn_cv_.notify_all();
+        continue;
+      }
+      const std::uint64_t id = next_conn_id_++;
+      connections_[id] = conn;
+    }
+    conn->writer = std::thread([this, conn] { writer_loop(conn); });
+    conn->reader = std::thread([this, conn] { reader_loop(conn); });
+  }
+}
+
+void ServeGateway::reap_finished_locked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->second->done.load()) {
+      if (it->second->reader.joinable()) it->second->reader.join();
+      if (it->second->writer.joinable()) it->second->writer.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+StatsFrame ServeGateway::snapshot_stats_frame() {
+  StatsFrame stats;
+  stats.windows_delivered = engine_.delivered_windows();
+  stats.windows_rejected = engine_.rejected_windows();
+  stats.chunks_dropped = engine_.dropped_chunks();
+  stats.frames_received = frames_received_.load();
+  stats.samples_ingested = samples_ingested_.load();
+  stats.streams_opened = streams_opened_.load();
+  stats.streams_closed = streams_closed_.load();
+  stats.protocol_errors = protocol_errors_.load();
+  return stats;
+}
+
+void ServeGateway::fail_connection(const std::shared_ptr<Connection>& conn, ErrorCode code,
+                                   std::string message) {
+  protocol_errors_.fetch_add(1);
+  OutItem item;
+  ErrorFrame error;
+  error.code = code;
+  error.message = std::move(message);
+  append_error(item.bytes, error);
+  conn->send_queue.push_control(std::move(item));
+  // Closing the queue lets the writer drain (the error frame included) and
+  // exit; the reader stops consuming input after calling this.
+  conn->send_queue.close();
+}
+
+void ServeGateway::release_patients(const std::shared_ptr<Connection>& conn,
+                                    const std::map<int, bool>& streams) {
+  for (const auto& [pid, still_open] : streams) {
+    // Evict BEFORE deregistering: the eviction is queued on the patient's
+    // shard ahead of any chunks a re-opened stream could push, so a new
+    // connection reusing the id starts from stream phase 0 — never from the
+    // dead connection's leftovers.
+    if (still_open) engine_.evict_patient(pid);
+    const std::lock_guard<std::mutex> lock(routes_mutex_);
+    const auto it = routes_.find(pid);
+    if (it != routes_.end() && it->second == conn) routes_.erase(it);
+  }
+}
+
+void ServeGateway::deliver(std::span<const rt::WindowResult> batch) {
+  if (batch.empty()) return;
+  std::shared_ptr<Connection> conn;
+  {
+    const std::lock_guard<std::mutex> lock(routes_mutex_);
+    const auto it = routes_.find(batch.front().patient_id);
+    if (it != routes_.end()) conn = it->second;
+  }
+  if (!conn) {
+    orphan_batches_.fetch_add(1);
+    return;
+  }
+  // One wire record per window; the scratch vector is thread-local so each
+  // shard worker reuses its own across batches (no per-window allocation).
+  thread_local std::vector<DecisionRecord> records;
+  records.clear();
+  records.reserve(batch.size());
+  for (const rt::WindowResult& w : batch) {
+    DecisionRecord d;
+    d.start_s = w.start_s;
+    d.decision_value = w.decision_value;
+    d.label = w.label;
+    d.num_beats = static_cast<std::uint32_t>(w.num_beats);
+    records.push_back(d);
+  }
+  OutItem item;
+  item.ready = Clock::now();
+  item.latency_tracked = true;
+  append_decisions(item.bytes, batch.front().patient_id, records);
+  if (!conn->send_queue.push(std::move(item))) {
+    orphan_batches_.fetch_add(1);  // Connection tearing down; batch dropped.
+    return;
+  }
+  decision_batches_sent_.fetch_add(1);
+  decision_windows_sent_.fetch_add(batch.size());
+}
+
+void ServeGateway::writer_loop(const std::shared_ptr<Connection>& conn) {
+  std::vector<std::uint8_t> sendbuf;
+  std::vector<Clock::time_point> tracked;
+  while (true) {
+    auto item = conn->send_queue.wait_pop();
+    if (!item) break;  // Queue closed and drained: connection is finished.
+    sendbuf.clear();
+    tracked.clear();
+    sendbuf.insert(sendbuf.end(), item->bytes.begin(), item->bytes.end());
+    if (item->latency_tracked) tracked.push_back(item->ready);
+    // Coalesce everything immediately available into this send, bounded by
+    // flush_bytes, then flush the whole batch with one explicit send call.
+    while (sendbuf.size() < options_.flush_bytes) {
+      auto more = conn->send_queue.try_pop();
+      if (!more) break;
+      sendbuf.insert(sendbuf.end(), more->bytes.begin(), more->bytes.end());
+      if (more->latency_tracked) tracked.push_back(more->ready);
+    }
+    const bool sent = conn->socket.send_all(sendbuf);
+    const auto now = Clock::now();
+    if (sent) {
+      for (const auto ready : tracked)
+        record_send_latency(std::chrono::duration<double>(now - ready).count());
+      continue;
+    }
+    // Peer is gone: unblock producers (sink pushes now fail fast) and wake
+    // the reader out of recv so the connection tears down.
+    conn->send_queue.close();
+    conn->socket.shutdown_both();
+    break;
+  }
+  // Drained (queue closed): everything queued — decisions, stats, or a
+  // typed error frame — has been sent; FIN tells the peer that is all.
+  conn->socket.shutdown_both();
+  finish_half(conn);
+}
+
+void ServeGateway::reader_loop(const std::shared_ptr<Connection>& conn) {
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> recvbuf(kRecvBufferBytes);
+  std::vector<double> samples_scratch;  ///< Reused per-connection decode buffer.
+  std::map<int, bool> streams;          ///< pid -> still accepting samples.
+  bool helloed = false;
+  bool clean_bye = false;
+  bool failed = false;
+
+  const auto fail = [&](ErrorCode code, std::string message) {
+    fail_connection(conn, code, std::move(message));
+    failed = true;
+  };
+
+  while (!failed && !clean_bye) {
+    const std::ptrdiff_t n = conn->socket.recv_some(recvbuf);
+    if (n <= 0) {
+      // Orderly shutdown mid-frame is a truncation; count it (the peer is
+      // gone, so no error frame can be answered).
+      if (n == 0 && decoder.finish() != ErrorCode::kNone) protocol_errors_.fetch_add(1);
+      break;
+    }
+    decoder.feed(std::span<const std::uint8_t>(recvbuf.data(), static_cast<std::size_t>(n)));
+
+    FrameDecoder::Frame frame;
+    while (!failed && !clean_bye) {
+      const auto status = decoder.next(frame);
+      if (status == FrameDecoder::Status::kNeedMore) break;
+      if (status == FrameDecoder::Status::kError) {
+        fail(decoder.error(), decoder.error_message());
+        break;
+      }
+      frames_received_.fetch_add(1);
+      if (!helloed && frame.type != FrameType::kHello) {
+        fail(ErrorCode::kProtocolViolation, "first frame must be hello");
+        break;
+      }
+      switch (frame.type) {
+        case FrameType::kHello: {
+          HelloFrame hello;
+          if (!parse_hello(frame.payload, hello)) {
+            fail(ErrorCode::kBadPayload, "hello payload");
+            break;
+          }
+          if (helloed) {
+            fail(ErrorCode::kProtocolViolation, "duplicate hello");
+            break;
+          }
+          if (hello.version != kProtocolVersion) {
+            fail(ErrorCode::kBadVersion,
+                 "client speaks version " + std::to_string(hello.version));
+            break;
+          }
+          helloed = true;
+          OutItem ack;
+          HelloAckFrame payload;
+          payload.fs_hz = engine_.config().fs_hz;
+          payload.window_s = engine_.config().window_s;
+          payload.stride_s = engine_.config().stride_s;
+          append_hello_ack(ack.bytes, payload);
+          conn->send_queue.push_control(std::move(ack));
+          break;
+        }
+        case FrameType::kStreamOpen: {
+          StreamOpenFrame open;
+          if (!parse_stream_open(frame.payload, open)) {
+            fail(ErrorCode::kBadPayload, "stream_open payload");
+            break;
+          }
+          if (open.fs_hz != engine_.config().fs_hz) {
+            fail(ErrorCode::kConfigMismatch,
+                 "stream fs " + std::to_string(open.fs_hz) + " Hz, server expects " +
+                     std::to_string(engine_.config().fs_hz));
+            break;
+          }
+          // Register the route. A patient may be re-opened on the SAME
+          // connection after end_stream (the engine dropped its state, so a
+          // fresh stream is well-defined); any other live claim — open on
+          // this connection, or any claim by another — is a duplicate.
+          bool mine = false;
+          {
+            const std::lock_guard<std::mutex> lock(routes_mutex_);
+            const auto [it, inserted] = routes_.emplace(open.patient_id, conn);
+            mine = inserted || it->second == conn;
+          }
+          const auto sit = streams.find(open.patient_id);
+          if (!mine || (sit != streams.end() && sit->second)) {
+            fail(ErrorCode::kDuplicateStream,
+                 "patient " + std::to_string(open.patient_id) + " already streaming");
+            break;
+          }
+          streams[open.patient_id] = true;
+          streams_opened_.fetch_add(1);
+          break;
+        }
+        case FrameType::kSampleChunk: {
+          SampleChunkView chunk;
+          if (!parse_sample_chunk(frame.payload, chunk)) {
+            fail(ErrorCode::kBadPayload, "sample_chunk payload");
+            break;
+          }
+          const auto it = streams.find(chunk.patient_id);
+          if (it == streams.end() || !it->second) {
+            fail(ErrorCode::kUnknownStream,
+                 "patient " + std::to_string(chunk.patient_id) + " has no open stream");
+            break;
+          }
+          if (chunk.num_samples > 0) {
+            chunk.copy_samples(samples_scratch);
+            // May block under kBlock shard backpressure: the un-recv'd
+            // bytes then back up into the kernel buffer and TCP throttles
+            // the remote producer.
+            engine_.push_samples(chunk.patient_id, samples_scratch);
+            samples_ingested_.fetch_add(chunk.num_samples);
+          }
+          break;
+        }
+        case FrameType::kEndStream: {
+          EndStreamFrame end;
+          if (!parse_end_stream(frame.payload, end)) {
+            fail(ErrorCode::kBadPayload, "end_stream payload");
+            break;
+          }
+          const auto it = streams.find(end.patient_id);
+          if (it == streams.end() || !it->second) {
+            fail(ErrorCode::kUnknownStream,
+                 "patient " + std::to_string(end.patient_id) + " has no open stream");
+            break;
+          }
+          engine_.end_stream(end.patient_id);
+          it->second = false;
+          streams_closed_.fetch_add(1);
+          break;
+        }
+        case FrameType::kBye: {
+          // Defensive: a bye implies every stream is over. End any the
+          // client forgot so their trailing windows still classify.
+          for (auto& [pid, open] : streams) {
+            if (open) {
+              engine_.end_stream(pid);
+              open = false;
+              streams_closed_.fetch_add(1);
+            }
+          }
+          // Fence so every queued chunk is classified and every decision
+          // frame is on this connection's send queue before the stats
+          // answer (which therefore marks end-of-decisions to the client).
+          try {
+            const std::lock_guard<std::mutex> lock(fence_mutex_);
+            engine_.flush();
+          } catch (const std::exception& err) {
+            fail(ErrorCode::kServerError, err.what());
+            break;
+          }
+          release_patients(conn, streams);
+          streams.clear();
+          OutItem stats;
+          append_stats(stats.bytes, snapshot_stats_frame());
+          conn->send_queue.push_control(std::move(stats));
+          conn->send_queue.close();  // Writer drains decisions + stats, then exits.
+          clean_bye = true;
+          break;
+        }
+        default:
+          fail(ErrorCode::kProtocolViolation, "unexpected frame type on a client connection");
+          break;
+      }
+    }
+  }
+
+  release_patients(conn, streams);
+  conn->send_queue.close();
+  finish_half(conn);
+}
+
+void ServeGateway::finish_half(const std::shared_ptr<Connection>& conn) {
+  if (conn->finished_halves.fetch_add(1) + 1 < 2) return;
+  // Both halves are done: every frame owed to the peer (decisions, stats,
+  // or a typed error) has been handed to the kernel and FIN sent, so the
+  // conversation is truly over — only now may wait_connections_closed(n)
+  // count this connection (the CI smoke exits the gateway on that count).
+  connections_closed_.fetch_add(1);
+  {
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    conn->done.store(true);
+  }
+  conn_cv_.notify_all();
+}
+
+}  // namespace svt::net

@@ -1,0 +1,288 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <stdexcept>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#include <utility>
+
+namespace svt::net {
+
+namespace {
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un make_unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw std::invalid_argument("unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+// --- Endpoint ----------------------------------------------------------------
+
+Endpoint Endpoint::tcp(std::string host, std::uint16_t port) {
+  Endpoint ep;
+  ep.kind = Kind::kTcp;
+  ep.host = std::move(host);
+  ep.port = port;
+  return ep;
+}
+
+Endpoint Endpoint::unix_path(std::string path) {
+  Endpoint ep;
+  ep.kind = Kind::kUnix;
+  ep.path = std::move(path);
+  return ep;
+}
+
+Endpoint Endpoint::parse(const std::string& spec) {
+  if (spec.rfind("unix:", 0) == 0) {
+    const std::string path = spec.substr(5);
+    if (path.empty()) throw std::invalid_argument("endpoint '" + spec + "': empty unix path");
+    return unix_path(path);
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    const std::string rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == rest.size())
+      throw std::invalid_argument("endpoint '" + spec + "': want tcp:host:port");
+    const std::string port_str = rest.substr(colon + 1);
+    char* end = nullptr;
+    const unsigned long port = std::strtoul(port_str.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || port > 65535)
+      throw std::invalid_argument("endpoint '" + spec + "': bad port '" + port_str + "'");
+    return tcp(rest.substr(0, colon), static_cast<std::uint16_t>(port));
+  }
+  throw std::invalid_argument("endpoint '" + spec + "': want tcp:host:port or unix:/path");
+}
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+// --- Socket ------------------------------------------------------------------
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool Socket::send_all(std::span<const std::uint8_t> bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ::ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::ptrdiff_t Socket::recv_some(std::span<std::uint8_t> buf) {
+  while (true) {
+    const ::ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// --- Listener ----------------------------------------------------------------
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_),
+      endpoint_(std::move(other.endpoint_)),
+      wake_rx_(other.wake_rx_),
+      wake_tx_(other.wake_tx_) {
+  other.fd_ = other.wake_rx_ = other.wake_tx_ = -1;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close_fds();
+    fd_ = other.fd_;
+    endpoint_ = std::move(other.endpoint_);
+    wake_rx_ = other.wake_rx_;
+    wake_tx_ = other.wake_tx_;
+    other.fd_ = other.wake_rx_ = other.wake_tx_ = -1;
+  }
+  return *this;
+}
+
+Listener Listener::listen(const Endpoint& endpoint, int backlog) {
+  Listener listener;
+  listener.endpoint_ = endpoint;
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    listener.fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listener.fd_ < 0) throw_errno("socket(AF_UNIX)");
+    ::unlink(endpoint.path.c_str());  // A stale socket file would fail bind.
+    const sockaddr_un addr = make_unix_addr(endpoint.path);
+    if (::bind(listener.fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0)
+      throw_errno("bind(" + endpoint.to_string() + ")");
+  } else {
+    listener.fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listener.fd_ < 0) throw_errno("socket(AF_INET)");
+    int one = 1;
+    ::setsockopt(listener.fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(endpoint.port);
+    const std::string host = endpoint.host.empty() ? "0.0.0.0" : endpoint.host;
+    if (host == "localhost") {
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      throw std::invalid_argument("listen: bind host must be an IPv4 literal, got '" + host +
+                                  "'");
+    }
+    if (::bind(listener.fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0)
+      throw_errno("bind(" + endpoint.to_string() + ")");
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listener.fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+      listener.endpoint_.port = ntohs(bound.sin_port);
+  }
+  if (::listen(listener.fd_, backlog) != 0) throw_errno("listen(" + endpoint.to_string() + ")");
+  int pipefd[2];
+  if (::pipe2(pipefd, O_CLOEXEC) != 0) throw_errno("pipe2");
+  listener.wake_rx_ = pipefd[0];
+  listener.wake_tx_ = pipefd[1];
+  return listener;
+}
+
+Socket Listener::accept() {
+  while (fd_ >= 0) {
+    pollfd fds[2] = {{fd_, POLLIN, 0}, {wake_rx_, POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Socket();
+    }
+    if (fds[1].revents != 0) return Socket();  // close() wrote the wake byte.
+    if ((fds[0].revents & (POLLERR | POLLNVAL | POLLHUP)) != 0) return Socket();
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return Socket();
+    }
+    if (endpoint_.kind == Endpoint::Kind::kTcp) set_nodelay(conn);
+    return Socket(conn);
+  }
+  return Socket();
+}
+
+void Listener::request_stop() {
+  if (wake_tx_ >= 0) {
+    const std::uint8_t byte = 1;
+    [[maybe_unused]] const auto ignored = ::write(wake_tx_, &byte, 1);
+  }
+}
+
+void Listener::close() {
+  request_stop();
+  close_fds();
+}
+
+void Listener::close_fds() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    if (endpoint_.kind == Endpoint::Kind::kUnix) ::unlink(endpoint_.path.c_str());
+  }
+  if (wake_rx_ >= 0) {
+    ::close(wake_rx_);
+    wake_rx_ = -1;
+  }
+  if (wake_tx_ >= 0) {
+    ::close(wake_tx_);
+    wake_tx_ = -1;
+  }
+}
+
+// --- connect -----------------------------------------------------------------
+
+Socket connect_to(const Endpoint& endpoint) {
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw_errno("socket(AF_UNIX)");
+    const sockaddr_un addr = make_unix_addr(endpoint.path);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("connect(" + endpoint.to_string() + ")");
+    }
+    return Socket(fd);
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  addrinfo* result = nullptr;
+  const std::string port = std::to_string(endpoint.port);
+  const std::string host = endpoint.host.empty() ? "127.0.0.1" : endpoint.host;
+  const int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &result);
+  if (rc != 0)
+    throw std::runtime_error("resolve(" + endpoint.to_string() + "): " + gai_strerror(rc));
+  int fd = -1;
+  int saved = 0;
+  for (const addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC, ai->ai_protocol);
+    if (fd < 0) {
+      saved = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    saved = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(result);
+  if (fd < 0) {
+    errno = saved;
+    throw_errno("connect(" + endpoint.to_string() + ")");
+  }
+  set_nodelay(fd);
+  return Socket(fd);
+}
+
+}  // namespace svt::net

@@ -1,0 +1,123 @@
+// Thin RAII layer over POSIX stream sockets (TCP and Unix-domain).
+//
+// The gateway and its clients only need five operations — listen, accept,
+// connect, send-everything, receive-some — so that is all this wraps. Both
+// transports present the same Socket/Listener interface; an Endpoint names
+// either one textually ("tcp:host:port" or "unix:/path"), which is what the
+// example binaries take on the command line and the tests use to cover both
+// legs with one code path.
+//
+// All sockets are blocking. send_all loops over partial writes (short
+// writes are a normal stream-socket event, not an error) with SIGPIPE
+// suppressed per-call, so a peer that disappears surfaces as a clean false
+// return instead of a process signal. TCP connections set TCP_NODELAY:
+// the framing layer already batches aggressively and flushes explicitly,
+// so Nagle coalescing would only add delivery latency.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace svt::net {
+
+/// Parsed "tcp:host:port" / "unix:/path" address.
+struct Endpoint {
+  enum class Kind { kTcp, kUnix };
+  Kind kind = Kind::kTcp;
+  std::string host;         ///< TCP only.
+  std::uint16_t port = 0;   ///< TCP only; 0 binds an ephemeral port.
+  std::string path;         ///< Unix only.
+
+  /// Parse a textual endpoint; throws std::invalid_argument on a malformed
+  /// spec (unknown scheme, bad port, overlong unix path).
+  static Endpoint parse(const std::string& spec);
+  static Endpoint tcp(std::string host, std::uint16_t port);
+  static Endpoint unix_path(std::string path);
+  std::string to_string() const;
+};
+
+/// Move-only owner of one connected (or accepted) socket fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Send the whole buffer, looping over partial writes and EINTR. Returns
+  /// false when the peer is gone (EPIPE/ECONNRESET/...).
+  bool send_all(std::span<const std::uint8_t> bytes);
+
+  /// Receive up to buf.size() bytes. Returns the byte count, 0 on orderly
+  /// peer shutdown, -1 on error (EINTR is retried internally).
+  std::ptrdiff_t recv_some(std::span<std::uint8_t> buf);
+
+  /// Shut down both directions (wakes a peer — or another thread of this
+  /// process — blocked in recv) without releasing the fd.
+  void shutdown_both();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket for either transport.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { close(); }
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Bind + listen. TCP: SO_REUSEADDR, port 0 picks an ephemeral port
+  /// (local_endpoint() reports the resolved one). Unix: a stale socket file
+  /// at the path is unlinked first. Throws std::runtime_error on failure.
+  static Listener listen(const Endpoint& endpoint, int backlog = 128);
+
+  /// Block until a connection arrives; returns an invalid Socket once the
+  /// listener is closed (the shutdown path) or on a fatal accept error.
+  Socket accept();
+
+  /// The bound address (TCP port resolved even when 0 was requested).
+  const Endpoint& local_endpoint() const { return endpoint_; }
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Wake a thread blocked in accept() via the internal wake pipe without
+  /// touching any fd it may be using: every subsequent accept() returns an
+  /// invalid Socket (the wake byte stays in the pipe). The owner joins the
+  /// accept thread, THEN calls close() — closing a fd another thread still
+  /// polls would race it (and the fd number could be reused under it).
+  void request_stop();
+
+  /// Close the listening fd (Unix sockets unlink their path). Only safe
+  /// once no thread is blocked in accept() — see request_stop().
+  void close();
+
+ private:
+  void close_fds();
+
+  int fd_ = -1;
+  Endpoint endpoint_;
+  // Self-pipe: request_stop() writes a byte so a thread blocked in
+  // accept()'s poll wakes deterministically without the fds being closed
+  // under it.
+  int wake_rx_ = -1;
+  int wake_tx_ = -1;
+};
+
+/// Connect to a listening gateway; throws std::runtime_error on failure.
+Socket connect_to(const Endpoint& endpoint);
+
+}  // namespace svt::net

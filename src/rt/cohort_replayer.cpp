@@ -73,25 +73,30 @@ ReplayReport CohortReplayer::replay_records(const std::string& dir,
     std::string name;
     int patient_id = 0;
     std::vector<double> samples_mv;
+    std::string skip_reason;  ///< Non-empty: report, don't stream.
   };
   const double fs = engine_.config().fs_hz;
   std::vector<LoadedRecord> cohort;
   std::set<int> patient_ids;
   for (const auto& name : names) {
     const auto record = io::read_record(dir, name);
-    if (record.header.fs_hz != fs)
-      throw std::invalid_argument("replay: record " + name + " is sampled at " +
-                                  std::to_string(record.header.fs_hz) +
-                                  " Hz but the engine expects " + std::to_string(fs));
+    LoadedRecord loaded;
+    loaded.name = name;
+    loaded.patient_id = patient_id_of(name);
+    if (record.header.fs_hz != fs) {
+      // One mis-recorded monitor must not abort the ward: skip the record
+      // with a per-record reason instead of throwing.
+      loaded.skip_reason = "sampled at " + std::to_string(record.header.fs_hz) +
+                           " Hz, engine expects " + std::to_string(fs);
+      cohort.push_back(std::move(loaded));
+      continue;
+    }
     const std::size_t channel = options.channel == ReplayOptions::kAutoChannel
                                     ? io::ecg_channel(record.header)
                                     : options.channel;
     if (channel >= record.header.num_signals())
       throw std::invalid_argument("replay: record " + name + " has no channel " +
                                   std::to_string(channel));
-    LoadedRecord loaded;
-    loaded.name = name;
-    loaded.patient_id = patient_id_of(name);
     if (!patient_ids.insert(loaded.patient_id).second)
       throw std::invalid_argument("replay: duplicate patient id " +
                                   std::to_string(loaded.patient_id) +
@@ -151,6 +156,13 @@ ReplayReport CohortReplayer::replay_records(const std::string& dir,
     RecordReplayStats stats;
     stats.record = cohort[r].name;
     stats.patient_id = cohort[r].patient_id;
+    if (!cohort[r].skip_reason.empty()) {
+      stats.skipped = true;
+      stats.skip_reason = cohort[r].skip_reason;
+      ++report.skipped_records;
+      report.records.push_back(std::move(stats));
+      continue;
+    }
     stats.samples = cohort[r].samples_mv.size();
     stats.duration_s = static_cast<double>(stats.samples) / fs;
     stats.wall_s = seconds_since(t0, admitted_at[r]);

@@ -62,6 +62,8 @@ struct RecordReplayStats {
   double wall_s = 0.0;       ///< Replay start -> this record fully admitted.
   double x_realtime = 0.0;   ///< duration_s / wall_s.
   std::size_t windows = 0;   ///< Windows delivered for this patient.
+  bool skipped = false;      ///< Record not streamed (see skip_reason).
+  std::string skip_reason;   ///< Why, e.g. a sampling-rate mismatch.
 };
 
 /// Replay outcome for the whole cohort (wall time includes the terminal
@@ -73,6 +75,7 @@ struct ReplayReport {
   double x_realtime = 0.0;        ///< total_duration_s / wall_s.
   std::size_t windows = 0;
   std::size_t dropped_chunks = 0;  ///< Dropped during this replay (kDropOldest).
+  std::size_t skipped_records = 0;  ///< Records skipped (per-record skip_reason).
 };
 
 class CohortReplayer {
@@ -88,10 +91,14 @@ class CohortReplayer {
   /// Replay every record listed in `<dir>/RECORDS`.
   ReplayReport replay_directory(const std::string& dir, const ReplayOptions& options = {});
 
-  /// Replay an explicit record list from `dir`. Throws std::invalid_argument
-  /// on a record whose sampling rate disagrees with the stream config, a
-  /// name without a trailing record number, duplicate patient ids, or an
-  /// out-of-range channel selection. Not reentrant: one replay at a time.
+  /// Replay an explicit record list from `dir`. A record whose sampling
+  /// rate disagrees with the stream config is skipped — reported in its
+  /// RecordReplayStats (skipped/skip_reason) and counted in
+  /// ReplayReport::skipped_records — rather than aborting the whole cohort:
+  /// one mis-recorded monitor must not take the ward replay down. Throws
+  /// std::invalid_argument on a name without a trailing record number,
+  /// duplicate patient ids, or an out-of-range channel selection. Not
+  /// reentrant: one replay at a time.
   ReplayReport replay_records(const std::string& dir, const std::vector<std::string>& names,
                               const ReplayOptions& options = {});
 

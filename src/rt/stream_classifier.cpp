@@ -4,20 +4,15 @@
 
 namespace svt::rt {
 
-StreamClassifier::StreamClassifier(core::TailoredDetector detector, StreamConfig config)
-    : detector_(std::move(detector)), extractor_(config) {
-  // flush() only reads the packed float model when there is no quantised
-  // engine; skip the pack (and the SV-table copy) otherwise.
-  const auto& model = detector_.model();
-  if (!detector_.quantized() && model.kernel.type == svt::svm::KernelType::kPolynomial &&
-      model.kernel.degree == 2 && model.num_support_vectors() > 0) {
-    packed_.emplace(model);
-  }
-}
+StreamClassifier::StreamClassifier(ServableModel model, StreamConfig config)
+    : model_(std::move(model)), extractor_(config) {}
+
+StreamClassifier::StreamClassifier(const core::TailoredDetector& detector, StreamConfig config)
+    : StreamClassifier(ServableModel::from_detector(detector), config) {}
 
 void StreamClassifier::push_samples(int patient_id, std::span<const double> samples_mv) {
   extractor_.push_samples(patient_id, samples_mv, [this](ExtractedWindow&& window) {
-    // The detector's per-window front half (feature selection + scaling); the
+    // The model's per-window front half (feature selection + scaling); the
     // back half (the decision kernel) is deferred to flush(), where all
     // queued rows go through one batched call.
     queue_window(window);
@@ -30,7 +25,7 @@ bool StreamClassifier::end_stream(int patient_id) {
 }
 
 void StreamClassifier::queue_window(const ExtractedWindow& window) {
-  pending_rows_.push_back(detector_.prepare_row(window.raw_features));
+  pending_rows_.push_back(model_.prepare_row(window.raw_features));
   WindowResult meta;
   meta.patient_id = window.patient_id;
   meta.start_s = window.start_s;
@@ -45,10 +40,10 @@ std::vector<WindowResult> StreamClassifier::flush() {
   pending_rows_.clear();
   if (results.empty()) return results;
 
-  if (detector_.quantized()) {
+  if (model_.quantized()) {
     // Fixed-point deployment: labels come from the bit-exact batched integer
     // pipeline; the dequantised accumulator doubles as the decision value.
-    const auto values = detector_.quantized()->dequantized_decisions(rows);
+    const auto values = model_.quantized()->dequantized_decisions(rows);
     for (std::size_t w = 0; w < results.size(); ++w) {
       results[w].decision_value = values[w];
       results[w].label = values[w] >= 0.0 ? +1 : -1;
@@ -57,10 +52,10 @@ std::vector<WindowResult> StreamClassifier::flush() {
   }
 
   std::vector<double> values(rows.size());
-  if (packed_) {
-    packed_->decision_values(rows, values);
+  if (model_.packed()) {
+    model_.packed()->decision_values(rows, values);
   } else {
-    detector_.model().decision_values(rows, values);
+    model_.model().decision_values(rows, values);
   }
   for (std::size_t w = 0; w < results.size(); ++w) {
     results[w].decision_value = values[w];

@@ -25,12 +25,11 @@
 #pragma once
 
 #include <cstddef>
-#include <optional>
 #include <span>
 #include <vector>
 
 #include "core/tailoring.hpp"
-#include "rt/packed_model.hpp"
+#include "rt/model_registry.hpp"
 #include "rt/window_extractor.hpp"
 
 namespace svt::rt {
@@ -46,11 +45,17 @@ struct WindowResult {
 
 class StreamClassifier {
  public:
-  /// Wrap a tailored detector. The detector's SVM is packed once up front
-  /// when it uses the quadratic kernel (other kernels fall back to the
-  /// per-window float path). Throws std::invalid_argument on a non-positive
-  /// sampling rate, window, or stride, or stride_s > window_s.
-  explicit StreamClassifier(core::TailoredDetector detector, StreamConfig config = {});
+  /// Serve a deployable model directly (the same unit the registry and the
+  /// network gateway serve, so a gateway reference run needs no training).
+  /// The model's SVM is packed once up front when it uses the quadratic
+  /// kernel (other kernels fall back to the per-window float path). Throws
+  /// std::invalid_argument on a non-positive sampling rate, window, or
+  /// stride, or stride_s > window_s.
+  explicit StreamClassifier(ServableModel model, StreamConfig config = {});
+
+  /// Wrap a tailored detector: serves ServableModel::from_detector(detector),
+  /// which copies the deployable parts bit-exactly.
+  explicit StreamClassifier(const core::TailoredDetector& detector, StreamConfig config = {});
 
   /// Ingest a chunk of raw ECG samples (mV) for one patient. Chunks may be
   /// of any size; windows are emitted as soon as enough samples accumulate.
@@ -85,13 +90,12 @@ class StreamClassifier {
   /// its end have been pushed (see WindowExtractor::emission_lag_samples).
   std::size_t emission_lag_samples() const { return extractor_.emission_lag_samples(); }
   const StreamConfig& config() const { return extractor_.config(); }
-  const core::TailoredDetector& detector() const { return detector_; }
+  const ServableModel& model() const { return model_; }
 
  private:
   void queue_window(const ExtractedWindow& window);
 
-  core::TailoredDetector detector_;
-  std::optional<PackedModel> packed_;
+  ServableModel model_;
   WindowExtractor extractor_;
   std::vector<std::vector<double>> pending_rows_;  ///< Scaled, selected features.
   std::vector<WindowResult> pending_meta_;

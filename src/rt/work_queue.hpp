@@ -108,6 +108,23 @@ class WorkQueue {
     return item;
   }
 
+  /// Non-blocking pop: the next item if one is queued, nullopt otherwise
+  /// (regardless of closed state — a closed queue still drains). Lets a
+  /// consumer coalesce everything immediately available after a blocking
+  /// wait_pop, e.g. the network writer batching queued frames into one send.
+  std::optional<T> try_pop() {
+    std::optional<T> item;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (items_.empty()) return std::nullopt;
+      if (!items_.front().control) --data_count_;
+      item = std::move(items_.front().item);
+      items_.pop_front();
+    }
+    space_cv_.notify_one();
+    return item;
+  }
+
   /// Stop accepting items; wake blocked producers (their items are rejected)
   /// and wake the worker once the backlog drains.
   void close() {

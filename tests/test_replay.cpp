@@ -181,14 +181,49 @@ TEST(CohortReplay, PacedReplayHonoursTheSpeedMultiple) {
   EXPECT_GE(report.records[0].wall_s, 0.9 * min_wall);
 }
 
-TEST(CohortReplay, MismatchedSamplingRateThrows) {
-  const auto dir = fixture_dir("fs", 1, 10.0);
-  rt::StreamConfig config = short_window_config();
-  config.fs_hz = 360.0;  // Engine expects 360 Hz, records are 250 Hz.
+TEST(CohortReplay, MismatchedSamplingRateSkipsTheRecordNotTheCohort) {
+  const auto dir = fixture_dir("fs", 2, 50.0);
+  const auto names = io::read_records_index(dir);
+  ASSERT_EQ(names.size(), 2u);
+  // Re-record the second monitor at the wrong rate: it must be skipped with
+  // a per-record reason while the rest of the ward replays normally.
+  auto bad = io::read_record(dir, names[1]);
+  bad.header.fs_hz = 360.0;
+  io::write_record(dir, bad.header, bad.adc);
+
+  const int good_pid = rt::CohortReplayer::patient_id_of(names[0]);
+  const auto good = io::read_record(dir, names[0]);
+  std::map<int, std::vector<double>> good_cohort;
+  good_cohort[good_pid] = good.signal_mv(io::ecg_channel(good.header));
+  const auto want = direct_results(good_cohort);
+
   auto registry =
       std::make_shared<rt::ModelRegistry>(rt::ServableModel::from_detector(detector()));
-  rt::CohortReplayer replayer(registry, config, 1);
-  EXPECT_THROW(replayer.replay_directory(dir), std::invalid_argument);
+  Collector collector;
+  rt::CohortReplayer replayer(registry, short_window_config(), 2, {}, collector.sink());
+  const auto report = replayer.replay_directory(dir);
+
+  EXPECT_EQ(report.skipped_records, 1u);
+  ASSERT_EQ(report.records.size(), 2u);
+  const auto& skipped = report.records[1];
+  EXPECT_TRUE(skipped.skipped);
+  EXPECT_NE(skipped.skip_reason.find("360"), std::string::npos) << skipped.skip_reason;
+  EXPECT_EQ(skipped.windows, 0u);
+  EXPECT_FALSE(report.records[0].skipped);
+  EXPECT_TRUE(report.records[0].skip_reason.empty());
+
+  // The surviving record's stream is untouched by the skip: bit-identical
+  // to direct streaming, and nothing was delivered for the skipped patient.
+  ASSERT_EQ(collector.per_patient.size(), 1u);
+  ASSERT_EQ(collector.per_patient.count(good_pid), 1u);
+  const auto& got = collector.per_patient.at(good_pid);
+  const auto& expected = want.at(good_pid);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t w = 0; w < expected.size(); ++w) {
+    EXPECT_EQ(got[w].start_s, expected[w].start_s);
+    EXPECT_EQ(got[w].decision_value, expected[w].decision_value);
+    EXPECT_EQ(got[w].label, expected[w].label);
+  }
 }
 
 TEST(CohortReplay, DuplicatePatientIdsThrow) {

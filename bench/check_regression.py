@@ -90,6 +90,21 @@ NET_METRICS = [
     "net.ingest_msamples_s",
     "net.round_trip_wps",
 ]
+# Lane-parallel extraction rates (single-threaded, so they normalise and
+# gate like the plain METRICS class) and the lane-vs-scalar speedups (already
+# dimensionless: compared raw). Both depend on which SIMD tier runtime
+# dispatch picked, so they are gated only when `lanes.isa` matches the
+# baseline's — a baseline recorded on an AVX2 host must not fail a SSE2-only
+# runner (tier mismatch is reported, not failed).
+LANES_METRICS = [
+    "lanes.patients_1_wps",
+    "lanes.patients_4_wps",
+    "lanes.patients_8_wps",
+]
+LANES_RATIO_METRICS = [
+    "lanes.speedup_4p",
+    "lanes.speedup_8p",
+]
 LOWER_IS_BETTER = [
     "continuous.latency_p50_ms",
     "continuous.latency_p99_ms",
@@ -120,6 +135,13 @@ def evaluate(fresh, baseline, threshold, absolute=False, echo=print):
              f"the normaliser is not gated absolutely, and thread-scaling/latency metrics "
              f"are {'gated against the baseline floor' if scale_armed else 'reported but not gated'}")
 
+    fresh_isa = lookup(fresh, "lanes.isa")
+    base_isa = lookup(baseline, "lanes.isa")
+    isa_match = fresh_isa is not None and fresh_isa == base_isa
+    if base_isa is not None and fresh_isa is not None and not isa_match:
+        echo(f"note: lane dispatch tier differs (baseline {base_isa!r}, fresh {fresh_isa!r}); "
+             f"lane metrics are reported but not gated")
+
     fresh_norm = lookup(fresh, NORMALIZER)
     base_norm = lookup(baseline, NORMALIZER)
     if not absolute and (not fresh_norm or not base_norm):
@@ -131,7 +153,8 @@ def evaluate(fresh, baseline, threshold, absolute=False, echo=print):
     echo(f"{'metric':<34} {'baseline':>12} {'fresh':>12} {'change':>8}  verdict")
 
     failures = []
-    for metric in METRICS + THREADED_METRICS + REPLAY_METRICS + NET_METRICS + LOWER_IS_BETTER:
+    for metric in (METRICS + THREADED_METRICS + REPLAY_METRICS + NET_METRICS +
+                   LANES_METRICS + LANES_RATIO_METRICS + LOWER_IS_BETTER):
         base_value = lookup(baseline, metric)
         fresh_value = lookup(fresh, metric)
         if base_value is None or fresh_value is None:
@@ -156,12 +179,22 @@ def evaluate(fresh, baseline, threshold, absolute=False, echo=print):
             # Latency x machine speed: "windows' worth of work" per delivery.
             gated = scale_armed
             base_score, fresh_score = base_value * base_norm, fresh_value * fresh_norm
+        elif metric in LANES_RATIO_METRICS:
+            # Lane-vs-scalar speedups are dimensionless: compared raw, gated
+            # only on the baseline's dispatch tier.
+            gated = isa_match
+            base_score, fresh_score = base_value, fresh_value
+        elif metric in LANES_METRICS:
+            gated = isa_match
+            base_score, fresh_score = base_value / base_norm, fresh_value / fresh_norm
         else:
             gated = scale_armed if metric in THREADED_METRICS + REPLAY_METRICS + NET_METRICS else True
             base_score, fresh_score = base_value / base_norm, fresh_value / fresh_norm
         change = fresh_score / base_score - 1.0 if base_score else 0.0
         regressed = change > threshold if lower_better else change < -threshold
-        verdict = "ok" if not regressed else ("FAIL" if gated else "skip (hw)")
+        lanes_metric = metric in LANES_METRICS + LANES_RATIO_METRICS
+        skip_label = "skip (isa)" if lanes_metric and not isa_match else "skip (hw)"
+        verdict = "ok" if not regressed else ("FAIL" if gated else skip_label)
         if regressed and gated:
             limit = f"+{threshold:.0%}" if lower_better else f"-{threshold:.0%}"
             failures.append(f"{metric}: {change:+.1%} (limit {limit})")
@@ -176,9 +209,14 @@ def _doc(hw=4, norm=1000.0, **overrides):
     doc = {"hardware_threads": hw, NORMALIZER: norm}
     for metric in METRICS:
         doc.setdefault(metric, 500.0)
-    for metric in THREADED_METRICS + REPLAY_METRICS + NET_METRICS + LOWER_IS_BETTER:
+    for metric in (THREADED_METRICS + REPLAY_METRICS + NET_METRICS + LANES_METRICS +
+                   LOWER_IS_BETTER):
         head, leaf = metric.split(".")
         doc.setdefault(head, {})[leaf] = 5.0 if leaf.endswith("_ms") else 800.0
+    for metric in LANES_RATIO_METRICS:
+        head, leaf = metric.split(".")
+        doc.setdefault(head, {})[leaf] = 2.0
+    doc.setdefault("lanes", {}).setdefault("isa", "avx2")
     for path, value in overrides.items():
         head, _, leaf = path.partition(".")
         if leaf:
@@ -271,6 +309,26 @@ def self_test():
     del fresh_without_net["net"]
     check("missing net metrics fail",
           len(evaluate(fresh_without_net, _doc(), 0.25, echo=quiet)), 4)
+    # Lane metrics: gated while the dispatch tier matches the baseline's,
+    # reported-not-failed on a tier mismatch, and report-not-fail before the
+    # baseline records the section at all.
+    check("lane throughput regression fails",
+          len(evaluate(_doc(**{"lanes.patients_4_wps": 100.0}), _doc(), 0.25, echo=quiet)), 1)
+    check("lane speedup regression fails",
+          len(evaluate(_doc(**{"lanes.speedup_8p": 1.0}), _doc(), 0.25, echo=quiet)), 1)
+    check("lane improvement passes",
+          evaluate(_doc(**{"lanes.speedup_4p": 4.0}), _doc(), 0.25, echo=quiet), [])
+    check("lane metrics skipped on isa mismatch",
+          evaluate(_doc(**{"lanes.isa": "sse2", "lanes.patients_4_wps": 100.0,
+                           "lanes.speedup_4p": 1.0}),
+                   _doc(), 0.25, echo=quiet), [])
+    base_without_lanes = _doc()
+    del base_without_lanes["lanes"]
+    check("new lane metrics skip", evaluate(_doc(), base_without_lanes, 0.25, echo=quiet), [])
+    fresh_without_lanes = _doc()
+    del fresh_without_lanes["lanes"]
+    check("missing lane metrics fail",
+          len(evaluate(fresh_without_lanes, _doc(), 0.25, echo=quiet)), 5)
     # A uniform slowdown cannot hide in the ratios on same hardware: the
     # normaliser is gated absolutely.
     uniform = _doc(norm=500.0)

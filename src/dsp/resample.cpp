@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/assert.hpp"
+#include "dsp/simd_kernels.hpp"
 
 namespace svt::dsp {
 
@@ -54,10 +55,39 @@ void resample_linear_into(std::span<const double> times_s, std::span<const doubl
   const double duration = times_s.back() - times_s.front();
   const auto n = static_cast<std::size_t>(std::floor(duration * fs_hz)) + 1;
   out_values.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
+
+  // Grid times are monotone, so instead of a binary search per point the
+  // source segment advances with a single forward walk, and all grid points
+  // falling inside one segment are interpolated by the vectorised kernel.
+  // Every comparison and every arithmetic operation matches the per-point
+  // interpolate_unchecked path, so the output is bit-identical to it.
+  const double t_front = times_s.front();
+  const double t_back = times_s.back();
+  std::size_t i = 0;
+  while (i < n) {  // Front clamp.
     const double t = start_time_s + static_cast<double>(i) / fs_hz;
-    out_values[i] = interpolate_unchecked(times_s, values, t);
+    if (!(t <= t_front)) break;
+    out_values[i++] = values.front();
   }
+  std::size_t hi = 1;
+  while (i < n) {
+    const double t = start_time_s + static_cast<double>(i) / fs_hz;
+    if (t >= t_back) break;
+    while (times_s[hi] <= t) ++hi;  // First knot past t, as upper_bound finds.
+    std::size_t j = i + 1;          // Extend the run sharing this segment.
+    while (j < n) {
+      const double tj = start_time_s + static_cast<double>(j) / fs_hz;
+      if (tj >= t_back || times_s[hi] <= tj) break;
+      ++j;
+    }
+    const std::size_t lo = hi - 1;
+    const double span = times_s[hi] - times_s[lo];
+    SVT_ASSERT(span > 0.0);
+    detail::lerp_grid_span(start_time_s, fs_hz, times_s[lo], span, values[lo], values[hi], i,
+                           j - i, out_values.data() + i);
+    i = j;
+  }
+  for (; i < n; ++i) out_values[i] = values.back();  // Back clamp.
 }
 
 UniformSeries resample_linear(std::span<const double> times_s, std::span<const double> values,

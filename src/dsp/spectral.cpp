@@ -6,6 +6,7 @@
 
 #include "common/assert.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/simd_kernels.hpp"
 #include "dsp/statistics.hpp"
 
 namespace svt::dsp {
@@ -70,7 +71,10 @@ void segment_psd_into(std::span<const double> x, double fs_hz, std::span<const d
   const std::size_t nfft = next_power_of_two(x.size());
   auto& buf = scratch.fft_buf;
   buf.assign(nfft, {0.0, 0.0});
-  for (std::size_t i = 0; i < x.size(); ++i) buf[i] = {x[i] * w[i], 0.0};
+  // std::complex<double> is layout-compatible with double[2], so the taper
+  // and bin kernels run over the buffer as interleaved (re, im) pairs.
+  auto* interleaved = reinterpret_cast<double*>(buf.data());
+  detail::taper_into_complex(x.data(), w.data(), x.size(), interleaved);
   fft_inplace(buf, scratch.plans.get(nfft));
 
   const std::size_t half = nfft / 2;
@@ -79,19 +83,26 @@ void segment_psd_into(std::span<const double> x, double fs_hz, std::span<const d
   if (!accumulate) {
     out.frequency_hz.resize(half + 1);
     out.power.resize(half + 1);
+    for (std::size_t k = 0; k <= half; ++k)
+      out.frequency_hz[k] = df * static_cast<double>(k);
   }
   SVT_ASSERT(out.power.size() == half + 1);
-  for (std::size_t k = 0; k <= half; ++k) {
-    double p = std::norm(buf[k]) / norm;
-    const bool interior = k != 0 && k != half;
-    if (interior) p *= 2.0;  // One-sided estimate folds the negative axis.
+  // Edge bins (DC and Nyquist) are not doubled; the interior runs through
+  // the vectorised kernel with the same (re*re + im*im) / norm * 2 order.
+  const std::size_t edges[2] = {0, half};
+  for (std::size_t e = 0; e < (half == 0 ? std::size_t{1} : std::size_t{2}); ++e) {
+    const std::size_t k = edges[e];
+    const double re = interleaved[2 * k];
+    const double im = interleaved[2 * k + 1];
+    const double p = (re * re + im * im) / norm;
     if (accumulate) {
       out.power[k] += p;
     } else {
-      out.frequency_hz[k] = df * static_cast<double>(k);
       out.power[k] = p;
     }
   }
+  if (half > 1)
+    detail::psd_interior_bins(interleaved, 1, half, norm, accumulate, out.power.data());
 }
 
 }  // namespace

@@ -55,6 +55,14 @@ class BeatRing {
  public:
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+  /// Allocated slots (for residency accounting; power of two once grown).
+  std::size_t capacity() const { return buf_.size(); }
+
+  /// Drop every beat; keeps the allocation (ring reuse across streams).
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
 
   /// i-th oldest beat (0 = head).
   const Beat& operator[](std::size_t i) const {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -82,9 +83,45 @@ std::size_t ShardedStreamClassifier::dropped_chunks() const {
   return total;
 }
 
+void ShardedStreamClassifier::record_latency(Shard& shard,
+                                             std::chrono::steady_clock::time_point enqueued) {
+  const double latency =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - enqueued).count();
+  const std::lock_guard<std::mutex> lock(shard.latency_mutex);
+  if (shard.latencies_s.size() < kLatencyReservoir) {
+    shard.latencies_s.push_back(latency);
+  } else {
+    // Reservoir full: overwrite the oldest entry (recent-window view).
+    shard.latencies_s[shard.latency_next] = latency;
+    shard.latency_next = (shard.latency_next + 1) % kLatencyReservoir;
+  }
+}
+
 void ShardedStreamClassifier::worker_loop(Shard& shard) {
   std::vector<ExtractedWindow> windows;
-  while (auto task = shard.tasks.wait_pop()) {
+  std::vector<Task> round;
+  std::vector<WindowExtractor::PatientChunk> chunks;
+  std::optional<Task> pending;  ///< Popped while coalescing, deferred.
+  const auto collect = [&windows](ExtractedWindow&& window) {
+    windows.push_back(std::move(window));
+  };
+  const auto note_rejected = [&] {
+    const std::size_t rejected_now = shard.extractor.rejected_windows();
+    if (rejected_now != shard.rejected_reported) {
+      rejected_ += rejected_now - shard.rejected_reported;
+      shard.rejected_reported = rejected_now;
+    }
+  };
+  const auto note_error = [&] {
+    // Record the first error for the next flush() and keep serving: one
+    // patient without a model must not take down the whole shard.
+    const std::lock_guard<std::mutex> lock(error_mutex_);
+    if (!error_) error_ = std::current_exception();
+  };
+  for (;;) {
+    std::optional<Task> task =
+        pending ? std::exchange(pending, std::nullopt) : shard.tasks.wait_pop();
+    if (!task) break;
     if (task->fence) {
       {
         const std::lock_guard<std::mutex> lock(fence_mutex_);
@@ -97,45 +134,71 @@ void ShardedStreamClassifier::worker_loop(Shard& shard) {
       shard.extractor.erase_patient(task->patient_id);
       continue;
     }
-    windows.clear();
-    const auto collect = [&windows](ExtractedWindow&& window) {
-      windows.push_back(std::move(window));
-    };
     if (task->end_stream) {
+      windows.clear();
       shard.extractor.end_patient(task->patient_id, collect);
-    } else {
-      shard.extractor.push_samples(task->patient_id, task->samples, collect);
-    }
-    const std::size_t rejected_now = shard.extractor.rejected_windows();
-    if (rejected_now != shard.rejected_reported) {
-      rejected_ += rejected_now - shard.rejected_reported;
-      shard.rejected_reported = rejected_now;
-    }
-    if (windows.empty()) continue;
-    try {
-      classify_batch(task->patient_id, windows, shard);
-      const double latency =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - task->enqueued)
-              .count();
-      const std::lock_guard<std::mutex> lock(shard.latency_mutex);
-      if (shard.latencies_s.size() < kLatencyReservoir) {
-        shard.latencies_s.push_back(latency);
-      } else {
-        // Reservoir full: overwrite the oldest entry (recent-window view).
-        shard.latencies_s[shard.latency_next] = latency;
-        shard.latency_next = (shard.latency_next + 1) % kLatencyReservoir;
+      note_rejected();
+      if (windows.empty()) continue;
+      try {
+        classify_batch(task->patient_id, windows, shard);
+        record_latency(shard, task->enqueued);
+      } catch (...) {
+        note_error();
       }
-    } catch (...) {
-      // Record the first error for the next flush() and keep serving: one
-      // patient without a model must not take down the whole shard.
-      const std::lock_guard<std::mutex> lock(error_mutex_);
-      if (!error_) error_ = std::current_exception();
+      continue;
+    }
+
+    // Sample chunk: coalesce whatever other patients' chunks are already
+    // queued (up to the lane-pack width) so the extractor steps the round in
+    // SIMD lockstep. A control task — or a second chunk for a patient
+    // already in the round — ends the round and carries into the next
+    // iteration, preserving per-patient stream order and fence ordering.
+    round.clear();
+    round.push_back(std::move(*task));
+    while (round.size() < ecg::LaneQrsDetector::kMaxLanes) {
+      auto next = shard.tasks.try_pop();
+      if (!next) break;
+      const bool control = next->fence || next->evict || next->end_stream;
+      const bool duplicate =
+          std::any_of(round.begin(), round.end(),
+                      [&](const Task& t) { return t.patient_id == next->patient_id; });
+      if (control || duplicate) {
+        pending = std::move(next);
+        break;
+      }
+      round.push_back(std::move(*next));
+    }
+
+    windows.clear();
+    chunks.clear();
+    for (const Task& t : round) chunks.push_back({t.patient_id, t.samples});
+    shard.extractor.push_batch(chunks, collect);
+    note_rejected();
+
+    // Windows land contiguously per patient in round order; each patient's
+    // segment is classified and delivered on its own, with the latency clock
+    // of that patient's chunk.
+    std::size_t begin = 0;
+    for (const Task& t : round) {
+      std::size_t end = begin;
+      while (end < windows.size() && windows[end].patient_id == t.patient_id) ++end;
+      if (end > begin) {
+        try {
+          classify_batch(t.patient_id,
+                         std::span<const ExtractedWindow>(windows.data() + begin, end - begin),
+                         shard);
+          record_latency(shard, t.enqueued);
+        } catch (...) {
+          note_error();
+        }
+      }
+      begin = end;
     }
   }
 }
 
 void ShardedStreamClassifier::classify_batch(int patient_id,
-                                             std::vector<ExtractedWindow>& windows,
+                                             std::span<const ExtractedWindow> windows,
                                              Shard& shard) {
   // Snapshot the patient's model once per batch: this is the hot-swap fence.
   // The batch runs to completion on the snapshot even if install() replaces

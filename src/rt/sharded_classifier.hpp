@@ -8,11 +8,22 @@
 //   push_samples(p, chunk)
 //        │ shard_of(p)                      worker thread (one per shard)
 //        ▼                       ┌────────────────────────────────────────┐
-//   ┌─────────────┐   chunk      │ WindowExtractor -> raw windows         │
-//   │ bounded     │ ───────────> │  -> registry snapshot (per batch)      │
-//   │ shard queue │  backpressure│  -> prepare + packed batch kernel      │
-//   │ (x N)       │  block/drop  │  -> ResultSink(batch)   ──────────────────> results
-//   └─────────────┘              └────────────────────────────────────────┘
+//   ┌─────────────┐ coalesced    │ WindowExtractor (lane packs: queued    │
+//   │ bounded     │ round of     │  patients' chunks step SIMD lockstep)  │
+//   │ shard queue │ ≤8 patients' │  -> registry snapshot (per batch)      │
+//   │ (x N)       │ chunks       │  -> prepare + packed batch kernel      │
+//   └─────────────┘  block/drop  │  -> ResultSink(batch)   ──────────────────> results
+//                                └────────────────────────────────────────┘
+//
+// Lane coalescing: after blocking on one chunk, a worker drains whatever
+// other patients' chunks are already queued (up to the lane-pack width) and
+// extracts the round through WindowExtractor::push_batch, so a backlogged
+// shard steps several patients' identical filter chains per instruction.
+// Coalescing never reorders: a second chunk for a patient already in the
+// round — or any control task — ends the round and is processed after it,
+// so per-patient stream order, fence semantics, and per-patient bit-
+// exactness are untouched (an idle shard degenerates to one chunk per
+// round, the scalar-equivalent path).
 //
 // Continuous delivery: every chunk that completes windows is classified
 // immediately on the shard's worker (per-patient batch affinity: a patient's
@@ -224,7 +235,8 @@ class ShardedStreamClassifier {
   static constexpr std::size_t kLatencyReservoir = 4096;
 
   void worker_loop(Shard& shard);
-  void classify_batch(int patient_id, std::vector<ExtractedWindow>& windows, Shard& shard);
+  void classify_batch(int patient_id, std::span<const ExtractedWindow> windows, Shard& shard);
+  void record_latency(Shard& shard, std::chrono::steady_clock::time_point enqueued);
   void deliver(std::span<const WindowResult> batch);
 
   std::shared_ptr<ModelRegistry> registry_;

@@ -22,28 +22,105 @@ WindowExtractor::WindowExtractor(StreamConfig config) : config_(config) {
   if (window_samples_ == 0 || stride_samples_ == 0)
     throw std::invalid_argument("WindowExtractor: window/stride shorter than one sample");
   // Probe detector: validates fs against the QRS band-pass up front (instead
-  // of on the first push) and fixes the emission lookahead.
-  const ecg::StreamingQrsDetector probe(config.fs_hz);
+  // of on the first push) and fixes the emission lookahead. Lane detectors
+  // allocate nothing until a lane is claimed, so the probe is cheap.
+  const ecg::LaneQrsDetector probe(config.fs_hz);
   emission_lag_samples_ = static_cast<std::size_t>(probe.finality_lag());
+}
+
+WindowExtractor::PatientState& WindowExtractor::find_or_create(int patient_id) {
+  auto it = patients_.find(patient_id);
+  if (it != patients_.end()) return it->second;
+  // First-fit pack selection keeps lanes densely occupied: an existing pack
+  // with a free lane, else a released pack slot, else a new pack.
+  std::size_t pack_idx = packs_.size();
+  for (std::size_t i = 0; i < packs_.size(); ++i) {
+    if (packs_[i] && packs_[i]->detector.free_lanes() > 0) {
+      pack_idx = i;
+      break;
+    }
+  }
+  if (pack_idx == packs_.size()) {
+    for (std::size_t i = 0; i < packs_.size(); ++i) {
+      if (!packs_[i]) {
+        pack_idx = i;
+        break;
+      }
+    }
+    if (pack_idx == packs_.size()) packs_.emplace_back();
+    packs_[pack_idx] = std::make_unique<Pack>(config_.fs_hz);
+  }
+  Pack& pack = *packs_[pack_idx];
+  PatientState state;
+  state.pack = pack_idx;
+  state.lane = pack.detector.add_lane();
+  ++pack.active;
+  return patients_.emplace(patient_id, state).first->second;
+}
+
+void WindowExtractor::release_patient(PatientState& state) {
+  Pack& pack = *packs_[state.pack];
+  pack.detector.remove_lane(state.lane);
+  if (--pack.active == 0) {
+    // Last occupant gone: fold the pack's occupancy counters into the
+    // retired totals and release its ring storage outright, so resident
+    // memory tracks live patients rather than historical churn.
+    retired_vector_samples_ += pack.detector.vector_samples();
+    retired_scalar_samples_ += pack.detector.scalar_samples();
+    packs_[state.pack].reset();
+  }
+}
+
+void WindowExtractor::push_batch(std::span<const PatientChunk> chunks, const WindowSink& sink) {
+  for (const auto& chunk : chunks) find_or_create(chunk.patient_id);
+
+  // Step each involved pack once, with every one of its patients' chunks in
+  // lockstep. Patient ids must be distinct within one batch (the lane
+  // engine asserts one chunk per lane).
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const std::size_t pack_idx = patients_.find(chunks[i].patient_id)->second.pack;
+    bool first_for_pack = true;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (patients_.find(chunks[j].patient_id)->second.pack == pack_idx) {
+        first_for_pack = false;
+        break;
+      }
+    }
+    if (!first_for_pack) continue;
+    lane_chunks_.clear();
+    for (std::size_t j = i; j < chunks.size(); ++j) {
+      const PatientState& state = patients_.find(chunks[j].patient_id)->second;
+      if (state.pack == pack_idx) lane_chunks_.push_back({state.lane, chunks[j].samples_mv});
+    }
+    packs_[pack_idx]->detector.push(lane_chunks_);
+  }
+
+  // Emission runs per patient in chunk order, so each patient's windows
+  // arrive contiguously and in stream order.
+  for (const auto& chunk : chunks) {
+    PatientState& state = patients_.find(chunk.patient_id)->second;
+    state.pushed += static_cast<std::int64_t>(chunk.samples_mv.size());
+    const auto& detector = packs_[state.pack]->detector;
+    emit_ready_windows(chunk.patient_id, state, detector.final_through(state.lane), sink);
+  }
 }
 
 void WindowExtractor::push_samples(int patient_id, std::span<const double> samples_mv,
                                    const WindowSink& sink) {
-  auto it = patients_.find(patient_id);
-  if (it == patients_.end())
-    it = patients_.emplace(patient_id, PatientState(config_.fs_hz)).first;
-  PatientState& state = it->second;
+  const PatientChunk chunk{patient_id, samples_mv};
+  push_batch({&chunk, 1}, sink);
+}
 
-  state.detector.push(samples_mv);
-  state.pushed += static_cast<std::int64_t>(samples_mv.size());
-
+void WindowExtractor::emit_ready_windows(int patient_id, PatientState& state,
+                                         std::int64_t frontier, const WindowSink& sink) {
   // A window [start, start + W) is complete once every beat that can fall
-  // inside it is final — i.e. the detector's frontier has passed its end.
+  // inside it is final — i.e. the frontier has passed its end.
   const auto window = static_cast<std::int64_t>(window_samples_);
-  while (state.detector.final_through() >= state.consumed + window) {
+  auto& detector = packs_[state.pack]->detector;
+  while (frontier >= state.consumed + window) {
     emit_window(patient_id, state, sink);
     state.consumed += static_cast<std::int64_t>(stride_samples_);
-    state.detector.drop_beats_before(state.consumed);
+    detector.drop_beats_before(state.lane, state.consumed);
   }
 }
 
@@ -55,7 +132,7 @@ void WindowExtractor::emit_window(int patient_id, PatientState& state, const Win
   // the stride advance drops older beats). Times are window-relative, so
   // identical beat patterns give bit-identical features anywhere in the
   // stream.
-  const auto& ring = state.detector.beats();
+  const auto& ring = packs_[state.pack]->detector.beats(state.lane);
   beat_times_.clear();
   beat_amps_.clear();
   for (std::size_t i = 0; i < ring.size(); ++i) {
@@ -99,25 +176,48 @@ bool WindowExtractor::end_patient(int patient_id, const WindowSink& sink) {
   PatientState& state = it->second;
   // finish() runs the remaining decisions with the batch detector's
   // end-of-record clamping, so every beat is final through the last sample.
-  state.detector.finish();
-  const auto window = static_cast<std::int64_t>(window_samples_);
-  while (state.consumed + window <= state.pushed) {
-    emit_window(patient_id, state, sink);
-    state.consumed += static_cast<std::int64_t>(stride_samples_);
-    state.detector.drop_beats_before(state.consumed);
-  }
+  packs_[state.pack]->detector.finish(state.lane);
+  emit_ready_windows(patient_id, state, state.pushed, sink);
+  release_patient(state);
   patients_.erase(it);
   return true;
 }
 
 bool WindowExtractor::erase_patient(int patient_id) {
-  return patients_.erase(patient_id) > 0;
+  const auto it = patients_.find(patient_id);
+  if (it == patients_.end()) return false;
+  release_patient(it->second);
+  patients_.erase(it);
+  return true;
 }
 
 std::size_t WindowExtractor::buffered_samples(int patient_id) const {
   const auto it = patients_.find(patient_id);
   return it == patients_.end() ? 0
                                : static_cast<std::size_t>(it->second.pushed - it->second.consumed);
+}
+
+std::uint64_t WindowExtractor::lane_vector_samples() const {
+  std::uint64_t total = retired_vector_samples_;
+  for (const auto& pack : packs_)
+    if (pack) total += pack->detector.vector_samples();
+  return total;
+}
+
+std::uint64_t WindowExtractor::lane_scalar_samples() const {
+  std::uint64_t total = retired_scalar_samples_;
+  for (const auto& pack : packs_)
+    if (pack) total += pack->detector.scalar_samples();
+  return total;
+}
+
+const char* WindowExtractor::lane_isa() const { return ecg::lane_isa_name(); }
+
+std::size_t WindowExtractor::resident_detector_bytes() const {
+  std::size_t total = 0;
+  for (const auto& pack : packs_)
+    if (pack) total += pack->detector.resident_bytes();
+  return total;
 }
 
 }  // namespace svt::rt

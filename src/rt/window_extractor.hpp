@@ -1,11 +1,11 @@
 // The extraction stage of the streaming pipeline, shared by every serving
 // engine (single-threaded or sharded):
 //
-//   push_samples(patient, chunk)
+//   push_batch({patient, chunk}...)
 //   ┌──────────────────────────┐ beats ┌───────────────────────────────────┐
-//   │ per-patient              │ ring  │ slice beats in [start, start+W)   │  sink(
-//   │ StreamingQrsDetector     │ ────> │ -> RR + EDR series (scratch)      │ ─ ExtractedWindow)
-//   │ (each sample seen ONCE)  │       │ -> 53 raw features (zero-alloc)   │
+//   │ lane packs: up to 8      │ ring  │ slice beats in [start, start+W)   │  sink(
+//   │ patients' Pan-Tompkins   │ ────> │ -> RR + EDR series (scratch)      │ ─ ExtractedWindow)
+//   │ chains in SIMD lockstep  │       │ -> 53 raw features (zero-alloc)   │
 //   └──────────────────────────┘       └───────────────────────────────────┘
 //
 // Extraction is *incremental*: each raw sample runs through the online
@@ -16,6 +16,19 @@
 // times per sample, and emission performs no heap allocation in steady
 // state (one features::FeatureScratch per extractor, reused across every
 // patient and window).
+//
+// Patients stream at the same rate, so their identical filter chains run
+// lane-parallel: patients are grouped into LaneQrsDetector packs (one
+// patient per SIMD lane, 4-wide AVX2 / 2-wide SSE2 by runtime dispatch),
+// and push_batch steps every patient of a pack per instruction. Each lane
+// is bit-identical to a dedicated scalar detector, so the emitted windows
+// are byte-for-byte the same as the per-patient push_samples path — only
+// faster when chunks for several patients arrive together. Lanes occupy
+// fixed slots: patients joining or leaving (erase_patient / end_patient)
+// never perturb other lanes' streams, a freed lane's ring storage stays
+// pooled for the next same-pack patient, and a fully empty pack is
+// released outright — resident detector memory is bounded by the number of
+// concurrently active patients, not by patient churn.
 //
 // Because detection is causal with a bounded lookahead (the R-peak search
 // runs behind the integrator), a window is emitted once the detector's
@@ -29,9 +42,7 @@
 // selection and scaler) can be swapped without touching stream state. It is
 // single-threaded by design — the sharded engine gives each worker thread
 // its own extractor (and therefore its own scratch), which is what makes
-// per-patient results independent of the thread count, and patients that
-// leave the ward can be dropped with erase_patient so a long-running stream
-// does not accumulate dead detector state.
+// per-patient results independent of the thread count.
 #pragma once
 
 #include <array>
@@ -39,10 +50,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <span>
 #include <vector>
 
-#include "ecg/streaming_qrs.hpp"
+#include "ecg/lane_qrs.hpp"
 #include "features/feature_scratch.hpp"
 #include "features/feature_types.hpp"
 
@@ -72,14 +84,26 @@ using WindowSink = std::function<void(ExtractedWindow&&)>;
 
 class WindowExtractor {
  public:
+  /// One patient's chunk in a push_batch round.
+  struct PatientChunk {
+    int patient_id = 0;
+    std::span<const double> samples_mv;
+  };
+
   /// Throws std::invalid_argument on a non-positive sampling rate, window,
   /// or stride, stride_s > window_s, a window shorter than one sample, or a
   /// sampling rate too low for the QRS band-pass (fs_hz <= 30).
   explicit WindowExtractor(StreamConfig config = {});
 
-  /// Ingest a chunk of raw ECG samples (mV) for one patient, invoking `sink`
-  /// for every window whose beats have become final. Chunks may be of any
-  /// size; a first push creates the patient's stream.
+  /// Ingest one chunk per patient — the lane-parallel hot path. Patients
+  /// sharing a pack are stepped in SIMD lockstep; patient ids must be
+  /// distinct within one call. `sink` fires for every window whose beats
+  /// have become final, grouped per patient in chunk order. A first chunk
+  /// creates the patient's stream (claiming a lane in the first pack with a
+  /// free slot).
+  void push_batch(std::span<const PatientChunk> chunks, const WindowSink& sink);
+
+  /// Single-patient convenience: exactly push_batch of one chunk.
   void push_samples(int patient_id, std::span<const double> samples_mv,
                     const WindowSink& sink);
 
@@ -92,10 +116,13 @@ class WindowExtractor {
   /// window is lost.
   bool end_patient(int patient_id, const WindowSink& sink);
 
-  /// Drop a patient's stream state (detector, beat ring, window phase).
-  /// Returns whether the patient existed. A later push recreates the stream
-  /// from scratch (window phase restarts at 0). The rejected-window count is
-  /// cumulative across evictions.
+  /// Drop a patient's stream state (detector lane, beat ring, window
+  /// phase). Returns whether the patient existed. The freed lane's ring
+  /// storage is pooled for the pack's next patient (an emptied pack is
+  /// released), so long-running wards do not accumulate dead detector
+  /// state. A later push recreates the stream from scratch (window phase
+  /// restarts at 0). The rejected-window count is cumulative across
+  /// evictions.
   bool erase_patient(int patient_id);
 
   /// Windows rejected for having fewer than min_beats R peaks.
@@ -114,22 +141,51 @@ class WindowExtractor {
   std::size_t stride_samples() const { return stride_samples_; }
   const StreamConfig& config() const { return config_; }
 
+  /// Detector samples stepped in SIMD lockstep / by the scalar per-lane
+  /// fallback, summed over live and retired packs. The vector fraction is
+  /// the lane-occupancy figure reported by the throughput bench.
+  std::uint64_t lane_vector_samples() const;
+  std::uint64_t lane_scalar_samples() const;
+
+  /// Dispatch tier the lane packs run at: "scalar", "sse2" or "avx2".
+  const char* lane_isa() const;
+
+  /// Detector ring/beat storage currently resident across all packs
+  /// (including lanes pooled after eviction). Bounded by the number of
+  /// concurrently active patients, independent of churn; 0 when no
+  /// patients are live.
+  std::size_t resident_detector_bytes() const;
+
  private:
-  struct PatientState {
-    ecg::StreamingQrsDetector detector;
-    std::int64_t pushed = 0;    ///< Samples ingested so far.
-    std::int64_t consumed = 0;  ///< Next window start (samples).
-    explicit PatientState(double fs_hz) : detector(fs_hz) {}
+  /// Up to LaneQrsDetector::kMaxLanes patients stepped in lockstep.
+  struct Pack {
+    ecg::LaneQrsDetector detector;
+    std::size_t active = 0;  ///< Occupied lanes.
+    explicit Pack(double fs_hz) : detector(fs_hz) {}
   };
 
+  struct PatientState {
+    std::size_t pack = 0;       ///< Index into packs_.
+    std::size_t lane = 0;       ///< Lane slot within the pack.
+    std::int64_t pushed = 0;    ///< Samples ingested so far.
+    std::int64_t consumed = 0;  ///< Next window start (samples).
+  };
+
+  PatientState& find_or_create(int patient_id);
+  void release_patient(PatientState& state);
+  void emit_ready_windows(int patient_id, PatientState& state, std::int64_t frontier,
+                          const WindowSink& sink);
   void emit_window(int patient_id, PatientState& state, const WindowSink& sink);
 
   StreamConfig config_;
   std::size_t window_samples_ = 0;
   std::size_t stride_samples_ = 0;
   std::size_t emission_lag_samples_ = 0;
+  std::vector<std::unique_ptr<Pack>> packs_;  ///< Null slots are reusable.
   std::map<int, PatientState> patients_;
   std::size_t rejected_ = 0;
+  std::uint64_t retired_vector_samples_ = 0;  ///< From released packs.
+  std::uint64_t retired_scalar_samples_ = 0;
 
   // Per-extractor scratch (extractors are single-threaded): reused across
   // every patient and window, so steady-state emission never allocates.
@@ -138,6 +194,7 @@ class WindowExtractor {
   ecg::RespirationSeries edr_scratch_;
   std::vector<double> beat_times_;  ///< Window-relative beat times.
   std::vector<double> beat_amps_;
+  std::vector<ecg::LaneQrsDetector::LaneChunk> lane_chunks_;  ///< push_batch scratch.
 };
 
 }  // namespace svt::rt

@@ -1,0 +1,389 @@
+// LaneQrsDetector: per-lane bit-exact parity with StreamingQrsDetector
+// across dispatch tiers (scalar / SSE2 / AVX2, as available on the host),
+// pack sizes 1..kMaxLanes, arbitrary ragged chunkings (including idle
+// lanes mid-round), mid-stream evict/join, and end-of-record finish.
+//
+// Parity oracle: a dedicated scalar StreamingQrsDetector per lane fed the
+// same samples. Every comparison is EXPECT_EQ on doubles — the lane engine
+// promises bit-identity, not closeness.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "common/simd_dispatch.hpp"
+#include "ecg/ecg_synth.hpp"
+#include "ecg/lane_qrs.hpp"
+#include "ecg/rr_model.hpp"
+#include "ecg/streaming_qrs.hpp"
+#include "rt/window_extractor.hpp"
+
+namespace svt {
+namespace {
+
+ecg::EcgWaveform synth_ecg(double duration_s, std::uint64_t seed) {
+  ecg::PatientProfile patient;
+  ecg::SessionEvents events;
+  ecg::SessionSignalParams sp;
+  sp.duration_s = duration_s;
+  std::mt19937_64 rng(seed);
+  const auto rr = ecg::generate_rr_series(patient, events, sp, rng);
+  const auto resp = ecg::generate_respiration(patient, events, sp, rng);
+  return ecg::synthesize_ecg(rr, resp, ecg::EcgSynthParams{}, rng);
+}
+
+/// Tiers this host can actually execute (detected cpuid, ignoring any
+/// SVT_LANE_ISA narrowing so the parity sweep always covers everything).
+std::vector<common::SimdTier> available_tiers() {
+  std::vector<common::SimdTier> tiers{common::SimdTier::kScalar};
+  const auto detected = common::simd_tier_detected();
+  if (detected >= common::SimdTier::kSse2) tiers.push_back(common::SimdTier::kSse2);
+  if (detected >= common::SimdTier::kAvx2) tiers.push_back(common::SimdTier::kAvx2);
+  return tiers;
+}
+
+/// Forces the dispatch tier for a scope; restores the previous tier after.
+struct TierGuard {
+  explicit TierGuard(common::SimdTier tier) : prev(common::simd_tier()) {
+    common::set_simd_tier_override(tier);
+  }
+  ~TierGuard() { common::set_simd_tier_override(prev); }
+  common::SimdTier prev;
+};
+
+void expect_lane_matches(const ecg::LaneQrsDetector& pack, std::size_t lane,
+                         const ecg::StreamingQrsDetector& ref) {
+  ASSERT_EQ(pack.samples_seen(lane), ref.samples_seen()) << "lane " << lane;
+  EXPECT_EQ(pack.final_through(lane), ref.final_through()) << "lane " << lane;
+  const auto& got = pack.beats(lane);
+  const auto& want = ref.beats();
+  ASSERT_EQ(got.size(), want.size()) << "lane " << lane;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].sample_index, want[i].sample_index) << "lane " << lane << " beat " << i;
+    EXPECT_EQ(got[i].amplitude_mv, want[i].amplitude_mv) << "lane " << lane << " beat " << i;
+  }
+}
+
+TEST(LaneQrs, EffectiveTierIsClampedToHost) {
+  EXPECT_LE(ecg::lane_effective_tier(), common::simd_tier_detected());
+  const char* name = ecg::lane_isa_name();
+  ASSERT_NE(name, nullptr);
+  EXPECT_TRUE(std::string_view(name) == "scalar" || std::string_view(name) == "sse2" ||
+              std::string_view(name) == "avx2");
+}
+
+// Every tier x every pack size, ragged random chunking with idle rounds:
+// each lane's beat stream must be bit-identical to its dedicated scalar
+// detector, before and after finish().
+TEST(LaneQrs, ParityAcrossTiersPackSizesAndChunkings) {
+  std::vector<ecg::EcgWaveform> records;
+  for (std::size_t p = 0; p < ecg::LaneQrsDetector::kMaxLanes; ++p)
+    records.push_back(synth_ecg(30.0, 11000 + p));
+  const double fs = records.front().fs_hz;
+
+  for (const auto tier : available_tiers()) {
+    TierGuard guard(tier);
+    for (std::size_t size = 1; size <= ecg::LaneQrsDetector::kMaxLanes; ++size) {
+      ecg::LaneQrsDetector pack(fs);
+      ASSERT_EQ(pack.tier(), tier);
+      std::vector<std::size_t> lane_of(size);
+      std::vector<std::size_t> offset(size, 0);
+      std::vector<ecg::StreamingQrsDetector> refs;
+      for (std::size_t p = 0; p < size; ++p) {
+        lane_of[p] = pack.add_lane();
+        refs.emplace_back(fs);
+        refs.back().push(records[p].samples_mv);
+      }
+      ASSERT_EQ(pack.active_lanes(), size);
+
+      // Ragged rounds: each lane advances by 0..300 samples per round, so
+      // packs mix lockstep blocks, scalar tails, and idle-lane rounds.
+      std::mt19937_64 rng(77 * size + static_cast<std::uint64_t>(tier));
+      std::uniform_int_distribution<std::size_t> len_dist(0, 300);
+      bool any_left = true;
+      while (any_left) {
+        any_left = false;
+        std::vector<ecg::LaneQrsDetector::LaneChunk> chunks;
+        for (std::size_t p = 0; p < size; ++p) {
+          const auto& samples = records[p].samples_mv;
+          if (offset[p] >= samples.size()) continue;
+          any_left = true;
+          const std::size_t len = std::min(len_dist(rng), samples.size() - offset[p]);
+          if (len == 0) continue;
+          chunks.push_back({lane_of[p],
+                            std::span<const double>(samples).subspan(offset[p], len)});
+          offset[p] += len;
+        }
+        if (!chunks.empty()) pack.push(chunks);
+      }
+      EXPECT_EQ(pack.vector_samples() + pack.scalar_samples(),
+                [&] {
+                  std::uint64_t total = 0;
+                  for (std::size_t p = 0; p < size; ++p) total += records[p].samples_mv.size();
+                  return total;
+                }());
+
+      for (std::size_t p = 0; p < size; ++p) expect_lane_matches(pack, lane_of[p], refs[p]);
+      for (std::size_t p = 0; p < size; ++p) {
+        pack.finish(lane_of[p]);
+        refs[p].finish();
+        expect_lane_matches(pack, lane_of[p], refs[p]);
+      }
+    }
+  }
+}
+
+// A lane evicted mid-stream must not perturb the other lanes, and a new
+// stream joining the freed slot must start from fresh detector state.
+TEST(LaneQrs, MidStreamEvictAndJoinLeaveOtherLanesBitExact) {
+  std::vector<ecg::EcgWaveform> records;
+  for (std::size_t p = 0; p < 5; ++p) records.push_back(synth_ecg(24.0, 500 + p));
+  const double fs = records.front().fs_hz;
+
+  for (const auto tier : available_tiers()) {
+    TierGuard guard(tier);
+    ecg::LaneQrsDetector pack(fs);
+    std::vector<std::size_t> lane_of(4);
+    std::vector<ecg::StreamingQrsDetector> refs;
+    for (std::size_t p = 0; p < 4; ++p) {
+      lane_of[p] = pack.add_lane();
+      refs.emplace_back(fs);
+      refs.back().push(records[p].samples_mv);
+      refs.back().finish();
+    }
+
+    // First half in lockstep, then evict patient 1 mid-stream.
+    const std::size_t half = records[0].samples_mv.size() / 2;
+    std::vector<ecg::LaneQrsDetector::LaneChunk> chunks;
+    for (std::size_t p = 0; p < 4; ++p)
+      chunks.push_back({lane_of[p], std::span<const double>(records[p].samples_mv).first(half)});
+    pack.push(chunks);
+    pack.remove_lane(lane_of[1]);
+    EXPECT_FALSE(pack.lane_active(lane_of[1]));
+    EXPECT_EQ(pack.active_lanes(), 3u);
+
+    // Patient 4 joins the freed slot and streams a fresh record while the
+    // survivors finish theirs.
+    const std::size_t joined = pack.add_lane();
+    EXPECT_EQ(joined, lane_of[1]);  // Fixed slots: the freed slot is reused.
+    EXPECT_EQ(pack.samples_seen(joined), 0);
+    refs.emplace_back(fs);
+    refs.back().push(records[4].samples_mv);
+    refs.back().finish();
+
+    chunks.clear();
+    for (std::size_t p = 0; p < 4; ++p) {
+      if (p == 1) continue;
+      chunks.push_back(
+          {lane_of[p], std::span<const double>(records[p].samples_mv).subspan(half)});
+    }
+    chunks.push_back({joined, std::span<const double>(records[4].samples_mv)});
+    pack.push(chunks);
+
+    for (std::size_t p = 0; p < 4; ++p) {
+      if (p == 1) continue;
+      pack.finish(lane_of[p]);
+      expect_lane_matches(pack, lane_of[p], refs[p]);
+    }
+    pack.finish(joined);
+    expect_lane_matches(pack, joined, refs[4]);
+  }
+}
+
+// push_one in arbitrary chunkings is the same stream as one whole-record
+// push (chunking invariance carries over from the scalar engine).
+TEST(LaneQrs, PushOneChunkingInvariant) {
+  const auto wf = synth_ecg(20.0, 42);
+  for (const auto tier : available_tiers()) {
+    TierGuard guard(tier);
+    ecg::LaneQrsDetector whole(wf.fs_hz);
+    const std::size_t wl = whole.add_lane();
+    whole.push_one(wl, wf.samples_mv);
+    whole.finish(wl);
+
+    ecg::LaneQrsDetector chunked(wf.fs_hz);
+    const std::size_t cl = chunked.add_lane();
+    std::mt19937_64 rng(7);
+    std::uniform_int_distribution<std::size_t> chunk_dist(1, 97);
+    std::span<const double> rest(wf.samples_mv);
+    while (!rest.empty()) {
+      const std::size_t n = std::min(chunk_dist(rng), rest.size());
+      chunked.push_one(cl, rest.first(n));
+      rest = rest.subspan(n);
+    }
+    chunked.finish(cl);
+
+    const auto& a = whole.beats(wl);
+    const auto& b = chunked.beats(cl);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].sample_index, b[i].sample_index) << i;
+      EXPECT_EQ(a[i].amplitude_mv, b[i].amplitude_mv) << i;
+    }
+  }
+}
+
+// Lockstep traffic on a vector tier actually takes the vector path, and a
+// freed slot's ring storage stays pooled (resident footprint is bounded by
+// the pack width, not by patient churn).
+TEST(LaneQrs, VectorOccupancyAndPooledResidency) {
+  const auto wf = synth_ecg(16.0, 99);
+  ecg::LaneQrsDetector pack(wf.fs_hz);
+  const std::size_t a = pack.add_lane();
+  const std::size_t b = pack.add_lane();
+  std::vector<ecg::LaneQrsDetector::LaneChunk> chunks{
+      {a, std::span<const double>(wf.samples_mv)}, {b, std::span<const double>(wf.samples_mv)}};
+  pack.push(chunks);
+  if (pack.tier() >= common::SimdTier::kSse2) {
+    EXPECT_GT(pack.vector_samples(), 0u);
+  } else {
+    EXPECT_EQ(pack.vector_samples(), 0u);
+  }
+  EXPECT_EQ(pack.vector_samples() + pack.scalar_samples(), 2 * wf.samples_mv.size());
+
+  const std::size_t resident_full = pack.resident_bytes();
+  EXPECT_GT(resident_full, 0u);
+  // Churn the same two slots many times: the pooled rings are reused, so
+  // residency never grows past the high-water mark of two occupied slots.
+  for (int round = 0; round < 16; ++round) {
+    pack.remove_lane(a);
+    pack.remove_lane(b);
+    EXPECT_EQ(pack.resident_bytes(), resident_full);
+    ASSERT_EQ(pack.add_lane(), a);
+    ASSERT_EQ(pack.add_lane(), b);
+    pack.push_one(a, std::span<const double>(wf.samples_mv).first(256));
+    EXPECT_EQ(pack.resident_bytes(), resident_full);
+  }
+}
+
+// --- WindowExtractor on lane packs ---------------------------------------
+
+rt::StreamConfig short_windows() {
+  rt::StreamConfig config;
+  config.window_s = 5.0;
+  config.stride_s = 2.5;
+  config.min_beats = 2;
+  return config;
+}
+
+void expect_windows_equal(const std::vector<rt::ExtractedWindow>& got,
+                          const std::vector<rt::ExtractedWindow>& want, int patient) {
+  ASSERT_EQ(got.size(), want.size()) << "patient " << patient;
+  for (std::size_t w = 0; w < got.size(); ++w) {
+    EXPECT_EQ(got[w].start_s, want[w].start_s) << "patient " << patient << " window " << w;
+    EXPECT_EQ(got[w].num_beats, want[w].num_beats) << "patient " << patient << " window " << w;
+    for (std::size_t f = 0; f < features::kNumFeatures; ++f)
+      EXPECT_EQ(got[w].raw_features[f], want[w].raw_features[f])
+          << "patient " << patient << " window " << w << " feature " << f;
+  }
+}
+
+// push_batch over lane packs emits byte-identical windows to the dedicated
+// per-patient push_samples path — for every tier, and with 9 patients the
+// population spills into a second pack.
+TEST(LaneWindowExtractor, BatchWindowsBitIdenticalToPerPatientPath) {
+  constexpr std::size_t kPatients = ecg::LaneQrsDetector::kMaxLanes + 1;
+  std::vector<ecg::EcgWaveform> records;
+  for (std::size_t p = 0; p < kPatients; ++p) records.push_back(synth_ecg(40.0, 2200 + p));
+  const auto config = short_windows();
+
+  // Reference: each patient alone through its own extractor, whole record.
+  std::vector<std::vector<rt::ExtractedWindow>> want(kPatients);
+  for (std::size_t p = 0; p < kPatients; ++p) {
+    rt::WindowExtractor solo(config);
+    auto sink = [&](rt::ExtractedWindow&& window) { want[p].push_back(std::move(window)); };
+    solo.push_samples(static_cast<int>(p), records[p].samples_mv, sink);
+    solo.end_patient(static_cast<int>(p), sink);
+  }
+
+  for (const auto tier : available_tiers()) {
+    TierGuard guard(tier);
+    rt::WindowExtractor batch(config);
+    std::vector<std::vector<rt::ExtractedWindow>> got(kPatients);
+    auto sink = [&](rt::ExtractedWindow&& window) {
+      got[static_cast<std::size_t>(window.patient_id)].push_back(std::move(window));
+    };
+
+    std::mt19937_64 rng(31 + static_cast<std::uint64_t>(tier));
+    std::uniform_int_distribution<std::size_t> len_dist(0, 800);
+    std::vector<std::size_t> offset(kPatients, 0);
+    bool any_left = true;
+    while (any_left) {
+      any_left = false;
+      std::vector<rt::WindowExtractor::PatientChunk> chunks;
+      for (std::size_t p = 0; p < kPatients; ++p) {
+        const auto& samples = records[p].samples_mv;
+        if (offset[p] >= samples.size()) continue;
+        any_left = true;
+        const std::size_t len = std::min(len_dist(rng), samples.size() - offset[p]);
+        if (len == 0) continue;
+        chunks.push_back({static_cast<int>(p),
+                          std::span<const double>(samples).subspan(offset[p], len)});
+        offset[p] += len;
+      }
+      if (!chunks.empty()) batch.push_batch(chunks, sink);
+    }
+    for (std::size_t p = 0; p < kPatients; ++p) batch.end_patient(static_cast<int>(p), sink);
+
+    for (std::size_t p = 0; p < kPatients; ++p)
+      expect_windows_equal(got[p], want[p], static_cast<int>(p));
+    EXPECT_GT(want[0].size(), 2u);  // The comparison is not vacuous.
+  }
+}
+
+// Evicting patients reclaims detector scratch: residency is bounded by the
+// live population's high-water mark and returns to zero when the ward
+// empties, no matter how many patients churned through.
+TEST(LaneWindowExtractor, EvictionReclaimsDetectorScratch) {
+  const auto wf = synth_ecg(10.0, 7);
+  rt::WindowExtractor extractor(short_windows());
+  auto sink = [](rt::ExtractedWindow&&) {};
+  EXPECT_EQ(extractor.resident_detector_bytes(), 0u);
+
+  for (int p = 0; p < 12; ++p)
+    extractor.push_samples(p, std::span<const double>(wf.samples_mv).first(512), sink);
+  const std::size_t high_water = extractor.resident_detector_bytes();
+  EXPECT_GT(high_water, 0u);
+
+  // Churn 100 patients through the same ward size: pooled lanes and
+  // released packs keep residency at (or below) the high-water mark.
+  for (int p = 12; p < 112; ++p) {
+    extractor.erase_patient(p - 12);
+    extractor.push_samples(p, std::span<const double>(wf.samples_mv).first(512), sink);
+    EXPECT_LE(extractor.resident_detector_bytes(), high_water);
+    EXPECT_EQ(extractor.num_patients(), 12u);
+  }
+  for (int p = 100; p < 112; ++p) extractor.erase_patient(p);
+  EXPECT_EQ(extractor.num_patients(), 0u);
+  EXPECT_EQ(extractor.resident_detector_bytes(), 0u);
+
+  // end_patient reclaims the same way.
+  extractor.push_samples(0, wf.samples_mv, sink);
+  EXPECT_GT(extractor.resident_detector_bytes(), 0u);
+  extractor.end_patient(0, sink);
+  EXPECT_EQ(extractor.resident_detector_bytes(), 0u);
+}
+
+// The occupancy counters survive eviction (retired packs fold into the
+// totals) and account for every sample pushed.
+TEST(LaneWindowExtractor, OccupancyCountersSurviveChurn) {
+  const auto wf = synth_ecg(10.0, 8);
+  rt::WindowExtractor extractor(short_windows());
+  auto sink = [](rt::ExtractedWindow&&) {};
+  std::uint64_t pushed = 0;
+  for (int p = 0; p < 6; ++p) {
+    std::vector<rt::WindowExtractor::PatientChunk> chunks;
+    for (int q = 0; q <= p; ++q)
+      chunks.push_back({q, std::span<const double>(wf.samples_mv).first(512)});
+    extractor.push_batch(chunks, sink);
+    pushed += static_cast<std::uint64_t>(chunks.size()) * 512;
+  }
+  for (int p = 0; p < 6; ++p) extractor.erase_patient(p);
+  EXPECT_EQ(extractor.lane_vector_samples() + extractor.lane_scalar_samples(), pushed);
+  EXPECT_STREQ(extractor.lane_isa(), ecg::lane_isa_name());
+}
+
+}  // namespace
+}  // namespace svt

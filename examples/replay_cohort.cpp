@@ -18,7 +18,11 @@
 // (patient, time), so it is deterministic under any worker count.
 //
 //   ./replay_cohort [--dir DIR] [--workers N] [--speed X] [--emit FILE]
-//                   [--patients N] [--duration S]
+//                   [--patients N] [--duration S] [--steal] [--least-loaded]
+//
+// --steal turns on whole-patient work stealing and --least-loaded swaps the
+// placement hash for the load-aware policy; both change only WHERE patients
+// run, so the emitted decision stream stays golden-file identical.
 //
 // --speed 0 (default) replays as fast as possible; --speed 1 paces the
 // cohort at live-ward real time.
@@ -43,6 +47,8 @@ int main(int argc, char** argv) {
   std::string emit_path;
   std::size_t workers = 2;
   double speed = 0.0;
+  bool steal = false;         // Work stealing (bit-identical results either way).
+  bool least_loaded = false;  // Load-aware placement instead of the hash.
   io::CohortFixtureParams fixture;
   fixture.num_patients = 6;
   fixture.duration_s = 60.0;
@@ -67,10 +73,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--duration" && value) {
       fixture.duration_s = std::strtod(value, nullptr);
       ++a;
+    } else if (arg == "--steal") {
+      steal = true;
+    } else if (arg == "--least-loaded") {
+      least_loaded = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--dir DIR] [--workers N] [--speed X] [--emit FILE]"
-                   " [--patients N] [--duration S]\n",
+                   " [--patients N] [--duration S] [--steal] [--least-loaded]\n",
                    argv[0]);
       return 2;
     }
@@ -99,11 +109,15 @@ int main(int argc, char** argv) {
   config.stride_s = 10.0;
   std::mutex mutex;
   std::vector<rt::WindowResult> results;
-  rt::CohortReplayer replayer(registry, config, workers, rt::EngineOptions{},
-                              [&](std::span<const rt::WindowResult> batch) {
-                                const std::lock_guard<std::mutex> lock(mutex);
-                                results.insert(results.end(), batch.begin(), batch.end());
-                              });
+  rt::EngineOptions eopts;  // The unified engine configuration (PR 8 API).
+  eopts.num_workers = workers;
+  eopts.stealing.enable = steal;
+  if (least_loaded) eopts.placement = std::make_shared<rt::LeastLoadedPlacement>();
+  eopts.sink = [&](std::span<const rt::WindowResult> batch) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    results.insert(results.end(), batch.begin(), batch.end());
+  };
+  rt::CohortReplayer replayer(registry, config, std::move(eopts));
   rt::ReplayOptions options;
   options.speed = speed;
   const auto report = replayer.replay_directory(dir, options);
@@ -120,6 +134,9 @@ int main(int argc, char** argv) {
                 ictal[stats.patient_id]);
   std::printf("  total: %zu windows delivered, %zu rejected, %zu chunks dropped\n",
               report.windows, replayer.engine().rejected_windows(), report.dropped_chunks);
+  const rt::SchedulerStats sched = replayer.engine().scheduler_stats();
+  std::printf("  scheduler: %zu steals, %zu migrations (%zu chunks moved)\n", sched.steals,
+              sched.migrations, sched.migrated_chunks);
 
   // 4. The deterministic decision stream: sorted by (patient, time), every
   //    window's decision — what the golden-file CI gate diffs.

@@ -183,6 +183,10 @@ void append_stats(std::vector<std::uint8_t>& out, const StatsFrame& stats) {
   put_u64(out, stats.streams_opened);
   put_u64(out, stats.streams_closed);
   put_u64(out, stats.protocol_errors);
+  put_u64(out, stats.patients_stolen);
+  put_u64(out, stats.chunks_migrated);
+  put_u64(out, stats.stride_widenings);
+  put_u64(out, stats.chunks_shed);
   seal_frame(out, at, FrameType::kStats);
 }
 
@@ -239,7 +243,7 @@ bool parse_end_stream(std::span<const std::uint8_t> payload, EndStreamFrame& out
 }
 
 bool parse_stats(std::span<const std::uint8_t> payload, StatsFrame& out) {
-  if (payload.size() != 8 * 8) return false;
+  if (payload.size() != 12 * 8) return false;
   const std::uint8_t* p = payload.data();
   out.windows_delivered = get_u64(p);
   out.windows_rejected = get_u64(p + 8);
@@ -249,6 +253,10 @@ bool parse_stats(std::span<const std::uint8_t> payload, StatsFrame& out) {
   out.streams_opened = get_u64(p + 40);
   out.streams_closed = get_u64(p + 48);
   out.protocol_errors = get_u64(p + 56);
+  out.patients_stolen = get_u64(p + 64);
+  out.chunks_migrated = get_u64(p + 72);
+  out.stride_widenings = get_u64(p + 80);
+  out.chunks_shed = get_u64(p + 88);
   return true;
 }
 

@@ -23,7 +23,7 @@
 //   kEndStream   i32 patient_id                 finite stream ended
 //   kBye         (empty)                        client done; server fences,
 //                                               answers kStats, closes
-//   kStats       8 x u64 counters               see StatsFrame
+//   kStats       12 x u64 counters              see StatsFrame
 //   kDecision    i32 patient_id, u32 count, count x DecisionRecord
 //                (f64 start_s, f64 decision, i32 label, u32 num_beats)
 //   kError       u32 code, UTF-8 message        typed refusal; sender closes
@@ -124,6 +124,12 @@ struct StatsFrame {
   std::uint64_t streams_opened = 0;
   std::uint64_t streams_closed = 0;
   std::uint64_t protocol_errors = 0;
+  // Ward-scale scheduler counters (rt::SchedulerStats; zero when stealing
+  // and deadline mode are off).
+  std::uint64_t patients_stolen = 0;    ///< Migrations landed.
+  std::uint64_t chunks_migrated = 0;    ///< Queued chunks moved between shards.
+  std::uint64_t stride_widenings = 0;   ///< Deadline stride escalations.
+  std::uint64_t chunks_shed = 0;        ///< Chunks dropped by forced shedding.
 };
 
 /// One classified window on the wire (24 bytes).

@@ -16,8 +16,17 @@ constexpr std::size_t kRecvBufferBytes = 64 * 1024;
 ServeGateway::ServeGateway(std::shared_ptr<rt::ModelRegistry> registry, rt::StreamConfig config,
                            GatewayOptions options)
     : options_(options),
-      engine_(std::move(registry), config, options.num_workers, options.engine,
-              [this](std::span<const rt::WindowResult> batch) { deliver(batch); }) {}
+      engine_(std::move(registry), config, [this, &options] {
+        // Unified engine configuration: options.engine carries everything
+        // (workers, queues, placement, stealing, deadline); the deprecated
+        // GatewayOptions::num_workers still wins when it asks for more. The
+        // gateway owns delivery, so its routing sink replaces any
+        // user-provided one.
+        rt::EngineOptions engine = std::move(options.engine);
+        engine.num_workers = std::max(engine.num_workers, options.num_workers);
+        engine.sink = [this](std::span<const rt::WindowResult> batch) { deliver(batch); };
+        return engine;
+      }()) {}
 
 ServeGateway::~ServeGateway() { stop(); }
 
@@ -150,6 +159,11 @@ StatsFrame ServeGateway::snapshot_stats_frame() {
   stats.streams_opened = streams_opened_.load();
   stats.streams_closed = streams_closed_.load();
   stats.protocol_errors = protocol_errors_.load();
+  const rt::SchedulerStats sched = engine_.scheduler_stats();
+  stats.patients_stolen = sched.migrations;
+  stats.chunks_migrated = sched.migrated_chunks;
+  stats.stride_widenings = sched.stride_widenings;
+  stats.chunks_shed = sched.shed_chunks;
   return stats;
 }
 

@@ -30,17 +30,32 @@ double seconds_since(Clock::time_point t0, Clock::time_point t1) {
 
 }  // namespace
 
+// The replayer always wraps the user's sink with its counting sink: the
+// options handed to the engine carry the wrapper, and the user's sink is
+// kept aside in user_sink_ (initialised first — declaration order — so the
+// wrapper may capture it).
+CohortReplayer::CohortReplayer(std::shared_ptr<ModelRegistry> registry, StreamConfig config,
+                               EngineOptions options)
+    : user_sink_(std::exchange(options.sink, {})),
+      engine_(std::move(registry), config,
+              [&options, this]() -> EngineOptions {
+                options.sink = [this](std::span<const WindowResult> batch) {
+                  if (!batch.empty()) {
+                    const std::lock_guard<std::mutex> lock(windows_mutex_);
+                    windows_per_patient_[batch.front().patient_id] += batch.size();
+                  }
+                  if (user_sink_) user_sink_(batch);
+                };
+                return std::move(options);
+              }()) {}
+
 CohortReplayer::CohortReplayer(std::shared_ptr<ModelRegistry> registry, StreamConfig config,
                                std::size_t num_workers, EngineOptions options, ResultSink sink)
-    : user_sink_(std::move(sink)),
-      engine_(std::move(registry), config, num_workers, options,
-              [this](std::span<const WindowResult> batch) {
-                if (!batch.empty()) {
-                  const std::lock_guard<std::mutex> lock(windows_mutex_);
-                  windows_per_patient_[batch.front().patient_id] += batch.size();
-                }
-                if (user_sink_) user_sink_(batch);
-              }) {}
+    : CohortReplayer(std::move(registry), config, [&] {
+        options.num_workers = std::max(options.num_workers, num_workers);
+        if (sink) options.sink = std::move(sink);
+        return std::move(options);
+      }()) {}
 
 int CohortReplayer::patient_id_of(const std::string& record_name) {
   std::size_t begin = record_name.size();

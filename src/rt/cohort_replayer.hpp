@@ -80,11 +80,19 @@ struct ReplayReport {
 
 class CohortReplayer {
  public:
-  /// Own a sharded engine serving `registry`. Results are delivered through
-  /// `sink` (same thread-safety contract as ShardedStreamClassifier); pass
-  /// an empty sink to replay for the stats alone. The replayer installs its
-  /// own counting sink on the engine — do not replace it via
-  /// engine().set_result_sink(), or per-record window counts go dark.
+  /// Own a sharded engine serving `registry`, configured by the unified
+  /// rt::EngineOptions (workers, queues, placement, stealing, deadline).
+  /// Results are delivered through options.sink (same thread-safety
+  /// contract as ShardedStreamClassifier); leave it empty to replay for the
+  /// stats alone. The replayer wraps the sink with its own counting sink on
+  /// the engine — do not replace it via engine().set_result_sink(), or
+  /// per-record window counts go dark.
+  CohortReplayer(std::shared_ptr<ModelRegistry> registry, StreamConfig config,
+                 EngineOptions options);
+
+  /// Deprecated positional shim (pre-scheduler API): forwards to the
+  /// unified constructor with options.num_workers = max(num_workers,
+  /// options.num_workers) and options.sink = sink (when set).
   CohortReplayer(std::shared_ptr<ModelRegistry> registry, StreamConfig config = {},
                  std::size_t num_workers = 1, EngineOptions options = {}, ResultSink sink = {});
 

@@ -38,6 +38,7 @@ std::vector<WindowResult> StreamClassifier::flush() {
   std::vector<std::vector<double>> rows = std::move(pending_rows_);
   pending_meta_.clear();
   pending_rows_.clear();
+  delivered_windows_ += results.size();
   if (results.empty()) return results;
 
   if (model_.quantized()) {

@@ -29,21 +29,13 @@
 #include <vector>
 
 #include "core/tailoring.hpp"
+#include "rt/engine.hpp"
 #include "rt/model_registry.hpp"
 #include "rt/window_extractor.hpp"
 
 namespace svt::rt {
 
-/// One classified window.
-struct WindowResult {
-  int patient_id = 0;
-  double start_s = 0.0;         ///< Window start within the patient's stream.
-  double decision_value = 0.0;  ///< Float (or dequantised fixed-point) f(x).
-  int label = 0;                ///< +1 = ictal, -1 = interictal.
-  std::size_t num_beats = 0;    ///< R peaks detected in the window.
-};
-
-class StreamClassifier {
+class StreamClassifier final : public Engine {
  public:
   /// Serve a deployable model directly (the same unit the registry and the
   /// network gateway serve, so a gateway reference run needs no training).
@@ -60,20 +52,29 @@ class StreamClassifier {
   /// Ingest a chunk of raw ECG samples (mV) for one patient. Chunks may be
   /// of any size; windows are emitted as soon as enough samples accumulate.
   /// A first push creates the patient's stream.
-  void push_samples(int patient_id, std::span<const double> samples_mv);
+  void push_samples(int patient_id, std::span<const double> samples_mv) override;
 
   /// End a finite patient stream: flushes the detector tail and queues the
   /// trailing windows the live path holds back (see
   /// WindowExtractor::end_patient), then drops the patient's stream state.
   /// Returns whether the patient existed. Follow with flush() to classify.
-  bool end_stream(int patient_id);
+  bool end_stream(int patient_id) override;
 
   /// Windows extracted and queued, awaiting the next flush().
   std::size_t pending_windows() const { return pending_meta_.size(); }
 
   /// Classify every queued window in one batched call and return the
   /// results (stream order per patient, push order across patients).
-  std::vector<WindowResult> flush();
+  std::vector<WindowResult> flush() override;
+
+  /// Uniform counters (rt::Engine). The single-threaded engine never drops
+  /// chunks and runs no scheduler, so those fields are always zero.
+  EngineStats stats() const override {
+    EngineStats s;
+    s.delivered_windows = delivered_windows_;
+    s.rejected_windows = rejected_windows();
+    return s;
+  }
 
   /// Windows rejected for having fewer than min_beats R peaks.
   std::size_t rejected_windows() const { return extractor_.rejected_windows(); }
@@ -99,6 +100,7 @@ class StreamClassifier {
   WindowExtractor extractor_;
   std::vector<std::vector<double>> pending_rows_;  ///< Scaled, selected features.
   std::vector<WindowResult> pending_meta_;
+  std::size_t delivered_windows_ = 0;  ///< Classified across all flushes.
 };
 
 }  // namespace svt::rt

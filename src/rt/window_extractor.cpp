@@ -28,9 +28,7 @@ WindowExtractor::WindowExtractor(StreamConfig config) : config_(config) {
   emission_lag_samples_ = static_cast<std::size_t>(probe.finality_lag());
 }
 
-WindowExtractor::PatientState& WindowExtractor::find_or_create(int patient_id) {
-  auto it = patients_.find(patient_id);
-  if (it != patients_.end()) return it->second;
+std::size_t WindowExtractor::claim_pack() {
   // First-fit pack selection keeps lanes densely occupied: an existing pack
   // with a free lane, else a released pack slot, else a new pack.
   std::size_t pack_idx = packs_.size();
@@ -50,12 +48,51 @@ WindowExtractor::PatientState& WindowExtractor::find_or_create(int patient_id) {
     if (pack_idx == packs_.size()) packs_.emplace_back();
     packs_[pack_idx] = std::make_unique<Pack>(config_.fs_hz);
   }
+  return pack_idx;
+}
+
+WindowExtractor::PatientState& WindowExtractor::find_or_create(int patient_id) {
+  auto it = patients_.find(patient_id);
+  if (it != patients_.end()) return it->second;
+  const std::size_t pack_idx = claim_pack();
   Pack& pack = *packs_[pack_idx];
   PatientState state;
   state.pack = pack_idx;
   state.lane = pack.detector.add_lane();
   ++pack.active;
   return patients_.emplace(patient_id, state).first->second;
+}
+
+std::optional<WindowExtractor::DetachedPatient> WindowExtractor::detach_patient(int patient_id) {
+  const auto it = patients_.find(patient_id);
+  if (it == patients_.end()) return std::nullopt;
+  PatientState& state = it->second;
+  Pack& pack = *packs_[state.pack];
+  DetachedPatient out;
+  out.lane = pack.detector.detach_lane(state.lane);
+  out.pushed = state.pushed;
+  out.consumed = state.consumed;
+  if (--pack.active == 0) {
+    retired_vector_samples_ += pack.detector.vector_samples();
+    retired_scalar_samples_ += pack.detector.scalar_samples();
+    packs_[state.pack].reset();
+  }
+  patients_.erase(it);
+  return out;
+}
+
+void WindowExtractor::attach_patient(int patient_id, DetachedPatient&& detached) {
+  if (patients_.count(patient_id) > 0)
+    throw std::logic_error("WindowExtractor: attach_patient over a live stream");
+  const std::size_t pack_idx = claim_pack();
+  Pack& pack = *packs_[pack_idx];
+  PatientState state;
+  state.pack = pack_idx;
+  state.lane = pack.detector.attach_lane(std::move(detached.lane));
+  state.pushed = detached.pushed;
+  state.consumed = detached.consumed;
+  ++pack.active;
+  patients_.emplace(patient_id, state);
 }
 
 void WindowExtractor::release_patient(PatientState& state) {
@@ -119,7 +156,9 @@ void WindowExtractor::emit_ready_windows(int patient_id, PatientState& state,
   auto& detector = packs_[state.pack]->detector;
   while (frontier >= state.consumed + window) {
     emit_window(patient_id, state, sink);
-    state.consumed += static_cast<std::int64_t>(stride_samples_);
+    // stride_factor_ > 1 is the deadline controller's degradation: windows
+    // hop further apart, shedding the overlap work (and its results).
+    state.consumed += static_cast<std::int64_t>(stride_samples_ * stride_factor_);
     detector.drop_beats_before(state.lane, state.consumed);
   }
 }

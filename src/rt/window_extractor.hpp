@@ -51,6 +51,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -125,6 +126,38 @@ class WindowExtractor {
   /// evictions.
   bool erase_patient(int patient_id);
 
+  /// One patient's complete stream state — detector lane, beat ring, window
+  /// phase — exported by detach_patient and imported bit-exactly by
+  /// attach_patient on another extractor with the same StreamConfig. This is
+  /// how the sharded engine migrates a patient between workers: the stream
+  /// continues on the destination exactly where it left off.
+  struct DetachedPatient {
+    ecg::LaneQrsDetector::DetachedLane lane;
+    std::int64_t pushed = 0;
+    std::int64_t consumed = 0;
+  };
+
+  /// Export a patient's stream state and drop the patient from this
+  /// extractor (the freed lane is pooled like erase_patient). Returns
+  /// nullopt for unknown patients.
+  std::optional<DetachedPatient> detach_patient(int patient_id);
+
+  /// Import a detached stream for `patient_id` (which must not already be
+  /// live here), claiming a lane like a first push would. The patient's
+  /// subsequent windows are bit-identical to never having migrated.
+  void attach_patient(int patient_id, DetachedPatient&& state);
+
+  /// Whether a patient currently has live stream state here.
+  bool has_patient(int patient_id) const { return patients_.count(patient_id) > 0; }
+
+  /// Degradation knob for the deadline controller: windows hop by
+  /// stride_samples() * factor while set (> 1 = fewer overlapping windows,
+  /// less classification work per sample). Applies from the next emission;
+  /// factor is clamped to >= 1. Results are deliberately NOT bit-identical
+  /// to factor 1 — that is the point of degrading.
+  void set_stride_factor(std::size_t factor) { stride_factor_ = factor < 1 ? 1 : factor; }
+  std::size_t stride_factor() const { return stride_factor_; }
+
   /// Windows rejected for having fewer than min_beats R peaks.
   std::size_t rejected_windows() const { return rejected_; }
 
@@ -172,6 +205,7 @@ class WindowExtractor {
   };
 
   PatientState& find_or_create(int patient_id);
+  std::size_t claim_pack();  ///< Pack index with a free lane (first fit).
   void release_patient(PatientState& state);
   void emit_ready_windows(int patient_id, PatientState& state, std::int64_t frontier,
                           const WindowSink& sink);
@@ -184,6 +218,7 @@ class WindowExtractor {
   std::vector<std::unique_ptr<Pack>> packs_;  ///< Null slots are reusable.
   std::map<int, PatientState> patients_;
   std::size_t rejected_ = 0;
+  std::size_t stride_factor_ = 1;  ///< Deadline-mode hop multiplier.
   std::uint64_t retired_vector_samples_ = 0;  ///< From released packs.
   std::uint64_t retired_scalar_samples_ = 0;
 

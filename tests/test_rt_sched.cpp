@@ -1,0 +1,479 @@
+// Ward-scale scheduler: placement policies, whole-patient work stealing
+// (forced churn and natural steals must be bit-exact against the
+// single-threaded oracle), the deadline controller (degrades under
+// saturation, untouched otherwise), the set_result_sink quiescence fence,
+// and the WorkQueue scheduler hooks the migration protocol is built on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/tailoring.hpp"
+#include "ecg/dataset.hpp"
+#include "ecg/ecg_synth.hpp"
+#include "ecg/rr_model.hpp"
+#include "features/extractor.hpp"
+#include "rt/sharded_classifier.hpp"
+#include "rt/stream_classifier.hpp"
+#include "rt/work_queue.hpp"
+
+namespace svt {
+namespace {
+
+const core::TailoredDetector& detector() {
+  static const core::TailoredDetector d = [] {
+    ecg::DatasetParams params;
+    params.windows_per_session = 10;
+    const auto ds = ecg::generate_dataset(params);
+    const auto matrix = features::extract_feature_matrix(ds);
+    core::TailoringConfig config;
+    config.num_features = 30;
+    config.sv_budget = 60;
+    return core::tailor_detector(matrix.samples, matrix.labels, config);
+  }();
+  return d;
+}
+
+ecg::EcgWaveform synth_ecg(double duration_s, std::uint64_t seed) {
+  ecg::PatientProfile patient;
+  ecg::SessionEvents events;
+  ecg::SessionSignalParams sp;
+  sp.duration_s = duration_s;
+  std::mt19937_64 rng(seed);
+  const auto rr = ecg::generate_rr_series(patient, events, sp, rng);
+  const auto resp = ecg::generate_respiration(patient, events, sp, rng);
+  return ecg::synthesize_ecg(rr, resp, ecg::EcgSynthParams{}, rng);
+}
+
+rt::StreamConfig short_window_config() {
+  rt::StreamConfig config;
+  config.fs_hz = 250.0;
+  config.window_s = 20.0;
+  config.stride_s = 10.0;
+  return config;
+}
+
+/// A skewed ward: one hot patient carries several times the signal of the
+/// rest, so static hashing leaves one shard backlogged — the scenario
+/// stealing exists for.
+std::map<int, ecg::EcgWaveform> make_skewed_ward(int hot_patient) {
+  std::map<int, ecg::EcgWaveform> ward;
+  int seed = 90;
+  for (int pid : {1, 2, 3, 7}) ward[pid] = synth_ecg(40.0, static_cast<std::uint64_t>(seed++));
+  ward[hot_patient] = synth_ecg(150.0, static_cast<std::uint64_t>(seed++));
+  return ward;
+}
+
+/// Thread-safe sink recording per-patient results and checking delivery
+/// order as they arrive.
+struct Collector {
+  std::mutex mutex;
+  std::map<int, std::vector<rt::WindowResult>> per_patient;
+  bool single_patient_batches = true;
+  bool time_ordered = true;
+
+  rt::ResultSink sink() {
+    return [this](std::span<const rt::WindowResult> batch) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (batch.empty()) return;
+      const int pid = batch.front().patient_id;
+      auto& mine = per_patient[pid];
+      for (const auto& r : batch) {
+        if (r.patient_id != pid) single_patient_batches = false;
+        if (!mine.empty() && r.start_s <= mine.back().start_s) time_ordered = false;
+        mine.push_back(r);
+      }
+    };
+  }
+};
+
+std::map<int, std::vector<rt::WindowResult>> reference_results(
+    const std::map<int, ecg::EcgWaveform>& ward) {
+  rt::StreamClassifier reference(detector(), short_window_config());
+  for (const auto& [pid, wf] : ward) reference.push_samples(pid, wf.samples_mv);
+  for (const auto& [pid, wf] : ward) reference.end_stream(pid);
+  std::map<int, std::vector<rt::WindowResult>> split;
+  for (const auto& r : reference.flush()) split[r.patient_id].push_back(r);
+  return split;
+}
+
+void expect_bit_identical(const std::map<int, std::vector<rt::WindowResult>>& got,
+                          const std::map<int, std::vector<rt::WindowResult>>& want,
+                          const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (const auto& [pid, mine] : got) {
+    ASSERT_TRUE(want.count(pid)) << what << " patient " << pid;
+    const auto& theirs = want.at(pid);
+    ASSERT_EQ(mine.size(), theirs.size()) << what << " patient " << pid;
+    for (std::size_t w = 0; w < mine.size(); ++w) {
+      EXPECT_DOUBLE_EQ(mine[w].start_s, theirs[w].start_s) << what << " patient " << pid;
+      EXPECT_EQ(mine[w].decision_value, theirs[w].decision_value)
+          << what << " patient " << pid << " window " << w;
+      EXPECT_EQ(mine[w].label, theirs[w].label) << what << " patient " << pid;
+      EXPECT_EQ(mine[w].num_beats, theirs[w].num_beats) << what << " patient " << pid;
+    }
+  }
+}
+
+// --- Placement policies ------------------------------------------------------
+
+TEST(Placement, FibonacciIsPureAndInRange) {
+  for (int pid = -10; pid < 100; ++pid) {
+    for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{5}}) {
+      const std::size_t s = rt::fibonacci_shard(pid, shards);
+      EXPECT_LT(s, shards);
+      EXPECT_EQ(s, rt::fibonacci_shard(pid, shards));  // Pure in (id, count).
+    }
+  }
+}
+
+TEST(Placement, LeastLoadedPrefersQueueThenPatientsThenIndex) {
+  rt::LeastLoadedPlacement policy;
+  {
+    const std::vector<rt::ShardLoad> loads = {{5, 1}, {2, 9}, {3, 0}};
+    EXPECT_EQ(policy.place(42, loads), 1u);  // Fewest queued wins outright.
+  }
+  {
+    const std::vector<rt::ShardLoad> loads = {{2, 3}, {2, 1}, {2, 2}};
+    EXPECT_EQ(policy.place(42, loads), 1u);  // Queue tie: fewest patients.
+  }
+  {
+    const std::vector<rt::ShardLoad> loads = {{2, 1}, {2, 1}, {2, 1}};
+    EXPECT_EQ(policy.place(42, loads), 0u);  // Full tie: lowest index.
+  }
+}
+
+TEST(Placement, EngineConsultsCustomPolicyOncePerPatient) {
+  /// Counts placement consultations and pins every patient to shard 1.
+  struct PinnedPolicy final : rt::PlacementPolicy {
+    std::atomic<int> calls{0};
+    std::size_t place(int, std::span<const rt::ShardLoad> shards) override {
+      ++calls;
+      return shards.size() > 1 ? 1 : 0;
+    }
+  };
+  const auto policy = std::make_shared<PinnedPolicy>();
+  rt::EngineOptions options;
+  options.num_workers = 2;
+  options.placement = policy;
+  rt::ShardedStreamClassifier engine(detector(), short_window_config(), std::move(options));
+  const std::vector<double> chunk(100, 0.0);
+  for (int push = 0; push < 5; ++push) engine.push_samples(17, chunk);
+  engine.flush();
+  EXPECT_EQ(policy->calls.load(), 1) << "placement must be consulted once per patient";
+  EXPECT_EQ(engine.shard_of(17), 1u);
+}
+
+// --- WorkQueue scheduler hooks ----------------------------------------------
+
+TEST(WorkQueueSchedulerHooks, ExtractMatchingLiftsInOrderAndReinsertRestores) {
+  rt::WorkQueue<int> queue;
+  for (int v : {1, 10, 2, 11, 3, 12}) queue.push(v);
+  std::vector<rt::WorkQueue<int>::Extracted> tens;
+  EXPECT_EQ(queue.extract_matching([](const int& v) { return v >= 10; }, tens), 3u);
+  ASSERT_EQ(tens.size(), 3u);
+  EXPECT_EQ(tens[0].item, 10);  // Queue order preserved within the match.
+  EXPECT_EQ(tens[1].item, 11);
+  EXPECT_EQ(tens[2].item, 12);
+  EXPECT_EQ(queue.size(), 3u);
+
+  queue.reinsert_front(std::move(tens));
+  std::vector<int> drained;
+  while (auto v = queue.try_pop()) drained.push_back(*v);
+  EXPECT_EQ(drained, (std::vector<int>{10, 11, 12, 1, 2, 3}));
+}
+
+TEST(WorkQueueSchedulerHooks, EvictionsAreLoggedForSettlement) {
+  rt::WorkQueue<int> queue(2, rt::BackpressurePolicy::kDropOldest);
+  queue.push(1);
+  queue.push(2);
+  queue.push(3);  // Evicts 1.
+  queue.push(4);  // Evicts 2.
+  EXPECT_EQ(queue.dropped(), 2u);
+  EXPECT_EQ(queue.take_evicted(), (std::vector<int>{1, 2}));
+  EXPECT_TRUE(queue.take_evicted().empty());  // Drained.
+}
+
+TEST(WorkQueueSchedulerHooks, ForcedDropShedsUnderBlockPolicyAndCounts) {
+  rt::WorkQueue<int> queue(1, rt::BackpressurePolicy::kBlock);
+  queue.push(1);
+  queue.set_forced_drop(true);
+  queue.push(2);  // Would block; forced shedding evicts 1 instead.
+  EXPECT_EQ(queue.dropped(), 1u);
+  EXPECT_EQ(queue.forced_dropped(), 1u);
+  EXPECT_EQ(queue.take_evicted(), (std::vector<int>{1}));
+  queue.set_forced_drop(false);
+  auto v = queue.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 2);
+}
+
+// --- Work stealing / migration ----------------------------------------------
+
+// Forced migration churn: the hot patient is re-homed onto every shard in
+// turn while its stream is mid-flight. Per-patient decisions must stay
+// bit-identical to the single-threaded oracle at any worker count — a
+// migration moves the patient's exact filter/ring/threshold state and its
+// queued backlog wholesale, so WHERE a window is computed can never change
+// WHAT it computes.
+TEST(WardScheduler, ForcedMigrationChurnIsBitExact) {
+  const int hot = 3;
+  const auto ward = make_skewed_ward(hot);
+  const auto want = reference_results(ward);
+  ASSERT_FALSE(want.empty());
+
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    Collector collector;
+    rt::EngineOptions options;
+    options.num_workers = workers;
+    options.sink = collector.sink();
+    rt::ShardedStreamClassifier engine(detector(), short_window_config(), std::move(options));
+
+    std::map<int, std::size_t> offsets;
+    const std::size_t chunk = 733;  // Odd: windows straddle chunks.
+    std::size_t round = 0;
+    bool any_left = true;
+    while (any_left) {
+      any_left = false;
+      for (const auto& [pid, wf] : ward) {
+        std::size_t& off = offsets[pid];
+        if (off >= wf.samples_mv.size()) continue;
+        const std::size_t n = std::min(chunk, wf.samples_mv.size() - off);
+        engine.push_samples(pid, std::span(wf.samples_mv).subspan(off, n));
+        off += n;
+        if (off < wf.samples_mv.size()) any_left = true;
+      }
+      // Churn: re-home the hot patient onto a different shard every round,
+      // mid-stream, while its chunks are still queued.
+      engine.rebalance_patient(hot, round++ % workers);
+    }
+    for (const auto& [pid, wf] : ward) EXPECT_TRUE(engine.end_stream(pid));
+    EXPECT_TRUE(engine.flush().empty());
+
+    EXPECT_TRUE(collector.single_patient_batches) << workers << " workers";
+    EXPECT_TRUE(collector.time_ordered) << workers << " workers";
+    expect_bit_identical(collector.per_patient, want, "forced churn");
+    // flush() is a total fence: in-flight migrations have resolved, so the
+    // counters and the route table are settled, not just the result stream.
+    const auto sched = engine.scheduler_stats();
+    if (workers >= 2) {
+      EXPECT_GT(sched.migrations, 0u) << workers << " workers: churn must actually migrate";
+      // A settled engine re-homes deterministically: the next rebalance must
+      // have landed by the time its fence returns.
+      const std::size_t target = (engine.shard_of(hot) + 1) % workers;
+      engine.rebalance_patient(hot, target);
+      engine.flush();
+      EXPECT_EQ(engine.shard_of(hot), target) << "rebalance must land across a fence";
+    } else {
+      EXPECT_EQ(sched.migrations, 0u) << "single shard: nowhere to migrate";
+    }
+  }
+}
+
+// Natural stealing: every patient hashes to shard 0 of 2, so the second
+// worker sits idle unless it steals. It must steal (migrations > 0) and the
+// decision stream must stay bit-identical.
+TEST(WardScheduler, IdleWorkerStealsBacklogBitExactly) {
+  // Patient ids chosen to collide on shard 0 under the default hash at 2
+  // shards — the pathological ward static placement cannot spread.
+  std::vector<int> colliding;
+  for (int pid = 1; colliding.size() < 4; ++pid)
+    if (rt::fibonacci_shard(pid, 2) == 0) colliding.push_back(pid);
+  std::map<int, ecg::EcgWaveform> ward;
+  int seed = 140;
+  for (int pid : colliding) ward[pid] = synth_ecg(60.0, static_cast<std::uint64_t>(seed++));
+  const auto want = reference_results(ward);
+
+  Collector collector;
+  rt::EngineOptions options;
+  options.num_workers = 2;
+  options.stealing.enable = true;
+  options.stealing.min_backlog = 1;
+  // Throttle delivery: the raw extraction pipeline chews through this ward in
+  // a millisecond or two, which leaves the idle worker's steal poll nothing
+  // to observe. A brief sleep per delivered batch keeps the victim's backlog
+  // visible for many poll periods without changing any computed value.
+  auto inner = collector.sink();
+  options.sink = [inner](std::span<const rt::WindowResult> batch) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    inner(batch);
+  };
+  rt::ShardedStreamClassifier engine(detector(), short_window_config(), std::move(options));
+
+  // Small chunks, pushed flat out: shard 0's queue backs up, shard 1 idles
+  // into its steal scan.
+  std::map<int, std::size_t> offsets;
+  const std::size_t chunk = 250;
+  bool any_left = true;
+  while (any_left) {
+    any_left = false;
+    for (const auto& [pid, wf] : ward) {
+      std::size_t& off = offsets[pid];
+      if (off >= wf.samples_mv.size()) continue;
+      const std::size_t n = std::min(chunk, wf.samples_mv.size() - off);
+      engine.push_samples(pid, std::span(wf.samples_mv).subspan(off, n));
+      off += n;
+      if (off < wf.samples_mv.size()) any_left = true;
+    }
+  }
+  // Keep the ward streaming (no fence yet — a pending fence pauses steal
+  // scans) until the idle worker has stolen; the throttled sink keeps the
+  // backlog alive for hundreds of poll periods, so this resolves in a few
+  // milliseconds.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (engine.scheduler_stats().steals == 0 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  for (const auto& [pid, wf] : ward) engine.end_stream(pid);
+  engine.flush();
+
+  const auto sched = engine.scheduler_stats();
+  EXPECT_GT(sched.steals, 0u) << "an idle worker facing a backlogged ward must steal";
+  EXPECT_GT(sched.migrations, 0u);
+  EXPECT_TRUE(collector.single_patient_batches);
+  EXPECT_TRUE(collector.time_ordered);
+  expect_bit_identical(collector.per_patient, want, "natural stealing");
+}
+
+TEST(WardScheduler, RebalanceValidatesAndPreRoutesUnknownPatients) {
+  rt::EngineOptions options;
+  options.num_workers = 2;
+  rt::ShardedStreamClassifier engine(detector(), short_window_config(), std::move(options));
+  EXPECT_THROW(engine.rebalance_patient(1, 7), std::invalid_argument);
+  engine.rebalance_patient(999, 1);  // Unknown: pre-route, nothing to migrate.
+  EXPECT_EQ(engine.shard_of(999), 1u);
+  EXPECT_EQ(engine.scheduler_stats().migrations, 0u);
+}
+
+// --- set_result_sink quiescence fence ----------------------------------------
+
+TEST(WardScheduler, SetResultSinkThrowsWhileWorkInFlight) {
+  // A sink that blocks delivery until released: with the worker stuck
+  // inside it, the pushed chunk is issued but not settled.
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<bool> delivering{false};
+
+  rt::EngineOptions options;
+  options.num_workers = 1;
+  options.sink = [&](std::span<const rt::WindowResult>) {
+    delivering = true;
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return gate_open; });
+  };
+  rt::ShardedStreamClassifier engine(detector(), short_window_config(), std::move(options));
+
+  const auto wf = synth_ecg(45.0, 777);  // Long enough to emit windows.
+  engine.push_samples(5, wf.samples_mv);
+  while (!delivering) std::this_thread::yield();  // Worker is now mid-delivery.
+  EXPECT_THROW(engine.set_result_sink({}), std::logic_error);
+
+  {
+    const std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  engine.end_stream(5);
+  engine.flush();
+  // Quiescent after the fence: the swap is legal now.
+  EXPECT_NO_THROW(engine.set_result_sink({}));
+}
+
+// --- Deadline mode -----------------------------------------------------------
+
+// Saturated: an unreachable p99 target must walk the controller through
+// stride widening into forced shedding, with every action counted.
+TEST(WardScheduler, DeadlineControllerDegradesUnderSaturation) {
+  rt::EngineOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 4;
+  options.deadline.target_p99_s = 1e-9;  // Any real latency breaches.
+  options.deadline.poll_interval_s = 0.005;
+  options.sink = [](std::span<const rt::WindowResult>) {};
+  rt::ShardedStreamClassifier engine(detector(), short_window_config(), std::move(options));
+
+  const auto wf = synth_ecg(60.0, 555);
+  const std::size_t chunk = 500;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  rt::SchedulerStats sched;
+  // Keep the ward under load until the controller has escalated to forced
+  // shedding (level 3) — each poll escalates one level.
+  do {
+    for (std::size_t off = 0; off + chunk <= wf.samples_mv.size(); off += chunk)
+      for (int pid : {1, 2, 3})
+        engine.push_samples(pid, std::span(wf.samples_mv).subspan(off, chunk));
+    sched = engine.scheduler_stats();
+  } while (sched.shed_activations == 0 && std::chrono::steady_clock::now() < deadline);
+
+  EXPECT_GT(sched.stride_widenings, 0u) << "stride must widen before shedding";
+  EXPECT_GT(sched.shed_activations, 0u) << "saturation must reach forced shedding";
+  EXPECT_GT(sched.deadline_level, 0u);
+}
+
+// Unsaturated: a comfortable target must leave the stream untouched — zero
+// scheduler actions and bit-identical results.
+TEST(WardScheduler, DeadlineControllerIdleWhenTargetIsMet) {
+  const auto ward = make_skewed_ward(3);
+  const auto want = reference_results(ward);
+
+  Collector collector;
+  rt::EngineOptions options;
+  options.num_workers = 2;
+  options.deadline.target_p99_s = 100.0;  // Never approached.
+  options.deadline.poll_interval_s = 0.005;
+  options.sink = collector.sink();
+  rt::ShardedStreamClassifier engine(detector(), short_window_config(), std::move(options));
+  for (const auto& [pid, wf] : ward) engine.push_samples(pid, wf.samples_mv);
+  for (const auto& [pid, wf] : ward) engine.end_stream(pid);
+  engine.flush();
+
+  const auto sched = engine.scheduler_stats();
+  EXPECT_EQ(sched.stride_widenings, 0u);
+  EXPECT_EQ(sched.shed_activations, 0u);
+  EXPECT_EQ(sched.shed_chunks, 0u);
+  EXPECT_EQ(sched.deadline_level, 0u);
+  expect_bit_identical(collector.per_patient, want, "deadline idle");
+}
+
+// --- Unified engine interface ------------------------------------------------
+
+// Both engines behind rt::Engine: the same driver code streams against
+// either, and the uniform stats agree on what was delivered.
+TEST(EngineInterface, OracleAndShardedServeTheSameSurface) {
+  const auto wf = synth_ecg(45.0, 888);
+  std::vector<std::unique_ptr<rt::Engine>> engines;
+  engines.push_back(
+      std::make_unique<rt::StreamClassifier>(detector(), short_window_config()));
+  rt::EngineOptions options;
+  options.num_workers = 2;
+  engines.push_back(std::make_unique<rt::ShardedStreamClassifier>(
+      detector(), short_window_config(), std::move(options)));
+
+  std::vector<double> decisions[2];
+  for (std::size_t e = 0; e < engines.size(); ++e) {
+    rt::Engine& engine = *engines[e];
+    engine.push_samples(9, wf.samples_mv);
+    EXPECT_TRUE(engine.end_stream(9));
+    auto results = engine.flush();
+    for (const auto& r : results) decisions[e].push_back(r.decision_value);
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.delivered_windows, results.size());
+    EXPECT_EQ(stats.dropped_chunks, 0u);
+    EXPECT_EQ(stats.scheduler.steals, 0u);
+  }
+  ASSERT_FALSE(decisions[0].empty());
+  EXPECT_EQ(decisions[0], decisions[1]);  // Bit-identical across engines.
+}
+
+}  // namespace
+}  // namespace svt

@@ -46,7 +46,12 @@
 namespace svt::net {
 
 inline constexpr std::uint16_t kMagic = 0x5653;  // "SV" when read LE.
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/// Version history: v1 carried 8 u64 counters in kStats; v2 grew it to 12
+/// (the ward-scale scheduler counters). Payloads are size-checked, so mixed
+/// versions must never talk past the handshake — the decoder rejects a
+/// foreign version byte on the first frame (kBadVersion) and the gateway
+/// refuses a mismatched kHello, instead of failing silently at stats parse.
+inline constexpr std::uint8_t kProtocolVersion = 2;
 inline constexpr std::size_t kHeaderBytes = 12;
 /// Upper bound on one frame's payload: a 4 s chunk at 250 Hz is ~8 KiB, so
 /// 1 MiB leaves room for minutes-long chunks while making a garbage length

@@ -60,6 +60,10 @@ struct StealConfig {
 /// x4: fewer overlapping windows per sample), then forcing drop-oldest
 /// shedding on the shard queues — and backs off symmetrically once the tail
 /// recovers. Every action is counted in SchedulerStats.
+/// Requires a bounded queue: the sharded engine rejects target_p99_s > 0
+/// with EngineOptions::queue_capacity == 0 at construction, because the
+/// final shedding level evicts against the queue bound and would otherwise
+/// be a silent no-op.
 struct DeadlineConfig {
   double target_p99_s = 0.0;  ///< 0 disables the controller.
   double poll_interval_s = 0.05;

@@ -24,6 +24,11 @@ ShardedStreamClassifier::ShardedStreamClassifier(std::shared_ptr<ModelRegistry> 
     : registry_(std::move(registry)), config_(config), options_(std::move(options)) {
   if (!registry_)
     throw std::invalid_argument("ShardedStreamClassifier: null model registry");
+  if (options_.deadline.target_p99_s > 0.0 && options_.queue_capacity == 0)
+    throw std::invalid_argument(
+        "ShardedStreamClassifier: deadline mode requires a bounded queue — "
+        "level-3 forced shedding evicts against queue_capacity, so capacity 0 "
+        "(unbounded) would make it a silent no-op");
   if (options_.sink) sink_ = std::make_shared<const ResultSink>(std::move(options_.sink));
   placement_ =
       options_.placement ? options_.placement : std::make_shared<FibonacciPlacement>();
@@ -246,9 +251,9 @@ void ShardedStreamClassifier::ensure_attached(std::size_t self, Shard& shard, in
   shard.extractor.attach_patient(patient_id, std::move(*parked));
 }
 
-void ShardedStreamClassifier::maybe_steal(std::size_t self) {
+bool ShardedStreamClassifier::maybe_steal(std::size_t self) {
   const std::lock_guard<std::mutex> lock(route_mutex_);
-  if (fence_pending_) return;  // Never start a hand-off across a fence.
+  if (fence_pending_) return false;  // Never start a hand-off across a fence.
   int best_patient = 0;
   std::size_t best_backlog = 0;
   for (const auto& [pid, route] : routes_) {
@@ -259,7 +264,7 @@ void ShardedStreamClassifier::maybe_steal(std::size_t self) {
       best_patient = pid;
     }
   }
-  if (best_backlog == 0) return;
+  if (best_backlog == 0) return false;
   RouteEntry& route = routes_.at(best_patient);
   route.migrating = true;
   ++steals_;
@@ -270,14 +275,18 @@ void ShardedStreamClassifier::maybe_steal(std::size_t self) {
   // Front insertion: stealing only relieves the victim if the hand-off jumps
   // its backlog — the stolen patient's queued chunks move to this (idle)
   // worker immediately instead of after the victim drains everything.
-  if (!shards_[route.shard]->tasks.push_control_front(std::move(token))) route.migrating = false;
+  if (!shards_[route.shard]->tasks.push_control_front(std::move(token))) {
+    route.migrating = false;
+    return false;
+  }
+  return true;
 }
 
 void ShardedStreamClassifier::handle_migration(std::size_t self, Shard& shard,
                                                const Task& token) {
   std::vector<WorkQueue<Task>::Extracted> moved;
   bool retry = false;
-  bool retry_front = false;
+  bool retry_behind_data = false;
   {
     const std::lock_guard<std::mutex> lock(route_mutex_);
     const auto it = routes_.find(token.patient_id);
@@ -304,11 +313,14 @@ void ShardedStreamClassifier::handle_migration(std::size_t self, Shard& shard,
       if (route.settled + k != route.issued) {
         // A producer has incremented issued under the routing lock but its
         // push has not landed in our queue yet. Put the backlog back (front
-        // insertion preserves per-patient order) and retry the token.
+        // insertion preserves per-patient order) and retry the token —
+        // behind one data item, never at the very head: the in-flight push
+        // may be blocked on a full kBlock queue, and only draining a data
+        // slot lets it land (a head-parked token would spin forever).
         shard.tasks.reinsert_front(std::move(moved));
         moved.clear();
         retry = true;
-        retry_front = true;  // The push lands in a moment; stay at the head.
+        retry_behind_data = true;
       } else {
         // Exact cutoff: every issued task is either settled or in `moved`.
         // Detach the extraction state (if the patient ever reached our
@@ -337,12 +349,14 @@ void ShardedStreamClassifier::handle_migration(std::size_t self, Shard& shard,
     }
   }
   if (retry) {
-    // An in-flight push resolves in a moment: keep the token at the head so
-    // the hand-off completes promptly. A pending fence is different — requeue
-    // at the back, behind our own fence, so the retry runs after the flush.
+    // An in-flight push resolves in a moment: keep the token near the head
+    // (behind the first data item) so the hand-off completes promptly while
+    // the queue still drains. A pending fence is different — requeue at the
+    // back, behind our own fence, so the retry runs after the flush.
     Task again = token;
-    const bool requeued = retry_front ? shard.tasks.push_control_front(std::move(again))
-                                      : shard.tasks.push_control(std::move(again));
+    const bool requeued = retry_behind_data
+                              ? shard.tasks.push_control_behind_data(std::move(again))
+                              : shard.tasks.push_control(std::move(again));
     if (!requeued) {
       const std::lock_guard<std::mutex> lock(route_mutex_);
       const auto it = routes_.find(token.patient_id);
@@ -360,6 +374,8 @@ void ShardedStreamClassifier::worker_loop(std::size_t self, Shard& shard) {
   std::vector<WindowExtractor::PatientChunk> chunks;
   std::optional<Task> pending;  ///< Popped while coalescing, deferred.
   const bool stealing = options_.stealing.enable;
+  std::size_t steal_backoff = 1;  ///< Idle polls between steal scans.
+  std::size_t idle_polls = 0;     ///< Empty polls since the last scan.
   const auto collect = [&windows](ExtractedWindow&& window) {
     windows.push_back(std::move(window));
   };
@@ -391,12 +407,18 @@ void ShardedStreamClassifier::worker_loop(std::size_t self, Shard& shard) {
     if (pending) {
       task = std::exchange(pending, std::nullopt);
     } else if (stealing) {
-      // Stealing mode: an empty queue is the steal trigger. Scan for a
-      // backlogged victim, then sleep in short polls so a successful steal
-      // (or fresh work) is picked up promptly.
+      // Stealing mode: an empty queue is the steal trigger. The scan is
+      // O(patients) under route_mutex_ — the producer hot path's lock — so
+      // failed scans back off exponentially (1, 2, 4, ... capped polls
+      // between attempts) instead of contending it every idle millisecond;
+      // fresh work or a successful steal resets the cadence.
       task = shard.tasks.try_pop();
       if (!task) {
-        maybe_steal(self);
+        if (++idle_polls >= steal_backoff) {
+          idle_polls = 0;
+          steal_backoff =
+              maybe_steal(self) ? 1 : std::min(steal_backoff * 2, kMaxStealBackoffPolls);
+        }
         bool timed_out = false;
         task = shard.tasks.wait_pop_for(kIdlePoll, timed_out);
         if (!task) {
@@ -404,6 +426,8 @@ void ShardedStreamClassifier::worker_loop(std::size_t self, Shard& shard) {
           break;  // Closed and drained.
         }
       }
+      steal_backoff = 1;  // Fresh work: next idle spell scans immediately.
+      idle_polls = 0;
     } else {
       task = shard.tasks.wait_pop();
       if (!task) break;

@@ -131,7 +131,9 @@ class ShardedStreamClassifier final : public Engine {
   /// Unified constructor: everything beyond the registry and stream config
   /// comes through rt::EngineOptions (worker count, queue sizing, placement,
   /// stealing, deadline mode, sink). Throws std::invalid_argument on a null
-  /// registry or a bad stream config (same rules as WindowExtractor).
+  /// registry, a bad stream config (same rules as WindowExtractor), or
+  /// deadline mode over an unbounded queue (deadline.target_p99_s > 0 with
+  /// queue_capacity == 0 — forced shedding needs a bound to evict against).
   ShardedStreamClassifier(std::shared_ptr<ModelRegistry> registry, StreamConfig config,
                           EngineOptions options);
 
@@ -308,8 +310,16 @@ class ShardedStreamClassifier final : public Engine {
   static constexpr std::size_t kLatencyReservoir = 4096;
 
   /// Idle-worker poll period: a worker whose queue is empty wakes this often
-  /// to scan for steals (stealing mode only — otherwise workers block).
+  /// (stealing mode only — otherwise workers block) so a successful steal or
+  /// fresh work is picked up promptly.
   static constexpr std::chrono::milliseconds kIdlePoll{1};
+
+  /// Steal-scan backoff cap, in idle polls. The steal scan is O(patients)
+  /// under route_mutex_ — the same lock the producer hot path takes — so a
+  /// mostly-idle worker must not run it every poll: after each failed scan
+  /// the polls between scans double (1, 2, 4, ...) up to this cap (~64 ms at
+  /// kIdlePoll), and any popped task or successful steal resets the cadence.
+  static constexpr std::size_t kMaxStealBackoffPolls = 64;
 
   void worker_loop(std::size_t self, Shard& shard);
   void classify_batch(int patient_id, std::span<const ExtractedWindow> windows, Shard& shard);
@@ -339,8 +349,9 @@ class ShardedStreamClassifier final : public Engine {
   void handle_migration(std::size_t self, Shard& shard, const Task& token);
 
   /// Thief side: scan the route table for the deepest-backlog patient on
-  /// another shard and post a migration token for it.
-  void maybe_steal(std::size_t self);
+  /// another shard and post a migration token for it. Returns whether a
+  /// token was issued (drives the idle scan backoff).
+  bool maybe_steal(std::size_t self);
 
   /// Deadline controller (runs on deadline_thread_ when
   /// options_.deadline.target_p99_s > 0).

@@ -37,7 +37,9 @@
 //  * extract_matching() atomically removes every queued entry matching a
 //    predicate (preserving their relative order) so a migration can move a
 //    patient's backlog wholesale to another shard; reinsert_front() puts an
-//    extraction back when the migration has to be retried.
+//    extraction back when the migration has to be retried, and
+//    push_control_behind_data() requeues the retried token behind one data
+//    item so it can never starve a capacity-blocked producer.
 #pragma once
 
 #include <chrono>
@@ -125,6 +127,32 @@ class WorkQueue {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (closed_) return false;
       items_.push_front(Entry{std::move(item), true});
+    }
+    pop_cv_.notify_one();
+    return true;
+  }
+
+  /// Enqueue a control item just BEHIND the first queued data item (at the
+  /// very front when no data is queued). This is the migration retry slot:
+  /// a token whose cutoff check failed because a producer's push is still
+  /// in flight must stay near the head (the hand-off should complete
+  /// promptly) but must NOT monopolise it — if that producer is blocked on
+  /// a full kBlock queue, a head-inserted token would be re-popped forever
+  /// while the data slot the push is waiting for never frees. Landing
+  /// behind one data item guarantees the consumer drains a slot between
+  /// retries, so a capacity-blocked producer always makes progress.
+  /// Returns false only if the queue is closed.
+  bool push_control_behind_data(T item) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      auto it = items_.begin();
+      while (it != items_.end() && it->control) ++it;
+      // Just behind the first data entry; at the very front when only
+      // control entries are queued (no data slot to yield, so promptness
+      // wins — exactly push_control_front's semantics).
+      items_.insert(it == items_.end() ? items_.begin() : std::next(it),
+                    Entry{std::move(item), true});
     }
     pop_cv_.notify_one();
     return true;

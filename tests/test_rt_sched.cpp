@@ -193,6 +193,28 @@ TEST(WorkQueueSchedulerHooks, ExtractMatchingLiftsInOrderAndReinsertRestores) {
   EXPECT_EQ(drained, (std::vector<int>{10, 11, 12, 1, 2, 3}));
 }
 
+TEST(WorkQueueSchedulerHooks, ControlBehindDataYieldsTheHeadSlot) {
+  rt::WorkQueue<int> queue;
+  ASSERT_TRUE(queue.push_control(100));  // A control entry already at the head.
+  queue.push(1);
+  queue.push(2);
+  // The retried migration token: near the head, but behind one data item so
+  // the consumer drains a slot (and a capacity-blocked producer can land)
+  // between retries.
+  ASSERT_TRUE(queue.push_control_behind_data(200));
+  std::vector<int> drained;
+  while (auto v = queue.try_pop()) drained.push_back(*v);
+  EXPECT_EQ(drained, (std::vector<int>{100, 1, 200, 2}));
+
+  // No data queued: the front is safe (no producer can be capacity-blocked).
+  rt::WorkQueue<int> controls_only;
+  controls_only.push_control(7);
+  controls_only.push_control_behind_data(8);
+  drained.clear();
+  while (auto v = controls_only.try_pop()) drained.push_back(*v);
+  EXPECT_EQ(drained, (std::vector<int>{8, 7}));
+}
+
 TEST(WorkQueueSchedulerHooks, EvictionsAreLoggedForSettlement) {
   rt::WorkQueue<int> queue(2, rt::BackpressurePolicy::kDropOldest);
   queue.push(1);
@@ -344,6 +366,79 @@ TEST(WardScheduler, IdleWorkerStealsBacklogBitExactly) {
   expect_bit_identical(collector.per_patient, want, "natural stealing");
 }
 
+// Regression: a migration token retried while a producer sits blocked on a
+// full kBlock queue must not monopolise the queue head. The worker has to
+// drain the data item whose slot the blocked push is waiting for, or the
+// cutoff (settled + queued == issued) can never be satisfied — the shard
+// would spin on the token forever and flush() would hang in its
+// migration-drain wait.
+TEST(WardScheduler, MigrationRetryDoesNotDeadlockCapacityBlockedProducer) {
+  // Two patients whose ids collide on shard 0 of 2 under the default hash.
+  std::vector<int> colliding;
+  for (int pid = 1; colliding.size() < 2; ++pid)
+    if (rt::fibonacci_shard(pid, 2) == 0) colliding.push_back(pid);
+  const int a = colliding[0];
+  const int b = colliding[1];
+
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<bool> delivering{false};
+
+  Collector collector;
+  auto inner = collector.sink();
+  rt::EngineOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = 1;  // The second queued chunk blocks its producer.
+  options.sink = [&](std::span<const rt::WindowResult> batch) {
+    delivering = true;
+    {
+      std::unique_lock<std::mutex> lock(gate_mutex);
+      gate_cv.wait(lock, [&] { return gate_open; });
+    }
+    inner(batch);
+  };
+  rt::ShardedStreamClassifier engine(detector(), short_window_config(), std::move(options));
+
+  const auto wf_a = synth_ecg(60.0, 4242);
+  const auto wf_b = synth_ecg(40.0, 4243);
+  // First chunk covers a full 20 s window at 250 Hz, so delivery fires and
+  // worker 0 parks in the gated sink with a's first chunk not yet settled.
+  const std::size_t first = 6000;
+  engine.push_samples(a, std::span(wf_a.samples_mv).subspan(0, first));
+  while (!delivering) std::this_thread::yield();
+
+  engine.push_samples(b, std::span(wf_b.samples_mv).subspan(0, 500));  // Fills the slot.
+  std::thread producer([&] {
+    // Queue full, worker parked: this push blocks after counting as issued —
+    // exactly the in-flight state the migration cutoff has to wait out.
+    engine.push_samples(
+        a, std::span(wf_a.samples_mv).subspan(first, wf_a.samples_mv.size() - first));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  engine.rebalance_patient(a, 1);  // Token lands ahead of b's queued chunk.
+  {
+    const std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+
+  producer.join();  // The regression: under a head-parked token this hangs.
+  engine.push_samples(b,
+                      std::span(wf_b.samples_mv).subspan(500, wf_b.samples_mv.size() - 500));
+  for (int pid : {a, b}) engine.end_stream(pid);
+  engine.flush();
+  EXPECT_EQ(engine.shard_of(a), 1u) << "the retried migration must eventually land";
+  EXPECT_GT(engine.scheduler_stats().migrations, 0u);
+
+  std::map<int, ecg::EcgWaveform> ward;
+  ward[a] = wf_a;
+  ward[b] = wf_b;
+  expect_bit_identical(collector.per_patient, reference_results(ward),
+                       "blocked-producer migration");
+}
+
 TEST(WardScheduler, RebalanceValidatesAndPreRoutesUnknownPatients) {
   rt::EngineOptions options;
   options.num_workers = 2;
@@ -418,6 +513,18 @@ TEST(WardScheduler, DeadlineControllerDegradesUnderSaturation) {
   EXPECT_GT(sched.stride_widenings, 0u) << "stride must widen before shedding";
   EXPECT_GT(sched.shed_activations, 0u) << "saturation must reach forced shedding";
   EXPECT_GT(sched.deadline_level, 0u);
+}
+
+// Deadline mode needs a bound for level-3 shedding to evict against; over
+// an unbounded queue the controller would count shed_activations while
+// dropping nothing, so the constructor rejects the combination.
+TEST(WardScheduler, DeadlineModeRejectsUnboundedQueue) {
+  rt::EngineOptions options;
+  options.queue_capacity = 0;  // Unbounded legacy mode.
+  options.deadline.target_p99_s = 0.005;
+  EXPECT_THROW(
+      rt::ShardedStreamClassifier(detector(), short_window_config(), std::move(options)),
+      std::invalid_argument);
 }
 
 // Unsaturated: a comfortable target must leave the stream untouched — zero

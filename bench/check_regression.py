@@ -123,6 +123,21 @@ LOWER_IS_BETTER = [
     "streaming.e2e_latency_p99_ms",
     "net.delivery_p50_ms",
     "net.delivery_p99_ms",
+    # Per-stage per-window feature costs (microseconds): the from-scratch
+    # span-kernel work a segment-cache miss pays once per stride. They gate
+    # exactly like the delivery latencies — lower is better, normalised by
+    # the machine's scalar speed.
+    "streaming.stage_rr_us",
+    "streaming.stage_edr_us",
+    "streaming.stage_welch_us",
+    "streaming.stage_burg_us",
+]
+# Segment-cache hit rate: a dimensionless workload property (5 of 6 chunks
+# per window are reused at the paper's 6x overlap), machine-independent, so
+# it is compared RAW and gated on any host once the baseline records it
+# (report-not-fail on first appearance, like every new metric).
+RATIO_METRICS = [
+    "features.cache_hit_rate",
 ]
 
 
@@ -165,7 +180,8 @@ def evaluate(fresh, baseline, threshold, absolute=False, echo=print):
 
     failures = []
     for metric in (METRICS + THREADED_METRICS + REPLAY_METRICS + NET_METRICS +
-                   SCHED_METRICS + LANES_METRICS + LANES_RATIO_METRICS + LOWER_IS_BETTER):
+                   SCHED_METRICS + LANES_METRICS + LANES_RATIO_METRICS + RATIO_METRICS +
+                   LOWER_IS_BETTER):
         base_value = lookup(baseline, metric)
         fresh_value = lookup(fresh, metric)
         if base_value is None or fresh_value is None:
@@ -198,6 +214,11 @@ def evaluate(fresh, baseline, threshold, absolute=False, echo=print):
         elif metric in LANES_METRICS:
             gated = isa_match
             base_score, fresh_score = base_value / base_norm, fresh_value / fresh_norm
+        elif metric in RATIO_METRICS:
+            # Workload ratios (e.g. cache hit rate) are machine-independent:
+            # compared raw and gated on any host.
+            gated = True
+            base_score, fresh_score = base_value, fresh_value
         else:
             gated = (scale_armed if metric in THREADED_METRICS + REPLAY_METRICS + NET_METRICS +
                      SCHED_METRICS else True)
@@ -224,10 +245,13 @@ def _doc(hw=4, norm=1000.0, **overrides):
     for metric in (THREADED_METRICS + REPLAY_METRICS + NET_METRICS + SCHED_METRICS +
                    LANES_METRICS + LOWER_IS_BETTER):
         head, leaf = metric.split(".")
-        doc.setdefault(head, {})[leaf] = 5.0 if leaf.endswith("_ms") else 800.0
+        doc.setdefault(head, {})[leaf] = 5.0 if leaf.endswith(("_ms", "_us")) else 800.0
     for metric in LANES_RATIO_METRICS:
         head, leaf = metric.split(".")
         doc.setdefault(head, {})[leaf] = 2.0
+    for metric in RATIO_METRICS:
+        head, leaf = metric.split(".")
+        doc.setdefault(head, {})[leaf] = 0.85
     doc.setdefault("lanes", {}).setdefault("isa", "avx2")
     for path, value in overrides.items():
         head, _, leaf = path.partition(".")
@@ -260,11 +284,12 @@ def self_test():
     base_without = _doc()
     del base_without["streaming"]
     check("new metrics skip", evaluate(_doc(), base_without, 0.25, echo=quiet), [])
-    # Metric missing from the fresh run fails (3 throughput + 2 latency).
+    # Metric missing from the fresh run fails (3 throughput + 2 latency +
+    # 4 per-stage costs).
     fresh_without = _doc()
     del fresh_without["streaming"]
     failures = evaluate(fresh_without, _doc(), 0.25, echo=quiet)
-    check("shrunken bench fails", len(failures), 5)
+    check("shrunken bench fails", len(failures), 9)
     # Latency: an increase beyond the threshold fails, a decrease passes.
     check("latency increase fails",
           len(evaluate(_doc(**{"continuous.latency_p99_ms": 9.0}), _doc(), 0.25, echo=quiet)), 1)
@@ -362,6 +387,25 @@ def self_test():
     del fresh_without_lanes["lanes"]
     check("missing lane metrics fail",
           len(evaluate(fresh_without_lanes, _doc(), 0.25, echo=quiet)), 5)
+    # Per-stage feature costs gate lower-is-better like the delivery
+    # latencies; the segment-cache hit rate is compared raw and gated on any
+    # host, with report-not-fail before the baseline records the section.
+    check("stage cost increase fails",
+          len(evaluate(_doc(**{"streaming.stage_welch_us": 9.0}), _doc(), 0.25, echo=quiet)), 1)
+    check("stage cost decrease passes",
+          evaluate(_doc(**{"streaming.stage_welch_us": 1.0}), _doc(), 0.25, echo=quiet), [])
+    check("hit-rate drop fails",
+          len(evaluate(_doc(**{"features.cache_hit_rate": 0.5}), _doc(), 0.25, echo=quiet)), 1)
+    check("hit-rate gated even cross-hardware",
+          len(evaluate(_doc(hw=2, **{"features.cache_hit_rate": 0.5}), _doc(hw=4), 0.25,
+                       echo=quiet)), 1)
+    base_without_features = _doc()
+    del base_without_features["features"]
+    check("new hit-rate skips", evaluate(_doc(), base_without_features, 0.25, echo=quiet), [])
+    fresh_without_features = _doc()
+    del fresh_without_features["features"]
+    check("missing hit-rate fails",
+          len(evaluate(fresh_without_features, _doc(), 0.25, echo=quiet)), 1)
     # A uniform slowdown cannot hide in the ratios on same hardware: the
     # normaliser is gated absolutely.
     uniform = _doc(norm=500.0)

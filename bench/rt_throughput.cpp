@@ -20,7 +20,11 @@
 //    also reports per-batch delivery-latency p50/p99 (queue entry -> sink).
 //  * streaming stage breakdown at the paper's overlapping configuration
 //    (180 s windows / 30 s stride, 6x sample overlap): incremental
-//    extraction vs the seed batch re-detection strategy, classification
+//    extraction (telemetry-shaped 4 s rounds through push_batch, so the
+//    cross-patient QRS lanes and the segment cache both engage) vs the seed
+//    batch re-detection strategy, per-stage per-window feature costs (RR
+//    features, EDR resample, Welch, Burg) so a regression localizes to one
+//    DSP stage, the segment-cache hit rate at 6x overlap, classification
 //    through the per-worker scratch path, and the continuous end-to-end
 //    rate + delivery latency at 1 worker.
 //  * network serving gateway: the same telemetry ward streamed over a Unix
@@ -68,13 +72,19 @@
 
 #include "common/simd_dispatch.hpp"
 #include "core/quantize.hpp"
+#include "dsp/resample.hpp"
 #include "dsp/statistics.hpp"
 #include "ecg/lane_qrs.hpp"
 #include "ecg/ecg_synth.hpp"
 #include "ecg/qrs_detect.hpp"
 #include "ecg/rr_model.hpp"
+#include "features/ar_features.hpp"
 #include "features/extractor.hpp"
+#include "features/feature_scratch.hpp"
 #include "features/feature_types.hpp"
+#include "features/hrv_features.hpp"
+#include "features/lorentz_features.hpp"
+#include "features/psd_features.hpp"
 #include "fixed/fixed_point.hpp"
 #include "io/cohort_fixture.hpp"
 #include "net/client.hpp"
@@ -122,10 +132,13 @@ std::vector<std::vector<double>> random_windows(std::uint64_t seed) {
   return xs;
 }
 
-/// Run `body(iteration)` until ~0.4 s elapses; return windows/second given
-/// `windows_per_iter` classified per call.
+/// Run `body(iteration)` until ~budget_ms elapses; return windows/second
+/// given `windows_per_iter` classified per call. Sections whose numbers feed
+/// the regression gate's headline ratios pass a larger budget: on shared
+/// hosts whose effective speed drifts, a longer average is the difference
+/// between measuring the code and measuring the neighbour.
 template <typename Body>
-double measure(std::size_t windows_per_iter, Body&& body) {
+double measure(std::size_t windows_per_iter, Body&& body, std::size_t budget_ms = 400) {
   using clock = std::chrono::steady_clock;
   // Warm-up.
   body(0);
@@ -135,7 +148,7 @@ double measure(std::size_t windows_per_iter, Body&& body) {
   do {
     body(iters++);
     now = clock::now();
-  } while (now - start < std::chrono::milliseconds(400));
+  } while (now - start < std::chrono::milliseconds(budget_ms));
   const double secs = std::chrono::duration<double>(now - start).count();
   return static_cast<double>(iters * windows_per_iter) / secs;
 }
@@ -263,25 +276,44 @@ ShardedRun sharded_flush_rate(const std::shared_ptr<rt::ModelRegistry>& registry
 /// Continuous mode: a sink counts results as each patient batch classifies;
 /// the only flush() is the terminal fence. Also reports the per-batch
 /// delivery-latency percentiles the engine records (queue entry -> sink).
+/// The queue is bounded with lossless backpressure (like the scheduler
+/// section, and like any deployment that must not OOM): a shallow queue
+/// keeps the recycled chunk buffers cache-warm, where an unbounded one lets
+/// a fast producer march the copy loop through tens of MB of cold memory.
 ShardedRun continuous_rate(const std::shared_ptr<rt::ModelRegistry>& registry,
                            const std::map<int, ecg::EcgWaveform>& ward, std::size_t workers,
                            rt::StreamConfig config) {
   const std::size_t chunk = static_cast<std::size_t>(4.0 * config.fs_hz);
-  std::atomic<std::size_t> delivered{0};
   using clock = std::chrono::steady_clock;
-  const auto start = clock::now();
-  rt::ShardedStreamClassifier classifier(
-      registry, config, workers, rt::EngineOptions{},
-      [&delivered](std::span<const rt::WindowResult> batch) { delivered += batch.size(); });
-  push_ward(classifier, ward, chunk);
-  classifier.flush();  // Fence: every pushed chunk classified and delivered.
-  const double secs = std::chrono::duration<double>(clock::now() - start).count();
-  ShardedRun run{static_cast<double>(delivered.load()) / secs, delivered.load()};
-  const auto latencies = classifier.delivery_latencies_s();
-  if (!latencies.empty()) {
-    run.latency_p50_ms = dsp::percentile(latencies, 50.0) * 1e3;
-    run.latency_p99_ms = dsp::percentile(latencies, 99.0) * 1e3;
-  }
+  ShardedRun run;
+  double wall_s = 0.0;
+  std::size_t passes = 0;
+  std::size_t total_windows = 0;
+  // Repeated passes with a wall-time budget (like the sched and replay
+  // sections): one pass over even a multi-hour ward is only tens of
+  // milliseconds of wall time, well inside scheduler noise on a busy host.
+  do {
+    std::atomic<std::size_t> delivered{0};
+    rt::EngineOptions options;
+    options.queue_capacity = 256;
+    options.backpressure = rt::BackpressurePolicy::kBlock;
+    const auto start = clock::now();
+    rt::ShardedStreamClassifier classifier(
+        registry, config, workers, std::move(options),
+        [&delivered](std::span<const rt::WindowResult> batch) { delivered += batch.size(); });
+    push_ward(classifier, ward, chunk);
+    classifier.flush();  // Fence: every pushed chunk classified and delivered.
+    wall_s += std::chrono::duration<double>(clock::now() - start).count();
+    run.windows = delivered.load();
+    total_windows += run.windows;
+    ++passes;
+    const auto latencies = classifier.delivery_latencies_s();
+    if (!latencies.empty()) {
+      run.latency_p50_ms = dsp::percentile(latencies, 50.0) * 1e3;
+      run.latency_p99_ms = dsp::percentile(latencies, 99.0) * 1e3;
+    }
+  } while (wall_s < 1.0);
+  run.windows_per_s = static_cast<double>(total_windows) / wall_s;
   return run;
 }
 
@@ -426,6 +458,11 @@ struct StageRates {
   double extract_wps = 0.0;
   double extract_ref_wps = 0.0;  ///< Seed-style re-detection per window.
   double classify_wps = 0.0;
+  double stage_rr_us = 0.0;     ///< HRV + Lorentz on the window's RR series.
+  double stage_edr_us = 0.0;    ///< Beat series -> uniform EDR grid resample.
+  double stage_welch_us = 0.0;  ///< Welch PSD + band summary on the EDR.
+  double stage_burg_us = 0.0;   ///< Burg AR fit + pole features on the EDR.
+  features::SegmentCacheStats cache;  ///< From one extraction pass.
 };
 
 /// Extraction only: incremental WindowExtractor over the ward, counting sink.
@@ -447,14 +484,46 @@ StageRates stage_breakdown(const std::shared_ptr<rt::ModelRegistry>& registry,
   rates.windows = raw_windows.size();
   if (rates.windows == 0) return rates;  // Degenerate ward: nothing to rate.
 
-  rates.extract_wps = measure(rates.windows, [&](std::size_t) {
-    rt::WindowExtractor extractor(config);
+  // Telemetry-shaped arrival, matching the e2e and lane sections: 4 s chunks
+  // round-robin across the ward through push_batch, so the cross-patient QRS
+  // lanes engage. (Pushing each patient's full record back to back would run
+  // the lane engine at occupancy 1 — the detector's scalar tail — a shape no
+  // multi-patient deployment has; the emitted windows are bit-identical
+  // either way.)
+  const std::size_t chunk = static_cast<std::size_t>(4.0 * config.fs_hz);
+  const auto extract_pass = [&](rt::WindowExtractor& extractor) {
     double acc = 0.0;
-    for (const auto& [pid, wf] : ward)
-      extractor.push_samples(pid, wf.samples_mv,
-                             [&acc](rt::ExtractedWindow&& w) { acc += w.raw_features[0]; });
+    const auto sink = [&acc](rt::ExtractedWindow&& w) { acc += w.raw_features[0]; };
+    std::map<int, std::size_t> offsets;
+    std::vector<rt::WindowExtractor::PatientChunk> chunks;
+    bool any_left = true;
+    while (any_left) {
+      any_left = false;
+      chunks.clear();
+      for (const auto& [pid, wf] : ward) {
+        std::size_t& off = offsets[pid];
+        if (off >= wf.samples_mv.size()) continue;
+        const std::size_t n = std::min(chunk, wf.samples_mv.size() - off);
+        chunks.push_back({pid, std::span(wf.samples_mv).subspan(off, n)});
+        off += n;
+        if (off < wf.samples_mv.size()) any_left = true;
+      }
+      if (!chunks.empty()) extractor.push_batch(chunks, sink);
+    }
     g_sink_f = acc;
-  });
+  };
+  rates.extract_wps = measure(
+      rates.windows,
+      [&](std::size_t) {
+        rt::WindowExtractor extractor(config);
+        extract_pass(extractor);
+      },
+      1500);
+  {
+    rt::WindowExtractor extractor(config);  // Uncounted pass: hit-rate read.
+    extract_pass(extractor);
+    rates.cache = extractor.cache_stats();
+  }
 
   // The seed extraction strategy at the same configuration: copy each
   // window's samples and re-run the whole batch Pan-Tompkins chain + the
@@ -495,11 +564,54 @@ StageRates stage_breakdown(const std::shared_ptr<rt::ModelRegistry>& registry,
   std::vector<std::vector<double>> rows(raw_windows.size());
   rt::KernelScratch kernel_scratch;
   std::vector<double> values;
-  rates.classify_wps = measure(raw_windows.size(), [&](std::size_t) {
-    for (std::size_t k = 0; k < raw_windows.size(); ++k)
-      model->prepare_row(raw_windows[k], rows[k]);
-    model->quantized()->dequantized_decisions(rows, kernel_scratch, values);
-    g_sink_f = values[0];
+  rates.classify_wps = measure(
+      raw_windows.size(),
+      [&](std::size_t) {
+        for (std::size_t k = 0; k < raw_windows.size(); ++k)
+          model->prepare_row(raw_windows[k], rows[k]);
+        model->quantized()->dequantized_decisions(rows, kernel_scratch, values);
+        g_sink_f = values[0];
+      },
+      1200);
+
+  // Per-stage per-window feature costs on a representative window (the
+  // batch-detected first window of the first patient), through the span
+  // kernels the streaming path runs — the from-scratch work a segment-cache
+  // miss pays once per stride. A regression in one DSP stage shows up here
+  // by name before it blurs into the aggregate extract rate.
+  const auto& head_wf = ward.begin()->second;
+  ecg::EcgWaveform head;
+  head.fs_hz = config.fs_hz;
+  head.samples_mv.assign(head_wf.samples_mv.begin(),
+                         head_wf.samples_mv.begin() + static_cast<std::ptrdiff_t>(window));
+  const auto qrs = ecg::detect_qrs(head);
+  const auto rr = qrs.to_rr_series();
+  const auto edr = qrs.to_edr(config.edr_fs_hz);
+  features::FeatureScratch scratch;
+  std::array<double, features::kNumHrvFeatures + features::kNumLorentzFeatures> rr_out{};
+  rates.stage_rr_us = 1e6 / measure(1, [&](std::size_t) {
+    features::compute_hrv_features(rr.rr_s, scratch,
+                                   std::span(rr_out).first(features::kNumHrvFeatures));
+    features::compute_lorentz_features(rr.rr_s, scratch,
+                                       std::span(rr_out).subspan(features::kNumHrvFeatures));
+    g_sink_f = rr_out[0];
+  });
+  double edr_start = 0.0;
+  std::vector<double> edr_buf;
+  rates.stage_edr_us = 1e6 / measure(1, [&](std::size_t) {
+    dsp::resample_linear_into(qrs.r_peak_times_s, qrs.r_amplitudes_mv, config.edr_fs_hz,
+                              edr_start, edr_buf);
+    g_sink_f = edr_buf[0];
+  });
+  std::array<double, features::kNumPsdFeatures> psd_out{};
+  rates.stage_welch_us = 1e6 / measure(1, [&](std::size_t) {
+    features::compute_psd_features(edr.values, config.edr_fs_hz, scratch, psd_out);
+    g_sink_f = psd_out[0];
+  });
+  std::array<double, features::kNumArFeatures> ar_out{};
+  rates.stage_burg_us = 1e6 / measure(1, [&](std::size_t) {
+    features::compute_ar_features(edr.values, scratch, ar_out);
+    g_sink_f = ar_out[0];
   });
   return rates;
 }
@@ -674,11 +786,25 @@ int main() {
   std::printf("model: %zu SVs x %zu features (quadratic kernel), %zu test windows\n\n", kNumSvs,
               kNumFeatures, kNumWindows);
 
-  const double float_single = measure(kNumWindows, [&](std::size_t) {
-    double acc = 0.0;
-    for (const auto& x : windows) acc += model.decision_value(x);
-    g_sink_f = acc;
-  });
+  // Ward fixtures are synthesized up front so the measured sections run back
+  // to back: on hosts with time-varying performance (shared/virtualised
+  // CPUs), a minute of synthesis between the normaliser and a gated section
+  // lets the machine drift into a different speed phase and skews the
+  // machine-normalised ratios the regression gate compares.
+  const auto ward = synth_ward(16, 120.0);
+  // 2400 s streams: long enough that the segment cache's steady-state reuse
+  // (5 of 6 chunks per window, minus the per-stream warm-up misses)
+  // dominates the measured hit rate, as it does on a running ward.
+  const auto overlap_ward = synth_ward(4, 2400.0);
+
+  const double float_single = measure(
+      kNumWindows,
+      [&](std::size_t) {
+        double acc = 0.0;
+        for (const auto& x : windows) acc += model.decision_value(x);
+        g_sink_f = acc;
+      },
+      1200);  // The gate's machine normaliser: worth a longer average.
 
   std::vector<double> out(kNumWindows);
   const auto batched_rate = [&](std::size_t batch) {
@@ -781,7 +907,6 @@ int main() {
   // trained detector: the deterministic full-feature serving model (shared
   // with the replay fixtures and examples) keeps them training-free.
   auto registry = std::make_shared<rt::ModelRegistry>(rt::synthetic_full_feature_model());
-  const auto ward = synth_ward(16, 120.0);
   std::printf("\nsharded streaming: 16 patients x 120 s ECG @ 250 Hz, 20 s windows / 10 s stride"
               "\n(extraction + batched classification; host has %zu hardware threads)\n",
               hw_threads);
@@ -812,18 +937,25 @@ int main() {
 
   // --- Streaming stage breakdown (incremental extraction engine) --------------
   const auto overlap_config = overlap_stream_config();
-  const auto overlap_ward = synth_ward(4, 600.0);
-  std::printf("\nstreaming stage breakdown: 4 patients x 600 s ECG @ 250 Hz, %g s windows"
+  std::printf("\nstreaming stage breakdown: 4 patients x 2400 s ECG @ 250 Hz, %g s windows"
               " / %g s stride (6x overlap)\n",
               overlap_config.window_s, overlap_config.stride_s);
   const auto stages = stage_breakdown(registry, overlap_ward, overlap_config);
   const double extract_speedup =
       stages.extract_ref_wps > 0.0 ? stages.extract_wps / stages.extract_ref_wps : 0.0;
-  std::printf("  extract (incremental, O(1)/sample):   %10.1f windows/s  (%zu windows)\n",
+  std::printf("  extract (incremental, 4 s rounds):    %10.1f windows/s  (%zu windows)\n",
               stages.extract_wps, stages.windows);
   std::printf("  extract (seed batch re-detection):    %10.1f windows/s  (%zu windows)\n",
               stages.extract_ref_wps, stages.ref_windows);
   std::printf("  incremental extraction speedup:       %10.2fx\n", extract_speedup);
+  std::printf("  segment cache: hit rate %.3f  (%llu hits, %llu misses, %llu evictions) %s\n",
+              stages.cache.hit_rate(), static_cast<unsigned long long>(stages.cache.hits),
+              static_cast<unsigned long long>(stages.cache.misses),
+              static_cast<unsigned long long>(stages.cache.evictions),
+              stages.cache.hit_rate() >= 0.8 ? "(>= 0.8 target met)" : "(below 0.8 target!)");
+  std::printf("  per-window stage costs: rr %.1f us, edr %.1f us, welch %.1f us, burg %.1f us\n",
+              stages.stage_rr_us, stages.stage_edr_us, stages.stage_welch_us,
+              stages.stage_burg_us);
   std::printf("  classify (scratch path, fixed-point): %10.1f windows/s\n", stages.classify_wps);
   const auto e2e = continuous_rate(registry, overlap_ward, 1, overlap_config);
   std::printf("  end-to-end continuous @1 worker:      %10.1f windows/s  (%zu windows,"
@@ -1004,17 +1136,30 @@ int main() {
     std::fprintf(json, "    \"windows\": %zu\n", replay[1].windows);
     std::fprintf(json, "  },\n");
     std::fprintf(json, "  \"streaming\": {\n");
-    std::fprintf(json, "    \"patients\": 4, \"duration_s\": 600.0,\n");
+    std::fprintf(json, "    \"patients\": 4, \"duration_s\": 2400.0,\n");
     std::fprintf(json, "    \"window_s\": %.1f, \"stride_s\": %.1f,\n", overlap_config.window_s,
                  overlap_config.stride_s);
     std::fprintf(json, "    \"extract_wps\": %.1f,\n", stages.extract_wps);
     std::fprintf(json, "    \"extract_batch_ref_wps\": %.1f,\n", stages.extract_ref_wps);
     std::fprintf(json, "    \"extract_speedup_vs_batch\": %.3f,\n", extract_speedup);
     std::fprintf(json, "    \"classify_wps\": %.1f,\n", stages.classify_wps);
+    std::fprintf(json, "    \"stage_rr_us\": %.3f,\n", stages.stage_rr_us);
+    std::fprintf(json, "    \"stage_edr_us\": %.3f,\n", stages.stage_edr_us);
+    std::fprintf(json, "    \"stage_welch_us\": %.3f,\n", stages.stage_welch_us);
+    std::fprintf(json, "    \"stage_burg_us\": %.3f,\n", stages.stage_burg_us);
     std::fprintf(json, "    \"e2e_wps\": %.1f,\n", e2e.windows_per_s);
     std::fprintf(json, "    \"e2e_latency_p50_ms\": %.3f,\n", e2e.latency_p50_ms);
     std::fprintf(json, "    \"e2e_latency_p99_ms\": %.3f,\n", e2e.latency_p99_ms);
     std::fprintf(json, "    \"simd_kernel\": %s\n", rt::simd_kernel_enabled() ? "true" : "false");
+    std::fprintf(json, "  },\n");
+    std::fprintf(json, "  \"features\": {\n");
+    std::fprintf(json, "    \"cache_hit_rate\": %.4f,\n", stages.cache.hit_rate());
+    std::fprintf(json, "    \"cache_hits\": %llu,\n",
+                 static_cast<unsigned long long>(stages.cache.hits));
+    std::fprintf(json, "    \"cache_misses\": %llu,\n",
+                 static_cast<unsigned long long>(stages.cache.misses));
+    std::fprintf(json, "    \"cache_evictions\": %llu\n",
+                 static_cast<unsigned long long>(stages.cache.evictions));
     std::fprintf(json, "  },\n");
     std::fprintf(json, "  \"lanes\": {\n");
     std::fprintf(json, "    \"isa\": \"%s\",\n", ecg::lane_isa_name());

@@ -137,6 +137,11 @@ int main(int argc, char** argv) {
   const rt::SchedulerStats sched = replayer.engine().scheduler_stats();
   std::printf("  scheduler: %zu steals, %zu migrations (%zu chunks moved)\n", sched.steals,
               sched.migrations, sched.migrated_chunks);
+  std::printf("  segment cache: %.1f%% hit rate (%llu hits, %llu misses, %llu evictions)\n",
+              report.cache.hit_rate() * 100.0,
+              static_cast<unsigned long long>(report.cache.hits),
+              static_cast<unsigned long long>(report.cache.misses),
+              static_cast<unsigned long long>(report.cache.evictions));
 
   // 4. The deterministic decision stream: sorted by (patient, time), every
   //    window's decision — what the golden-file CI gate diffs.

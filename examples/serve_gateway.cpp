@@ -129,5 +129,9 @@ int main(int argc, char** argv) {
               " widenings, %zu chunks shed\n",
               sched.steals, sched.migrations, sched.migrated_chunks, sched.stride_widenings,
               sched.shed_chunks);
+  const auto cache = gateway.engine().cache_stats();  // Quiescent: gateway stopped.
+  std::printf("         segment cache: %.1f%% hit rate (%" PRIu64 " hits, %" PRIu64
+              " misses, %" PRIu64 " evictions)\n",
+              cache.hit_rate() * 100.0, cache.hits, cache.misses, cache.evictions);
   return 0;
 }

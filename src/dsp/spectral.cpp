@@ -61,12 +61,12 @@ PsdEstimate welch_psd(std::span<const double> x, double fs_hz, const WelchParams
 namespace {
 
 /// One windowed segment's PSD through the scratch FFT path; `accumulate`
-/// adds the segment's power into `out` instead of (re)initialising it.
-/// Value-identical to segment_psd: the taper product goes straight into the
-/// zero-padded FFT buffer and the per-bin normalisation runs in the same
-/// order.
-void segment_psd_into(std::span<const double> x, double fs_hz, std::span<const double> w,
-                      SpectralScratch& scratch, PsdEstimate& out, bool accumulate) {
+/// adds the segment's power into `power` (which must hold nfft/2+1 bins)
+/// instead of overwriting it. Value-identical to segment_psd: the taper
+/// product goes straight into the zero-padded FFT buffer and the per-bin
+/// normalisation runs in the same order.
+void segment_power_into(std::span<const double> x, double fs_hz, std::span<const double> w,
+                        SpectralScratch& scratch, double* power, bool accumulate) {
   SVT_ASSERT(x.size() == w.size());
   const std::size_t nfft = next_power_of_two(x.size());
   auto& buf = scratch.fft_buf;
@@ -79,14 +79,6 @@ void segment_psd_into(std::span<const double> x, double fs_hz, std::span<const d
 
   const std::size_t half = nfft / 2;
   const double norm = fs_hz * window_power(w);
-  const double df = fs_hz / static_cast<double>(nfft);
-  if (!accumulate) {
-    out.frequency_hz.resize(half + 1);
-    out.power.resize(half + 1);
-    for (std::size_t k = 0; k <= half; ++k)
-      out.frequency_hz[k] = df * static_cast<double>(k);
-  }
-  SVT_ASSERT(out.power.size() == half + 1);
   // Edge bins (DC and Nyquist) are not doubled; the interior runs through
   // the vectorised kernel with the same (re*re + im*im) / norm * 2 order.
   const std::size_t edges[2] = {0, half};
@@ -96,13 +88,21 @@ void segment_psd_into(std::span<const double> x, double fs_hz, std::span<const d
     const double im = interleaved[2 * k + 1];
     const double p = (re * re + im * im) / norm;
     if (accumulate) {
-      out.power[k] += p;
+      power[k] += p;
     } else {
-      out.power[k] = p;
+      power[k] = p;
     }
   }
-  if (half > 1)
-    detail::psd_interior_bins(interleaved, 1, half, norm, accumulate, out.power.data());
+  if (half > 1) detail::psd_interior_bins(interleaved, 1, half, norm, accumulate, power);
+}
+
+/// (Re)build the cached taper when the requested (type, length) differs.
+void ensure_window(SpectralScratch& scratch, WindowType type, std::size_t len) {
+  if (scratch.window_len != len || scratch.window_type != type || scratch.window.empty()) {
+    scratch.window = make_window(type, len);
+    scratch.window_len = len;
+    scratch.window_type = type;
+  }
 }
 
 }  // namespace
@@ -118,12 +118,14 @@ void welch_psd(std::span<const double> x, double fs_hz, const WelchParams& param
   const std::size_t seg = std::min(params.segment_length, x.size());
   auto hop = static_cast<std::size_t>(
       std::max(1.0, std::round(static_cast<double>(seg) * (1.0 - params.overlap_fraction))));
-  if (scratch.window_len != seg || scratch.window_type != params.window ||
-      scratch.window.empty()) {
-    scratch.window = make_window(params.window, seg);
-    scratch.window_len = seg;
-    scratch.window_type = params.window;
-  }
+  ensure_window(scratch, params.window, seg);
+
+  const std::size_t nfft = next_power_of_two(seg);
+  const std::size_t half = nfft / 2;
+  const double df = fs_hz / static_cast<double>(nfft);
+  out.frequency_hz.resize(half + 1);
+  out.power.resize(half + 1);
+  for (std::size_t k = 0; k <= half; ++k) out.frequency_hz[k] = df * static_cast<double>(k);
 
   // seg <= x.size() by construction, so the loop always runs at least once.
   std::size_t count = 0;
@@ -131,12 +133,24 @@ void welch_psd(std::span<const double> x, double fs_hz, const WelchParams& param
     scratch.segment.assign(x.begin() + static_cast<std::ptrdiff_t>(start),
                            x.begin() + static_cast<std::ptrdiff_t>(start + seg));
     if (params.detrend_segments) remove_mean(scratch.segment);
-    segment_psd_into(scratch.segment, fs_hz, scratch.window, scratch, out,
-                     /*accumulate=*/count > 0);
+    segment_power_into(scratch.segment, fs_hz, scratch.window, scratch, out.power.data(),
+                       /*accumulate=*/count > 0);
     ++count;
   }
   SVT_ASSERT(count > 0);
   for (double& p : out.power) p /= static_cast<double>(count);
+}
+
+void welch_segment_psd(std::span<const double> x, double fs_hz, const WelchParams& params,
+                       SpectralScratch& scratch, std::vector<double>& power) {
+  if (x.empty()) throw std::invalid_argument("welch_segment_psd: empty input");
+  if (fs_hz <= 0.0) throw std::invalid_argument("welch_segment_psd: fs_hz <= 0");
+  ensure_window(scratch, params.window, x.size());
+  scratch.segment.assign(x.begin(), x.end());
+  if (params.detrend_segments) remove_mean(scratch.segment);
+  power.resize(next_power_of_two(x.size()) / 2 + 1);
+  segment_power_into(scratch.segment, fs_hz, scratch.window, scratch, power.data(),
+                     /*accumulate=*/false);
 }
 
 double band_power(const PsdEstimate& psd, double f_lo, double f_hi) {

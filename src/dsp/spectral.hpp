@@ -62,6 +62,19 @@ struct SpectralScratch {
 void welch_psd(std::span<const double> x, double fs_hz, const WelchParams& params,
                SpectralScratch& scratch, PsdEstimate& out);
 
+/// One Welch segment's one-sided PSD, exactly as one iteration of the
+/// welch_psd averaging loop computes it: copy x into the scratch segment
+/// buffer, remove the per-segment mean when params.detrend_segments, taper
+/// with the params window (cached in the scratch), FFT zero-padded to
+/// next_power_of_two(x.size()) and normalise per bin. `power` is resized to
+/// nfft/2+1. The caller owns segmentation: x IS the segment, whatever
+/// params.segment_length says. This is the building block the streaming
+/// segment cache memoizes — averaging k such vectors bin-wise in segment
+/// order and dividing by k reproduces welch_psd bit-for-bit (shared
+/// implementation, same accumulation order).
+void welch_segment_psd(std::span<const double> x, double fs_hz, const WelchParams& params,
+                       SpectralScratch& scratch, std::vector<double>& power);
+
 /// Integrated power in [f_lo, f_hi) via trapezoid-free bin summation
 /// (power * resolution for bins whose centre falls in the band).
 /// Throws if f_hi < f_lo.

@@ -17,11 +17,16 @@ std::array<double, kNumArFeatures> compute_ar_features(const ecg::RespirationSer
 
 void compute_ar_features(const ecg::RespirationSeries& edr, FeatureScratch& scratch,
                          std::span<double> f) {
+  compute_ar_features(edr.values, scratch, f);
+}
+
+void compute_ar_features(std::span<const double> edr_values, FeatureScratch& scratch,
+                         std::span<double> f) {
   SVT_ASSERT(f.size() == kNumArFeatures);
   std::fill(f.begin(), f.end(), 0.0);
-  if (edr.values.size() <= kArOrder + 1) return;
-  if (dsp::stddev_population(edr.values) <= 0.0) return;
-  dsp::ar_burg(edr.values, kArOrder, scratch.burg);
+  if (edr_values.size() <= kArOrder + 1) return;
+  if (dsp::stddev_population(edr_values) <= 0.0) return;
+  dsp::ar_burg(edr_values, kArOrder, scratch.burg);
   for (std::size_t i = 0; i < kNumArFeatures; ++i) f[i] = scratch.burg.a[i];
 }
 

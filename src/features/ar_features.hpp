@@ -22,8 +22,16 @@ std::array<double, kNumArFeatures> compute_ar_features(const ecg::RespirationSer
 
 /// Scratch variant: writes the kNumArFeatures values into `out` (out.size()
 /// must equal kNumArFeatures) with no heap allocation once the scratch is
-/// warm. Bit-identical to the allocating overload.
+/// warm. Bit-identical to the allocating overload (delegates to the span
+/// entry point below).
 void compute_ar_features(const ecg::RespirationSeries& edr, FeatureScratch& scratch,
+                         std::span<double> out);
+
+/// Span-based entry point (the EDR rate does not enter the AR model, so a
+/// raw value span suffices). THE implementation — both overloads above
+/// delegate here, so every path is bit-identical by construction. The
+/// streaming segment cache feeds its assembled window span through this.
+void compute_ar_features(std::span<const double> edr_values, FeatureScratch& scratch,
                          std::span<double> out);
 
 }  // namespace svt::features

@@ -17,10 +17,15 @@ std::array<double, kNumHrvFeatures> compute_hrv_features(const ecg::RrSeries& rr
 
 void compute_hrv_features(const ecg::RrSeries& rr, FeatureScratch& scratch,
                           std::span<double> f) {
+  compute_hrv_features(std::span<const double>(rr.rr_s), scratch, f);
+}
+
+void compute_hrv_features(std::span<const double> rr_s, FeatureScratch& scratch,
+                          std::span<double> f) {
   SVT_ASSERT(f.size() == kNumHrvFeatures);
   std::fill(f.begin(), f.end(), 0.0);
-  if (rr.size() < 4) return;
-  const std::span<const double> x(rr.rr_s);
+  if (rr_s.size() < 4) return;
+  const std::span<const double> x(rr_s);
 
   auto& hr = scratch.hr;
   hr.resize(x.size());

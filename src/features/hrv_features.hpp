@@ -26,8 +26,17 @@ std::array<double, kNumHrvFeatures> compute_hrv_features(const ecg::RrSeries& rr
 
 /// Scratch variant: writes the kNumHrvFeatures values into `out`
 /// (out.size() must equal kNumHrvFeatures) with no heap allocation once
-/// the scratch is warm. Bit-identical to the allocating overload.
+/// the scratch is warm. Bit-identical to the allocating overload (delegates
+/// to the span entry point below).
 void compute_hrv_features(const ecg::RrSeries& rr, FeatureScratch& scratch,
+                          std::span<double> out);
+
+/// Span-based entry point: only the interval values enter the features (the
+/// beat times in RrSeries are carried for plotting, not used here). THE
+/// implementation — both overloads above delegate here, so every path is
+/// bit-identical by construction. The streaming segment cache feeds its
+/// assembled per-window interval span through this.
+void compute_hrv_features(std::span<const double> rr_s, FeatureScratch& scratch,
                           std::span<double> out);
 
 }  // namespace svt::features

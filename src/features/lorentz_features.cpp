@@ -18,10 +18,15 @@ std::array<double, kNumLorentzFeatures> compute_lorentz_features(const ecg::RrSe
 
 void compute_lorentz_features(const ecg::RrSeries& rr, FeatureScratch& scratch,
                               std::span<double> f) {
+  compute_lorentz_features(std::span<const double>(rr.rr_s), scratch, f);
+}
+
+void compute_lorentz_features(std::span<const double> rr_s, FeatureScratch& scratch,
+                              std::span<double> f) {
   SVT_ASSERT(f.size() == kNumLorentzFeatures);
   std::fill(f.begin(), f.end(), 0.0);
-  if (rr.size() < 4) return;
-  const auto& x = rr.rr_s;
+  if (rr_s.size() < 4) return;
+  const auto& x = rr_s;
 
   // Rotate successive pairs by 45 degrees: u along the identity line,
   // v perpendicular to it. SD1 = std(v), SD2 = std(u).

@@ -30,8 +30,16 @@ std::array<double, kNumLorentzFeatures> compute_lorentz_features(const ecg::RrSe
 
 /// Scratch variant: writes the kNumLorentzFeatures values into `out`
 /// (out.size() must equal kNumLorentzFeatures) with no heap allocation once
-/// the scratch is warm. Bit-identical to the allocating overload.
+/// the scratch is warm. Bit-identical to the allocating overload (delegates
+/// to the span entry point below).
 void compute_lorentz_features(const ecg::RrSeries& rr, FeatureScratch& scratch,
+                              std::span<double> out);
+
+/// Span-based entry point: the plot geometry uses only the interval values.
+/// THE implementation — both overloads above delegate here, so every path
+/// is bit-identical by construction. The streaming segment cache feeds its
+/// assembled per-window interval span through this.
+void compute_lorentz_features(std::span<const double> rr_s, FeatureScratch& scratch,
                               std::span<double> out);
 
 }  // namespace svt::features

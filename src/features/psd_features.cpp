@@ -18,19 +18,27 @@ std::array<double, kNumPsdFeatures> compute_psd_features(const ecg::RespirationS
 
 void compute_psd_features(const ecg::RespirationSeries& edr, FeatureScratch& scratch,
                           std::span<double> f) {
+  compute_psd_features(edr.values, edr.fs_hz, scratch, f);
+}
+
+void compute_psd_features(std::span<const double> edr_values, double edr_fs_hz,
+                          FeatureScratch& scratch, std::span<double> f) {
   SVT_ASSERT(f.size() == kNumPsdFeatures);
   std::fill(f.begin(), f.end(), 0.0);
-  if (edr.values.size() < 32 || edr.fs_hz <= 0.0) return;
-  if (dsp::stddev_population(edr.values) <= 0.0) return;
+  if (edr_values.size() < 32 || edr_fs_hz <= 0.0) return;
+  if (dsp::stddev_population(edr_values) <= 0.0) return;
 
   dsp::WelchParams wp;
   wp.segment_length = 256;
   wp.overlap_fraction = 0.5;
-  dsp::welch_psd(edr.values, edr.fs_hz, wp, scratch.spectral, scratch.psd);
-  const auto& psd = scratch.psd;
+  dsp::welch_psd(edr_values, edr_fs_hz, wp, scratch.spectral, scratch.psd);
+  summarize_psd(scratch.psd, edr_fs_hz, f);
+}
 
+void summarize_psd(const dsp::PsdEstimate& psd, double edr_fs_hz, std::span<double> f) {
+  SVT_ASSERT(f.size() == kNumPsdFeatures);
   constexpr double kEps = 1e-12;
-  const double nyquist = edr.fs_hz / 2.0;
+  const double nyquist = edr_fs_hz / 2.0;
   const double band_width = nyquist / static_cast<double>(kNumPsdBands);
   for (std::size_t b = 0; b < kNumPsdBands; ++b) {
     const double lo = band_width * static_cast<double>(b);

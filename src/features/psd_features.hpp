@@ -28,8 +28,23 @@ std::array<double, kNumPsdFeatures> compute_psd_features(const ecg::RespirationS
 
 /// Scratch variant: writes the kNumPsdFeatures values into `out` (out.size()
 /// must equal kNumPsdFeatures) with no heap allocation once the scratch is
-/// warm. Bit-identical to the allocating overload.
+/// warm. Bit-identical to the allocating overload (delegates to the span
+/// entry point below).
 void compute_psd_features(const ecg::RespirationSeries& edr, FeatureScratch& scratch,
                           std::span<double> out);
+
+/// Span-based entry point: the EDR series as raw values + rate, no
+/// container required. THE implementation — both overloads above delegate
+/// here, so every path is bit-identical by construction. The streaming
+/// segment cache does not call this directly (it assembles the Welch PSD
+/// from memoized per-segment periodograms) but shares summarize_psd below.
+void compute_psd_features(std::span<const double> edr_values, double edr_fs_hz,
+                          FeatureScratch& scratch, std::span<double> out);
+
+/// The band-power / summary half of compute_psd_features: fills all
+/// kNumPsdFeatures values from an already-computed Welch PSD. Split out so
+/// the incremental feature pipeline can feed a PSD averaged from cached
+/// per-segment periodograms through the exact same summary arithmetic.
+void summarize_psd(const dsp::PsdEstimate& psd, double edr_fs_hz, std::span<double> out);
 
 }  // namespace svt::features

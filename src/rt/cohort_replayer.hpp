@@ -76,6 +76,10 @@ struct ReplayReport {
   std::size_t windows = 0;
   std::size_t dropped_chunks = 0;  ///< Dropped during this replay (kDropOldest).
   std::size_t skipped_records = 0;  ///< Records skipped (per-record skip_reason).
+  /// Segment-cache activity during this replay (delta over the engine's
+  /// counters, like dropped_chunks): how much per-stride feature work the
+  /// overlapping windows reused instead of recomputing.
+  features::SegmentCacheStats cache;
 };
 
 class CohortReplayer {

@@ -118,11 +118,22 @@ std::size_t ShardedStreamClassifier::route_for_push(int patient_id) {
 
 void ShardedStreamClassifier::push_samples(int patient_id,
                                            std::span<const double> samples_mv) {
+  const std::size_t shard = route_for_push(patient_id);
   Task task;
   task.patient_id = patient_id;
+  {
+    // Reuse a drained chunk's buffer (worker returns them after each round):
+    // the steady-state ingest path re-copies into the same cache-warm pages
+    // instead of allocating fresh cold ones.
+    Shard& home = *shards_[shard];
+    const std::lock_guard<std::mutex> lock(home.pool_mutex);
+    if (!home.sample_pool.empty()) {
+      task.samples = std::move(home.sample_pool.back());
+      home.sample_pool.pop_back();
+    }
+  }
   task.samples.assign(samples_mv.begin(), samples_mv.end());
   task.enqueued = std::chrono::steady_clock::now();
-  const std::size_t shard = route_for_push(patient_id);
   shards_[shard]->tasks.push(std::move(task));
 }
 
@@ -196,6 +207,12 @@ SchedulerStats ShardedStreamClassifier::scheduler_stats() const {
   for (const auto& shard : shards_) s.shed_chunks += shard->tasks.forced_dropped();
   s.deadline_level = static_cast<std::size_t>(deadline_level_.load());
   return s;
+}
+
+features::SegmentCacheStats ShardedStreamClassifier::cache_stats() const {
+  features::SegmentCacheStats total;
+  for (const auto& shard : shards_) total += shard->extractor.cache_stats();
+  return total;
 }
 
 EngineStats ShardedStreamClassifier::stats() const {
@@ -525,6 +542,14 @@ void ShardedStreamClassifier::worker_loop(std::size_t self, Shard& shard) {
     {
       const std::lock_guard<std::mutex> lock(route_mutex_);
       for (const Task& t : round) settle_patient_locked(t.patient_id);
+    }
+    {
+      // Hand the drained buffers back to the producers (see Shard::sample_pool).
+      const std::lock_guard<std::mutex> lock(shard.pool_mutex);
+      for (Task& t : round) {
+        if (shard.sample_pool.size() >= kSamplePoolCap) break;
+        if (t.samples.capacity() > 0) shard.sample_pool.push_back(std::move(t.samples));
+      }
     }
   }
 }

@@ -235,6 +235,14 @@ class ShardedStreamClassifier final : public Engine {
   /// deadline actions. Monotonic except deadline_level (current state).
   SchedulerStats scheduler_stats() const;
 
+  /// Aggregate segment-cache counters (hits / misses / evictions of the
+  /// incremental feature pipeline) summed over every shard's extractor.
+  /// All zeros when the stream configuration is not stride-aligned.
+  /// Quiescent read: fence with flush() first — the extractors are
+  /// worker-owned, and the fence is what orders their counters with this
+  /// call (same contract as an exact shard_of()).
+  features::SegmentCacheStats cache_stats() const;
+
   /// Uniform counters (rt::Engine).
   EngineStats stats() const override;
 
@@ -287,8 +295,22 @@ class ShardedStreamClassifier final : public Engine {
     mutable std::mutex latency_mutex;   ///< Guards the latency reservoir.
     std::vector<double> latencies_s;    ///< Most recent delivered batches.
     std::size_t latency_next = 0;       ///< Overwrite cursor once full.
+    /// Recycled Task sample buffers: the worker returns each drained chunk's
+    /// vector here and push_samples reuses it for the next chunk, so the
+    /// steady-state ingest path stops allocating (and, more importantly,
+    /// keeps re-copying into the same cache-warm pages instead of marching
+    /// through fresh cold memory — a measured ~20x per-chunk cost swing when
+    /// the queue is shallow). Leaf lock: never held with another lock.
+    std::mutex pool_mutex;
+    std::vector<std::vector<double>> sample_pool;
     std::thread worker;
   };
+  /// Buffers kept per shard; beyond this they are freed (bounds pool memory
+  /// to kSamplePoolCap x chunk size per shard). Sized to cover a bounded
+  /// queue's refill burst — a blocked producer wakes when the queue drains
+  /// to half of a typical capacity (<= 512), and every push in that burst
+  /// should find a recycled buffer rather than a cold allocation.
+  static constexpr std::size_t kSamplePoolCap = 64;
 
   /// One patient's routing state. `issued` counts per-patient tasks routed
   /// (data + end_stream + evict); `settled` counts those consumed by a

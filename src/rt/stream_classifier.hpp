@@ -79,6 +79,10 @@ class StreamClassifier final : public Engine {
   /// Windows rejected for having fewer than min_beats R peaks.
   std::size_t rejected_windows() const { return extractor_.rejected_windows(); }
 
+  /// Segment-cache counters of the incremental feature pipeline (all zeros
+  /// on non-stride-aligned configurations).
+  features::SegmentCacheStats cache_stats() const { return extractor_.cache_stats(); }
+
   /// Samples currently buffered for a patient (0 for unknown patients).
   std::size_t buffered_samples(int patient_id) const {
     return extractor_.buffered_samples(patient_id);

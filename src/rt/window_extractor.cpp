@@ -1,12 +1,17 @@
 #include "rt/window_extractor.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
 
 #include "dsp/resample.hpp"
 #include "dsp/statistics.hpp"
+#include "features/ar_features.hpp"
 #include "features/extractor.hpp"
+#include "features/hrv_features.hpp"
+#include "features/lorentz_features.hpp"
+#include "features/psd_features.hpp"
 
 namespace svt::rt {
 
@@ -26,6 +31,13 @@ WindowExtractor::WindowExtractor(StreamConfig config) : config_(config) {
   // allocate nothing until a lane is claimed, so the probe is cheap.
   const ecg::LaneQrsDetector probe(config.fs_hz);
   emission_lag_samples_ = static_cast<std::size_t>(probe.finality_lag());
+  // Stride-aligned configurations run the incremental (segment-cached)
+  // pipeline; others keep the legacy whole-window path. The layout is
+  // computed even with incremental=false so the parity reference runs the
+  // same chunked code with memoization off.
+  cache_layout_ = features::SegmentFeatureCache::plan(
+      config_.fs_hz, config_.edr_fs_hz, static_cast<std::int64_t>(stride_samples_),
+      static_cast<std::int64_t>(window_samples_));
 }
 
 std::size_t WindowExtractor::claim_pack() {
@@ -59,8 +71,11 @@ WindowExtractor::PatientState& WindowExtractor::find_or_create(int patient_id) {
   PatientState state;
   state.pack = pack_idx;
   state.lane = pack.detector.add_lane();
+  if (cache_layout_)
+    state.cache =
+        std::make_unique<features::SegmentFeatureCache>(*cache_layout_, config_.incremental);
   ++pack.active;
-  return patients_.emplace(patient_id, state).first->second;
+  return patients_.emplace(patient_id, std::move(state)).first->second;
 }
 
 std::optional<WindowExtractor::DetachedPatient> WindowExtractor::detach_patient(int patient_id) {
@@ -72,6 +87,7 @@ std::optional<WindowExtractor::DetachedPatient> WindowExtractor::detach_patient(
   out.lane = pack.detector.detach_lane(state.lane);
   out.pushed = state.pushed;
   out.consumed = state.consumed;
+  out.cache = std::move(state.cache);  // Stats travel with the entries.
   if (--pack.active == 0) {
     retired_vector_samples_ += pack.detector.vector_samples();
     retired_scalar_samples_ += pack.detector.scalar_samples();
@@ -91,11 +107,19 @@ void WindowExtractor::attach_patient(int patient_id, DetachedPatient&& detached)
   state.lane = pack.detector.attach_lane(std::move(detached.lane));
   state.pushed = detached.pushed;
   state.consumed = detached.consumed;
+  state.cache = std::move(detached.cache);
+  // A detached stream from a matching configuration carries its cache; be
+  // robust to one that does not (correctness never depends on warm entries).
+  if (cache_layout_ && !state.cache)
+    state.cache =
+        std::make_unique<features::SegmentFeatureCache>(*cache_layout_, config_.incremental);
+  if (!cache_layout_) state.cache.reset();
   ++pack.active;
-  patients_.emplace(patient_id, state);
+  patients_.emplace(patient_id, std::move(state));
 }
 
 void WindowExtractor::release_patient(PatientState& state) {
+  if (state.cache) retired_cache_stats_ += state.cache->stats();
   Pack& pack = *packs_[state.pack];
   pack.detector.remove_lane(state.lane);
   if (--pack.active == 0) {
@@ -155,11 +179,20 @@ void WindowExtractor::emit_ready_windows(int patient_id, PatientState& state,
   const auto window = static_cast<std::int64_t>(window_samples_);
   auto& detector = packs_[state.pack]->detector;
   while (frontier >= state.consumed + window) {
-    emit_window(patient_id, state, sink);
+    if (state.cache) {
+      emit_window_cached(patient_id, state, sink);
+    } else {
+      emit_window(patient_id, state, sink);
+    }
     // stride_factor_ > 1 is the deadline controller's degradation: windows
     // hop further apart, shedding the overlap work (and its results).
     state.consumed += static_cast<std::int64_t>(stride_samples_ * stride_factor_);
-    detector.drop_beats_before(state.lane, state.consumed);
+    // The chunked pipeline keeps one stride of left context behind the next
+    // window (a chunk at m interpolates from beats in [(m-1)*S, (m+1)*S)).
+    const std::int64_t retain =
+        state.cache ? state.consumed - static_cast<std::int64_t>(stride_samples_)
+                    : state.consumed;
+    detector.drop_beats_before(state.lane, retain);
   }
 }
 
@@ -209,6 +242,51 @@ void WindowExtractor::emit_window(int patient_id, PatientState& state, const Win
   sink(std::move(out));
 }
 
+void WindowExtractor::emit_window_cached(int patient_id, PatientState& state,
+                                         const WindowSink& sink) {
+  features::SegmentFeatureCache& cache = *state.cache;
+  const auto& layout = cache.layout();
+  const std::int64_t start = state.consumed;
+  const std::int64_t m0 = start / layout.stride_samples;
+
+  // Ensure every covered chunk's products (EDR values, RR slice, beat
+  // count), then assemble the window by concatenation — at 6x overlap five
+  // of the six chunks are already resident in steady state.
+  const auto& ring = packs_[state.pack]->detector.beats(state.lane);
+  for (std::int64_t j = 0; j < layout.chunks_per_window; ++j) cache.chunk(ring, m0 + j);
+  const auto view = cache.assemble_window(m0);
+  if (view.beats < config_.min_beats || view.beats < 2) {
+    ++rejected_;
+    return;
+  }
+
+  ExtractedWindow out;
+  out.patient_id = patient_id;
+  out.start_s = static_cast<double>(start) / config_.fs_hz;
+  out.num_beats = view.beats;
+  // Same feature order and gates as extract_features, but the time-domain
+  // groups run on the assembled spans and the PSD group is fed the average
+  // of the memoized per-segment periodograms instead of re-running Welch
+  // over the whole window.
+  std::span<double> f(out.raw_features);
+  std::size_t off = 0;
+  features::compute_hrv_features(view.rr, scratch_, f.subspan(off, features::kNumHrvFeatures));
+  off += features::kNumHrvFeatures;
+  features::compute_lorentz_features(view.rr, scratch_,
+                                     f.subspan(off, features::kNumLorentzFeatures));
+  off += features::kNumLorentzFeatures;
+  features::compute_ar_features(view.edr, scratch_, f.subspan(off, features::kNumArFeatures));
+  off += features::kNumArFeatures;
+  const auto psd_out = f.subspan(off, features::kNumPsdFeatures);
+  std::fill(psd_out.begin(), psd_out.end(), 0.0);
+  // compute_psd_features' gates, applied to the assembled window.
+  if (view.edr.size() >= 32 && dsp::stddev_population(view.edr) > 0.0) {
+    const dsp::PsdEstimate& psd = cache.window_psd(m0, scratch_.spectral);
+    features::summarize_psd(psd, config_.edr_fs_hz, psd_out);
+  }
+  sink(std::move(out));
+}
+
 bool WindowExtractor::end_patient(int patient_id, const WindowSink& sink) {
   const auto it = patients_.find(patient_id);
   if (it == patients_.end()) return false;
@@ -247,6 +325,13 @@ std::uint64_t WindowExtractor::lane_scalar_samples() const {
   std::uint64_t total = retired_scalar_samples_;
   for (const auto& pack : packs_)
     if (pack) total += pack->detector.scalar_samples();
+  return total;
+}
+
+features::SegmentCacheStats WindowExtractor::cache_stats() const {
+  features::SegmentCacheStats total = retired_cache_stats_;
+  for (const auto& [id, state] : patients_)
+    if (state.cache) total += state.cache->stats();
   return total;
 }
 

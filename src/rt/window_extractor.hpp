@@ -58,6 +58,7 @@
 #include "ecg/lane_qrs.hpp"
 #include "features/feature_scratch.hpp"
 #include "features/feature_types.hpp"
+#include "features/segment_cache.hpp"
 
 namespace svt::rt {
 
@@ -69,6 +70,13 @@ struct StreamConfig {
   /// Windows with fewer beats than this are rejected (counted, not
   /// emitted): too few beats to rebuild the RR/EDR series.
   std::size_t min_beats = 4;
+  /// Memoize per-stride feature intermediates (RR slices, EDR chunks, Welch
+  /// segment periodograms) when the configuration is stride-aligned, so
+  /// overlapping windows stop recomputing their shared samples. false runs
+  /// the identical chunked pipeline but rebuilds every product per window —
+  /// the parity reference (bit-identical output, none of the speedup).
+  /// Non-aligned configurations use the legacy whole-window path either way.
+  bool incremental = true;
 };
 
 /// One fully extracted (but not yet classified) analysis window.
@@ -135,6 +143,12 @@ class WindowExtractor {
     ecg::LaneQrsDetector::DetachedLane lane;
     std::int64_t pushed = 0;
     std::int64_t consumed = 0;
+    /// Memoized stride intermediates travel with the stream (null on
+    /// non-aligned configurations). Dropping it would still be correct —
+    /// every entry is a pure function of the final beat stream — but
+    /// carrying it keeps the destination shard's hit rate warm and its
+    /// counters coherent.
+    std::unique_ptr<features::SegmentFeatureCache> cache;
   };
 
   /// Export a patient's stream state and drop the patient from this
@@ -160,6 +174,15 @@ class WindowExtractor {
 
   /// Windows rejected for having fewer than min_beats R peaks.
   std::size_t rejected_windows() const { return rejected_; }
+
+  /// Whether streams here run the incremental (segment-cached) feature
+  /// pipeline: config.incremental and a stride-aligned configuration.
+  bool incremental_active() const { return cache_layout_.has_value() && config_.incremental; }
+
+  /// Aggregate segment-cache counters over live and retired patients
+  /// (detached patients carry theirs to the destination extractor). All
+  /// zeros when the legacy whole-window path is active.
+  features::SegmentCacheStats cache_stats() const;
 
   /// Samples accumulated toward a patient's next window (0 for unknown
   /// patients): samples pushed minus samples consumed by emitted windows.
@@ -202,6 +225,9 @@ class WindowExtractor {
     std::size_t lane = 0;       ///< Lane slot within the pack.
     std::int64_t pushed = 0;    ///< Samples ingested so far.
     std::int64_t consumed = 0;  ///< Next window start (samples).
+    /// Per-patient stride intermediates (null on the legacy path). Bounded:
+    /// one window of chunk entries + one window of segment periodograms.
+    std::unique_ptr<features::SegmentFeatureCache> cache;
   };
 
   PatientState& find_or_create(int patient_id);
@@ -210,6 +236,7 @@ class WindowExtractor {
   void emit_ready_windows(int patient_id, PatientState& state, std::int64_t frontier,
                           const WindowSink& sink);
   void emit_window(int patient_id, PatientState& state, const WindowSink& sink);
+  void emit_window_cached(int patient_id, PatientState& state, const WindowSink& sink);
 
   StreamConfig config_;
   std::size_t window_samples_ = 0;
@@ -221,6 +248,10 @@ class WindowExtractor {
   std::size_t stride_factor_ = 1;  ///< Deadline-mode hop multiplier.
   std::uint64_t retired_vector_samples_ = 0;  ///< From released packs.
   std::uint64_t retired_scalar_samples_ = 0;
+  /// Segment-cache geometry when the configuration is stride-aligned;
+  /// nullopt selects the legacy whole-window emit path.
+  std::optional<features::SegmentFeatureCache::Layout> cache_layout_;
+  features::SegmentCacheStats retired_cache_stats_;  ///< From erased/ended patients.
 
   // Per-extractor scratch (extractors are single-threaded): reused across
   // every patient and window, so steady-state emission never allocates.

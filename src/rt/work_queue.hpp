@@ -162,6 +162,7 @@ class WorkQueue {
   /// and drained (returns nullopt).
   std::optional<T> wait_pop() {
     std::optional<T> item;
+    bool wake = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       pop_cv_.wait(lock, [this] { return !items_.empty() || closed_; });
@@ -169,8 +170,9 @@ class WorkQueue {
       if (!items_.front().control) --data_count_;
       item = std::move(items_.front().item);
       items_.pop_front();
+      wake = space_wake_due_locked();
     }
-    space_cv_.notify_one();
+    if (wake) space_cv_.notify_all();
     return item;
   }
 
@@ -182,6 +184,7 @@ class WorkQueue {
   std::optional<T> wait_pop_for(std::chrono::milliseconds timeout, bool& timed_out) {
     timed_out = false;
     std::optional<T> item;
+    bool wake = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       if (!pop_cv_.wait_for(lock, timeout, [this] { return !items_.empty() || closed_; })) {
@@ -192,8 +195,9 @@ class WorkQueue {
       if (!items_.front().control) --data_count_;
       item = std::move(items_.front().item);
       items_.pop_front();
+      wake = space_wake_due_locked();
     }
-    space_cv_.notify_one();
+    if (wake) space_cv_.notify_all();
     return item;
   }
 
@@ -203,14 +207,16 @@ class WorkQueue {
   /// wait_pop, e.g. the network writer batching queued frames into one send.
   std::optional<T> try_pop() {
     std::optional<T> item;
+    bool wake = false;
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (items_.empty()) return std::nullopt;
       if (!items_.front().control) --data_count_;
       item = std::move(items_.front().item);
       items_.pop_front();
+      wake = space_wake_due_locked();
     }
-    space_cv_.notify_one();
+    if (wake) space_cv_.notify_all();
     return item;
   }
 
@@ -314,6 +320,17 @@ class WorkQueue {
     T item;
     bool control = false;
   };
+
+  /// Low-water producer wake (called under mutex_ after a pop). Waking a
+  /// capacity-blocked producer on EVERY freed slot ping-pongs two context
+  /// switches per chunk: the producer refills the one slot and blocks
+  /// again. Waking only once the queue has drained to half capacity lets
+  /// each wake buy a capacity/2-chunk push burst. Liveness: the consumer
+  /// keeps popping while items remain, so a drain that leaves producers
+  /// asleep always continues down to the low-water mark (empty is below
+  /// every mark); close(), set_forced_drop() and extract_matching() still
+  /// wake unconditionally. Unbounded queues never have space waiters.
+  bool space_wake_due_locked() const { return capacity_ > 0 && data_count_ <= capacity_ / 2; }
 
   const std::size_t capacity_;
   const BackpressurePolicy policy_;

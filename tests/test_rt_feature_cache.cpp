@@ -1,0 +1,444 @@
+// SegmentFeatureCache and the incremental (segment-cached) feature
+// pipeline: bit-exact parity with the memoization-disabled reference —
+// which runs the identical chunked code but rebuilds every product per
+// window — across strides, overlaps, chunkings, eviction (deadline stride
+// widening) and migration; plus hand-computed chunk semantics and the
+// sharded engine at 1/2/4 workers against the single-threaded oracle.
+//
+// EXPECT_EQ on doubles throughout: the cache must change WHERE values are
+// computed, never the values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "core/tailoring.hpp"
+#include "dsp/spectral.hpp"
+#include "ecg/dataset.hpp"
+#include "ecg/ecg_synth.hpp"
+#include "ecg/streaming_qrs.hpp"
+#include "features/extractor.hpp"
+#include "features/segment_cache.hpp"
+#include "rt/sharded_classifier.hpp"
+#include "rt/stream_classifier.hpp"
+#include "rt/window_extractor.hpp"
+
+namespace svt {
+namespace {
+
+using features::SegmentFeatureCache;
+
+ecg::EcgWaveform synth_ecg(double duration_s, std::uint64_t seed) {
+  ecg::PatientProfile patient;
+  ecg::SessionEvents events;
+  ecg::SessionSignalParams sp;
+  sp.duration_s = duration_s;
+  std::mt19937_64 rng(seed);
+  const auto rr = ecg::generate_rr_series(patient, events, sp, rng);
+  const auto resp = ecg::generate_respiration(patient, events, sp, rng);
+  return ecg::synthesize_ecg(rr, resp, ecg::EcgSynthParams{}, rng);
+}
+
+/// Run one patient through an extractor in fixed-size chunks, ending the
+/// stream so held-back tail windows emit too.
+std::vector<rt::ExtractedWindow> run_stream(const rt::StreamConfig& config,
+                                            const ecg::EcgWaveform& wf, std::size_t chunk) {
+  rt::WindowExtractor extractor(config);
+  std::vector<rt::ExtractedWindow> windows;
+  const auto sink = [&windows](rt::ExtractedWindow&& w) { windows.push_back(w); };
+  std::span<const double> rest(wf.samples_mv);
+  while (!rest.empty()) {
+    const std::size_t n = std::min(chunk, rest.size());
+    extractor.push_samples(1, rest.first(n), sink);
+    rest = rest.subspan(n);
+  }
+  extractor.end_patient(1, sink);
+  return windows;
+}
+
+void expect_windows_equal(const std::vector<rt::ExtractedWindow>& got,
+                          const std::vector<rt::ExtractedWindow>& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t w = 0; w < want.size(); ++w) {
+    EXPECT_EQ(got[w].start_s, want[w].start_s) << what << " window " << w;
+    EXPECT_EQ(got[w].num_beats, want[w].num_beats) << what << " window " << w;
+    for (std::size_t j = 0; j < want[w].raw_features.size(); ++j)
+      EXPECT_EQ(got[w].raw_features[j], want[w].raw_features[j])
+          << what << " window " << w << " feature " << j;
+  }
+}
+
+// --- Layout planning ---------------------------------------------------------
+
+TEST(SegmentCacheLayout, PaperConfigGeometry) {
+  // 180 s window / 30 s stride at 250 Hz, 4 Hz EDR: 6 chunks of 120 grid
+  // points, Welch segments of 2 chunks (240 <= welch_psd's 256 default),
+  // 5 segments per window.
+  const auto layout = SegmentFeatureCache::plan(250.0, 4.0, 7500, 45000);
+  ASSERT_TRUE(layout.has_value());
+  EXPECT_EQ(layout->chunk_len, 120);
+  EXPECT_EQ(layout->chunks_per_window, 6);
+  EXPECT_EQ(layout->seg_chunks, 2);
+  EXPECT_EQ(layout->num_segments, 5);
+  EXPECT_EQ(layout->window_edr_len(), 720);
+  EXPECT_EQ(layout->welch_segment_len(), 240);
+}
+
+TEST(SegmentCacheLayout, RejectsNonAlignedConfigurations) {
+  // Fractional EDR points per stride (2525 * 4 / 250 = 40.4).
+  EXPECT_FALSE(SegmentFeatureCache::plan(250.0, 4.0, 2525, 5000).has_value());
+  // Window not an integral number of strides.
+  EXPECT_FALSE(SegmentFeatureCache::plan(250.0, 4.0, 7500, 46000).has_value());
+  // Degenerate inputs.
+  EXPECT_FALSE(SegmentFeatureCache::plan(0.0, 4.0, 7500, 45000).has_value());
+  EXPECT_FALSE(SegmentFeatureCache::plan(250.0, 4.0, 0, 45000).has_value());
+}
+
+// --- Hand-computed chunk semantics -------------------------------------------
+
+TEST(SegmentFeatureCache, ChunkProductsMatchHandComputation) {
+  // fs 10 Hz, EDR 1 Hz, stride 20 samples (2 s), window 60 samples: chunks
+  // of 2 grid points at local times 0 s and 1 s.
+  const auto layout = SegmentFeatureCache::plan(10.0, 1.0, 20, 60);
+  ASSERT_TRUE(layout.has_value());
+  ASSERT_EQ(layout->chunk_len, 2);
+  SegmentFeatureCache cache(*layout, /*memoize=*/true);
+
+  ecg::BeatRing ring;
+  ring.push_back({5, 1.0});   // Chunk 0, local t = 0.5 s.
+  ring.push_back({12, 2.0});  // Chunk 0, local t = 1.2 s.
+  ring.push_back({25, 4.0});  // Chunk 1, local t = 0.5 s.
+  ring.push_back({48, 8.0});  // Chunk 2, local t = 0.8 s.
+
+  const auto& c0 = cache.chunk(ring, 0);
+  EXPECT_FALSE(c0.empty);
+  EXPECT_EQ(c0.beats, 2u);
+  // Grid t=0 clamps to the first beat (t_front 0.5); t=1 interpolates
+  // between the beats at 0.5 s and 1.2 s.
+  ASSERT_EQ(c0.edr.size(), 2u);
+  EXPECT_EQ(c0.edr[0], 1.0);
+  {
+    const double frac = (1.0 - 0.5) / (1.2 - 0.5);
+    EXPECT_EQ(c0.edr[1], 1.0 * (1.0 - frac) + 2.0 * frac);
+  }
+  // One interval: it ends at beat 12 (in-chunk); beat 5 opens no interval.
+  ASSERT_EQ(c0.rr.size(), 1u);
+  EXPECT_EQ(c0.rr[0], static_cast<double>(12 - 5) / 10.0);
+  EXPECT_EQ(c0.rr_from[0], 5);
+
+  const auto& c1 = cache.chunk(ring, 1);
+  EXPECT_EQ(c1.beats, 1u);
+  // Context beats at local -1.5 s and -0.8 s, in-chunk beat at 0.5 s:
+  // t=0 interpolates across the chunk boundary, t=1 holds the last beat.
+  {
+    const double frac = (0.0 - (-0.8)) / (0.5 - (-0.8));
+    EXPECT_EQ(c1.edr[0], 2.0 * (1.0 - frac) + 4.0 * frac);
+  }
+  EXPECT_EQ(c1.edr[1], 4.0);  // Causal tail hold: the next beat is unseen.
+  ASSERT_EQ(c1.rr.size(), 1u);
+  EXPECT_EQ(c1.rr[0], static_cast<double>(25 - 12) / 10.0);
+
+  const auto& c2 = cache.chunk(ring, 2);
+  EXPECT_EQ(c2.beats, 1u);
+  {
+    const double frac = (0.0 - (-1.5)) / (0.8 - (-1.5));
+    EXPECT_EQ(c2.edr[0], 4.0 * (1.0 - frac) + 8.0 * frac);
+  }
+  EXPECT_EQ(c2.edr[1], 8.0);
+
+  // Window assembly concatenates the chunk RR slices (all openers are
+  // inside the window here) and counts in-window beats.
+  const auto view = cache.assemble_window(0);
+  EXPECT_EQ(view.beats, 4u);
+  ASSERT_EQ(view.rr.size(), 3u);
+  EXPECT_EQ(view.rr[0], 0.7);
+  EXPECT_EQ(view.rr[1], 1.3);
+  EXPECT_EQ(view.rr[2], 2.3);
+  ASSERT_EQ(view.edr.size(), 6u);
+  EXPECT_EQ(view.edr[0], c0.edr[0]);
+  EXPECT_EQ(view.edr[5], c2.edr[1]);
+
+  // Second access is a pure hit.
+  const auto before = cache.stats();
+  cache.chunk(ring, 1);
+  EXPECT_EQ(cache.stats().hits, before.hits + 1);
+  EXPECT_EQ(cache.stats().misses, before.misses);
+}
+
+TEST(SegmentFeatureCache, EmptyChunkIsHeldFromPrecedingChunk) {
+  const auto layout = SegmentFeatureCache::plan(10.0, 1.0, 20, 60);
+  ASSERT_TRUE(layout.has_value());
+  SegmentFeatureCache cache(*layout, /*memoize=*/true);
+
+  ecg::BeatRing ring;
+  ring.push_back({5, 1.0});
+  ring.push_back({12, 2.0});
+  // No beat anywhere in chunk 2's horizon [20, 60).
+  cache.chunk(ring, 0);
+  const auto& c1 = cache.chunk(ring, 1);
+  const auto& c2 = cache.chunk(ring, 2);
+  // Chunk 1 sees only context beats (local -1.5 s, -0.8 s): both grid
+  // points are past the last beat, so the whole chunk holds its amplitude.
+  EXPECT_FALSE(c1.empty);
+  EXPECT_EQ(c1.beats, 0u);
+  EXPECT_EQ(c1.edr[0], 2.0);
+  EXPECT_EQ(c1.edr[1], 2.0);
+  EXPECT_TRUE(c2.empty);
+  EXPECT_EQ(c2.beats, 0u);
+
+  // Assembly fills the empty chunk by holding chunk 1's tail.
+  const auto view = cache.assemble_window(0);
+  ASSERT_EQ(view.edr.size(), 6u);
+  EXPECT_EQ(view.edr[4], 2.0);
+  EXPECT_EQ(view.edr[5], 2.0);
+}
+
+// --- Extractor-level parity: cached vs memoization-off -----------------------
+
+struct ParityConfig {
+  const char* name;
+  rt::StreamConfig stream;
+  double duration_s;
+  std::size_t chunk_a, chunk_b;  ///< Different chunkings for the two runs.
+};
+
+std::vector<ParityConfig> parity_configs() {
+  std::vector<ParityConfig> configs;
+  {  // Paper configuration: 6x overlap, 2-chunk Welch segments.
+    rt::StreamConfig c;
+    c.window_s = 180.0;
+    c.stride_s = 30.0;
+    configs.push_back({"paper 180/30", c, 480.0, 3001, 997});
+  }
+  {  // 6x overlap with 3-chunk Welch segments (EDR at 8 Hz).
+    rt::StreamConfig c;
+    c.window_s = 60.0;
+    c.stride_s = 10.0;
+    c.edr_fs_hz = 8.0;
+    configs.push_back({"60/10 edr8", c, 150.0, 1250, 777});
+  }
+  {  // 2x overlap, single Welch segment per window.
+    rt::StreamConfig c;
+    c.window_s = 20.0;
+    c.stride_s = 10.0;
+    configs.push_back({"20/10", c, 95.0, 555, 2500});
+  }
+  return configs;
+}
+
+TEST(IncrementalPipeline, CachedBitIdenticalToMemoizeOffAcrossConfigs) {
+  for (const auto& pc : parity_configs()) {
+    const auto wf = synth_ecg(pc.duration_s, 71);
+    auto cached_config = pc.stream;
+    cached_config.fs_hz = wf.fs_hz;
+    cached_config.incremental = true;
+    auto off_config = cached_config;
+    off_config.incremental = false;
+    ASSERT_TRUE(rt::WindowExtractor(cached_config).incremental_active()) << pc.name;
+
+    const auto want = run_stream(off_config, wf, pc.chunk_b);
+    const auto got = run_stream(cached_config, wf, pc.chunk_a);
+    ASSERT_GT(want.size(), 3u) << pc.name;
+    expect_windows_equal(got, want, pc.name);
+  }
+}
+
+TEST(IncrementalPipeline, ChunkingDoesNotChangeCachedWindows) {
+  const auto wf = synth_ecg(150.0, 83);
+  rt::StreamConfig config;
+  config.fs_hz = wf.fs_hz;
+  config.window_s = 60.0;
+  config.stride_s = 10.0;
+  const auto whole = run_stream(config, wf, wf.samples_mv.size());
+  for (const std::size_t chunk : {std::size_t{250}, std::size_t{997}, std::size_t{10000}}) {
+    const auto chunked = run_stream(config, wf, chunk);
+    expect_windows_equal(chunked, whole, "chunking");
+  }
+}
+
+TEST(IncrementalPipeline, CacheStatsReflectOverlapReuse) {
+  const auto wf = synth_ecg(480.0, 29);
+  rt::StreamConfig config;
+  config.fs_hz = wf.fs_hz;
+  config.window_s = 180.0;
+  config.stride_s = 30.0;
+  rt::WindowExtractor extractor(config);
+  std::size_t windows = 0;
+  std::span<const double> rest(wf.samples_mv);
+  while (!rest.empty()) {
+    const std::size_t n = std::min<std::size_t>(2500, rest.size());
+    extractor.push_samples(1, rest.first(n), [&windows](rt::ExtractedWindow&&) { ++windows; });
+    rest = rest.subspan(n);
+  }
+  ASSERT_GT(windows, 8u);
+  const auto stats = extractor.cache_stats();
+  // Steady state: 5 of 6 chunks and 4 of 5 Welch segments hit per window.
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.evictions, 0u);  // Entries age out as the stride advances.
+  EXPECT_GT(stats.hit_rate(), 0.7);
+
+  // Retired stats survive the patient: erase and check the accumulator.
+  ASSERT_TRUE(extractor.erase_patient(1));
+  EXPECT_EQ(extractor.cache_stats().hits, stats.hits);
+  EXPECT_EQ(extractor.cache_stats().misses, stats.misses);
+}
+
+TEST(IncrementalPipeline, DeadlineStrideWideningStaysBitIdentical) {
+  // Stride widening (deadline degradation) skips chunks and forces
+  // evictions/rebuilds; the cached and memoize-off paths must still agree.
+  const auto wf = synth_ecg(300.0, 57);
+  rt::StreamConfig base;
+  base.fs_hz = wf.fs_hz;
+  base.window_s = 60.0;
+  base.stride_s = 10.0;
+
+  const auto run = [&wf](const rt::StreamConfig& config) {
+    rt::WindowExtractor extractor(config);
+    std::vector<rt::ExtractedWindow> windows;
+    const auto sink = [&windows](rt::ExtractedWindow&& w) { windows.push_back(w); };
+    std::span<const double> rest(wf.samples_mv);
+    std::size_t pushed = 0;
+    while (!rest.empty()) {
+      const std::size_t n = std::min<std::size_t>(1999, rest.size());
+      extractor.push_samples(1, rest.first(n), sink);
+      rest = rest.subspan(n);
+      pushed += n;
+      // Same degradation schedule for both runs, keyed on stream position.
+      if (pushed >= 30000 && pushed < 45000) {
+        extractor.set_stride_factor(3);
+      } else {
+        extractor.set_stride_factor(1);
+      }
+    }
+    extractor.end_patient(1, sink);
+    return std::make_pair(windows, extractor.cache_stats());
+  };
+
+  auto cached_config = base;
+  auto off_config = base;
+  off_config.incremental = false;
+  const auto [got, got_stats] = run(cached_config);
+  const auto [want, want_stats] = run(off_config);
+  ASSERT_GT(want.size(), 5u);
+  expect_windows_equal(got, want, "stride widening");
+  EXPECT_GT(got_stats.hits, 0u);
+  EXPECT_EQ(want_stats.hits, 0u);  // Memoize-off counts every build as a miss.
+}
+
+// --- Migration ---------------------------------------------------------------
+
+TEST(IncrementalPipeline, DetachCarriesCacheAndStaysBitIdentical) {
+  const auto wf = synth_ecg(240.0, 91);
+  rt::StreamConfig config;
+  config.fs_hz = wf.fs_hz;
+  config.window_s = 60.0;
+  config.stride_s = 10.0;
+  const auto want = run_stream(config, wf, 1777);
+
+  rt::WindowExtractor src(config), dst(config);
+  std::vector<rt::ExtractedWindow> windows;
+  const auto sink = [&windows](rt::ExtractedWindow&& w) { windows.push_back(w); };
+  // Mid-window split point (not a stride multiple): 100.3 s of 240 s.
+  const std::size_t split = 25075;
+  std::span<const double> rest(wf.samples_mv);
+  std::size_t pushed = 0;
+  rt::WindowExtractor* owner = &src;
+  while (!rest.empty()) {
+    const std::size_t n = std::min<std::size_t>(1777, rest.size());
+    owner->push_samples(1, rest.first(n), sink);
+    rest = rest.subspan(n);
+    pushed += n;
+    if (owner == &src && pushed >= split) {
+      auto detached = src.detach_patient(1);
+      ASSERT_TRUE(detached.has_value());
+      EXPECT_NE(detached->cache, nullptr);  // The cache migrates with the stream.
+      const auto carried = detached->cache->stats();
+      EXPECT_GT(carried.hits, 0u);
+      dst.attach_patient(1, std::move(*detached));
+      owner = &dst;
+      // Counters continue on the destination.
+      EXPECT_EQ(dst.cache_stats().hits, carried.hits);
+    }
+  }
+  dst.end_patient(1, sink);
+  EXPECT_EQ(src.num_patients(), 0u);
+  expect_windows_equal(windows, want, "migration");
+}
+
+// --- Sharded engine at 1/2/4 workers -----------------------------------------
+
+const core::TailoredDetector& shared_detector() {
+  static const core::TailoredDetector d = [] {
+    ecg::DatasetParams params;
+    params.windows_per_session = 10;
+    const auto ds = ecg::generate_dataset(params);
+    const auto matrix = features::extract_feature_matrix(ds);
+    core::TailoringConfig config;
+    config.num_features = 30;
+    config.sv_budget = 60;
+    return core::tailor_detector(matrix.samples, matrix.labels, config);
+  }();
+  return d;
+}
+
+std::map<int, std::vector<rt::WindowResult>> by_patient(
+    const std::vector<rt::WindowResult>& results) {
+  std::map<int, std::vector<rt::WindowResult>> split;
+  for (const auto& r : results) split[r.patient_id].push_back(r);
+  return split;
+}
+
+TEST(IncrementalPipeline, ShardedEngineMatchesOracleAcrossWorkerCounts) {
+  rt::StreamConfig config;
+  config.window_s = 20.0;
+  config.stride_s = 10.0;  // Stride-aligned: the cached pipeline engages.
+  std::map<int, ecg::EcgWaveform> ward;
+  int seed = 60;
+  for (int pid : {1, 2, 3, 7, 11})
+    ward[pid] = synth_ecg(55.0, static_cast<std::uint64_t>(seed++));
+
+  rt::StreamClassifier reference(shared_detector(), config);
+  for (const auto& [pid, wf] : ward) reference.push_samples(pid, wf.samples_mv);
+  const auto want = by_patient(reference.flush());
+  ASSERT_FALSE(want.empty());
+  EXPECT_GT(reference.cache_stats().hit_rate(), 0.0);
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    rt::ShardedStreamClassifier sharded(shared_detector(), config, workers);
+    std::map<int, std::size_t> offsets;
+    bool any_left = true;
+    while (any_left) {  // Interleaved chunks across the ward.
+      any_left = false;
+      for (const auto& [pid, wf] : ward) {
+        std::size_t& off = offsets[pid];
+        if (off >= wf.samples_mv.size()) continue;
+        const std::size_t n = std::min<std::size_t>(1250, wf.samples_mv.size() - off);
+        sharded.push_samples(pid, std::span(wf.samples_mv).subspan(off, n));
+        off += n;
+        if (off < wf.samples_mv.size()) any_left = true;
+      }
+    }
+    const auto got = by_patient(sharded.flush());
+    offsets.clear();
+    ASSERT_EQ(got.size(), want.size()) << workers << " workers";
+    for (const auto& [pid, mine] : got) {
+      const auto& theirs = want.at(pid);
+      ASSERT_EQ(mine.size(), theirs.size()) << workers << " workers, patient " << pid;
+      for (std::size_t w = 0; w < mine.size(); ++w) {
+        EXPECT_EQ(mine[w].start_s, theirs[w].start_s);
+        EXPECT_EQ(mine[w].decision_value, theirs[w].decision_value);
+        EXPECT_EQ(mine[w].label, theirs[w].label);
+      }
+    }
+    // Quiescent after flush(): the fence orders the workers' counters.
+    const auto stats = sharded.cache_stats();
+    EXPECT_GT(stats.hits + stats.misses, 0u) << workers << " workers";
+    EXPECT_GT(stats.hit_rate(), 0.0) << workers << " workers";
+  }
+}
+
+}  // namespace
+}  // namespace svt

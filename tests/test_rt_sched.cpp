@@ -302,6 +302,61 @@ TEST(WardScheduler, ForcedMigrationChurnIsBitExact) {
   }
 }
 
+// Cache-carrying migration: the incremental feature pipeline's segment
+// cache (20/10 is stride-aligned, so it is active here) must migrate WITH
+// the patient. Every cached product is a deterministic function of the beat
+// stream and the request sequence is fixed per emitted window, so the
+// engine's hit/miss/eviction counters must EQUAL the single-threaded
+// oracle's under any churn schedule — a dropped or rebuilt-from-cold cache
+// would show up as extra misses, a stale one as wrong windows (checked
+// bit-exactly too).
+TEST(WardScheduler, MigrationCarriesSegmentCacheCoherently) {
+  const int hot = 3;
+  const auto ward = make_skewed_ward(hot);
+
+  rt::StreamClassifier oracle(detector(), short_window_config());
+  for (const auto& [pid, wf] : ward) oracle.push_samples(pid, wf.samples_mv);
+  for (const auto& [pid, wf] : ward) oracle.end_stream(pid);
+  std::map<int, std::vector<rt::WindowResult>> want;
+  for (const auto& r : oracle.flush()) want[r.patient_id].push_back(r);
+  const auto want_stats = oracle.cache_stats();
+  ASSERT_GT(want_stats.hits, 0u);
+  ASSERT_FALSE(want.empty());
+
+  for (std::size_t workers : {std::size_t{2}, std::size_t{4}}) {
+    Collector collector;
+    rt::EngineOptions options;
+    options.num_workers = workers;
+    options.sink = collector.sink();
+    rt::ShardedStreamClassifier engine(detector(), short_window_config(), std::move(options));
+
+    std::map<int, std::size_t> offsets;
+    std::size_t round = 0;
+    bool any_left = true;
+    while (any_left) {  // Steal mid-ward under churn: re-home every round.
+      any_left = false;
+      for (const auto& [pid, wf] : ward) {
+        std::size_t& off = offsets[pid];
+        if (off >= wf.samples_mv.size()) continue;
+        const std::size_t n = std::min<std::size_t>(733, wf.samples_mv.size() - off);
+        engine.push_samples(pid, std::span(wf.samples_mv).subspan(off, n));
+        off += n;
+        if (off < wf.samples_mv.size()) any_left = true;
+      }
+      engine.rebalance_patient(hot, round++ % workers);
+    }
+    for (const auto& [pid, wf] : ward) EXPECT_TRUE(engine.end_stream(pid));
+    EXPECT_TRUE(engine.flush().empty());
+    EXPECT_GT(engine.scheduler_stats().migrations, 0u) << workers << " workers";
+
+    expect_bit_identical(collector.per_patient, want, "cache-carrying churn");
+    const auto stats = engine.cache_stats();  // Quiescent: flushed above.
+    EXPECT_EQ(stats.hits, want_stats.hits) << workers << " workers";
+    EXPECT_EQ(stats.misses, want_stats.misses) << workers << " workers";
+    EXPECT_EQ(stats.evictions, want_stats.evictions) << workers << " workers";
+  }
+}
+
 // Natural stealing: every patient hashes to shard 0 of 2, so the second
 // worker sits idle unless it steals. It must steal (migrations > 0) and the
 // decision stream must stay bit-identical.

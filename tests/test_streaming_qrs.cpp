@@ -7,6 +7,11 @@
 // the whole record — NOT to the seed extractor's per-window re-detection,
 // whose window-local threshold re-learning the incremental engine
 // deliberately abandons (see docs/runtime.md, "Semantics change").
+//
+// The batch-reference tests below use a stride that is NOT aligned to the
+// EDR grid, pinning the legacy whole-window emit path. Stride-aligned
+// configurations run the incremental segment-cached pipeline, whose own
+// semantics and parity oracle live in tests/test_rt_feature_cache.cpp.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -181,7 +186,10 @@ TEST(WindowExtractor, WindowsBitIdenticalToBatchReference) {
   rt::StreamConfig config;
   config.fs_hz = wf.fs_hz;
   config.window_s = 20.0;
-  config.stride_s = 10.0;
+  // 10.1 s = 2525 samples: the EDR grid advances 40.4 points per stride, so
+  // the incremental pipeline disengages and this pins the legacy path.
+  config.stride_s = 10.1;
+  ASSERT_FALSE(rt::WindowExtractor(config).incremental_active());
 
   // Continuous reference beats: the streaming detector over the whole
   // record (bit-exact vs batch detect_qrs by the tests above), no windowing.
@@ -276,15 +284,16 @@ TEST(WindowExtractor, EndPatientEmitsHeldBackTailWindows) {
   // Trim a record so its last window ends exactly at the final sample: the
   // live path must hold that window back (finality lag), and end_patient
   // must emit it with beats matching a finished full-record reference.
-  const auto full = synth_ecg(70.0, 51);
+  const auto full = synth_ecg(75.0, 51);
   rt::StreamConfig config;
   config.fs_hz = full.fs_hz;
   config.window_s = 20.0;
-  config.stride_s = 10.0;
+  config.stride_s = 10.1;  // Unaligned: legacy path (see file comment).
   rt::WindowExtractor extractor(config);
+  ASSERT_FALSE(extractor.incremental_active());
   const std::size_t window = extractor.window_samples();
   const std::size_t stride = extractor.stride_samples();
-  const std::size_t total = window + 5 * stride;  // Windows at 0..50 s, ends at 70 s.
+  const std::size_t total = window + 5 * stride;  // 6 windows; the last ends at the final sample.
   ASSERT_LE(total, full.samples_mv.size());
   const std::span<const double> record(full.samples_mv.data(), total);
 

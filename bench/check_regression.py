@@ -101,6 +101,20 @@ SCHED_METRICS = [
     "sched.static_wps",
     "sched.steal_wps",
 ]
+# Multi-workload serving rates (apnea + AF screening multiplexed through one
+# engine at 2 workers, plus the apnea-only baseline on the same ward):
+# threaded-engine rates, so they normalise and gate like the thread-scaling
+# class. The dual_vs_single ratio is implied by its numerator/denominator
+# (not double-gated, like the batch speedups), and af.af_windows is a
+# deterministic per-pass count, recorded but not gated. The quality-gate
+# window/span counters (quality.windows_annotated etc.) are likewise exact
+# schedule-independent counts: recorded for the run page, never gated —
+# only the gate's scan cost gates, lower-is-better below.
+AF_METRICS = [
+    "af.apnea_only_wps",
+    "af.dual_total_wps",
+    "af.dual_af_wps",
+]
 # Lane-parallel extraction rates (single-threaded, so they normalise and
 # gate like the plain METRICS class) and the lane-vs-scalar speedups (already
 # dimensionless: compared raw). Both depend on which SIMD tier runtime
@@ -131,6 +145,9 @@ LOWER_IS_BETTER = [
     "streaming.stage_edr_us",
     "streaming.stage_welch_us",
     "streaming.stage_burg_us",
+    # Signal-quality gate scan cost (nanoseconds per raw sample): pure
+    # per-sample work on the stream path, so it gates like the stage costs.
+    "quality.gate_ns_per_sample",
 ]
 # Segment-cache hit rate: a dimensionless workload property (5 of 6 chunks
 # per window are reused at the paper's 6x overlap), machine-independent, so
@@ -180,8 +197,8 @@ def evaluate(fresh, baseline, threshold, absolute=False, echo=print):
 
     failures = []
     for metric in (METRICS + THREADED_METRICS + REPLAY_METRICS + NET_METRICS +
-                   SCHED_METRICS + LANES_METRICS + LANES_RATIO_METRICS + RATIO_METRICS +
-                   LOWER_IS_BETTER):
+                   SCHED_METRICS + AF_METRICS + LANES_METRICS + LANES_RATIO_METRICS +
+                   RATIO_METRICS + LOWER_IS_BETTER):
         base_value = lookup(baseline, metric)
         fresh_value = lookup(fresh, metric)
         if base_value is None or fresh_value is None:
@@ -221,7 +238,7 @@ def evaluate(fresh, baseline, threshold, absolute=False, echo=print):
             base_score, fresh_score = base_value, fresh_value
         else:
             gated = (scale_armed if metric in THREADED_METRICS + REPLAY_METRICS + NET_METRICS +
-                     SCHED_METRICS else True)
+                     SCHED_METRICS + AF_METRICS else True)
             base_score, fresh_score = base_value / base_norm, fresh_value / fresh_norm
         change = fresh_score / base_score - 1.0 if base_score else 0.0
         regressed = change > threshold if lower_better else change < -threshold
@@ -243,9 +260,10 @@ def _doc(hw=4, norm=1000.0, **overrides):
     for metric in METRICS:
         doc.setdefault(metric, 500.0)
     for metric in (THREADED_METRICS + REPLAY_METRICS + NET_METRICS + SCHED_METRICS +
-                   LANES_METRICS + LOWER_IS_BETTER):
+                   AF_METRICS + LANES_METRICS + LOWER_IS_BETTER):
         head, leaf = metric.split(".")
-        doc.setdefault(head, {})[leaf] = 5.0 if leaf.endswith(("_ms", "_us")) else 800.0
+        doc.setdefault(head, {})[leaf] = 5.0 if leaf.endswith(("_ms", "_us", "_per_sample")) \
+            else 800.0
     for metric in LANES_RATIO_METRICS:
         head, leaf = metric.split(".")
         doc.setdefault(head, {})[leaf] = 2.0
@@ -367,6 +385,35 @@ def self_test():
           evaluate(_doc(**{"sched.deadline": {"managed_p99_ms": 999.0, "met": False}}),
                    _doc(**{"sched.deadline": {"managed_p99_ms": 1.0, "met": True}}),
                    0.25, echo=quiet), [])
+    # Multi-workload serving rates gate like the thread-scaling class; the
+    # quality-gate scan cost gates lower-is-better like the stage costs; and
+    # the quality window/span counters live outside every gate list, so they
+    # are report-only however wildly they move.
+    check("af throughput regression fails",
+          len(evaluate(_doc(**{"af.dual_af_wps": 100.0}), _doc(), 0.25, echo=quiet)), 1)
+    check("af improvement passes",
+          evaluate(_doc(**{"af.dual_total_wps": 5000.0}), _doc(), 0.25, echo=quiet), [])
+    check("af skipped on smaller host",
+          evaluate(_doc(hw=2, **{"af.dual_af_wps": 100.0}), _doc(hw=4), 0.25, echo=quiet), [])
+    base_without_af = _doc()
+    del base_without_af["af"]
+    check("new af metrics skip", evaluate(_doc(), base_without_af, 0.25, echo=quiet), [])
+    fresh_without_af = _doc()
+    del fresh_without_af["af"]
+    check("missing af metrics fail",
+          len(evaluate(fresh_without_af, _doc(), 0.25, echo=quiet)), 3)
+    check("gate scan cost increase fails",
+          len(evaluate(_doc(**{"quality.gate_ns_per_sample": 9.0}), _doc(), 0.25,
+                       echo=quiet)), 1)
+    check("gate scan cost decrease passes",
+          evaluate(_doc(**{"quality.gate_ns_per_sample": 1.0}), _doc(), 0.25, echo=quiet), [])
+    check("quality counters are report-only",
+          evaluate(_doc(**{"quality.windows_suppressed": 999.0}),
+                   _doc(**{"quality.windows_suppressed": 1.0}), 0.25, echo=quiet), [])
+    fresh_without_quality = _doc()
+    del fresh_without_quality["quality"]
+    check("missing gate scan cost fails",
+          len(evaluate(fresh_without_quality, _doc(), 0.25, echo=quiet)), 1)
     # Lane metrics: gated while the dispatch tier matches the baseline's,
     # reported-not-failed on a tier mismatch, and report-not-fail before the
     # baseline records the section at all.

@@ -34,6 +34,15 @@
 //    and the gateway-side decision-delivery p50/p99 (sink entry -> bytes
 //    handed to the kernel). The UDS leg isolates protocol + framing +
 //    thread-handoff cost from NIC behaviour.
+//  * signal-quality gate + multi-workload serving: the marginal per-sample
+//    cost of SignalQualityGate::scan (measured on the gate directly — at
+//    tens of ns/sample an engine-throughput delta drowns in scheduler
+//    noise), the annotate/suppress window counters over a dirty ward with
+//    injected electrode-pop bursts (schedule-independent, so one sharded
+//    pass per policy suffices), and per-workload windows/s when AF
+//    screening is multiplexed next to apnea through one engine over the
+//    shared per-patient substrate, vs the apnea-only baseline on the same
+//    ward.
 //  * ward-scale scheduler: a colliding ward (every patient id hashes to
 //    shard 0) at 2 workers, static placement vs work stealing — on a
 //    multi-core host stealing should recover most of the idle worker — plus
@@ -77,6 +86,7 @@
 #include "ecg/lane_qrs.hpp"
 #include "ecg/ecg_synth.hpp"
 #include "ecg/qrs_detect.hpp"
+#include "ecg/quality.hpp"
 #include "ecg/rr_model.hpp"
 #include "features/ar_features.hpp"
 #include "features/extractor.hpp"
@@ -95,6 +105,7 @@
 #include "rt/packed_model.hpp"
 #include "rt/sharded_classifier.hpp"
 #include "rt/window_extractor.hpp"
+#include "rt/workload.hpp"
 #include "svm/kernel.hpp"
 #include "svm/model.hpp"
 #include "svm/scaler.hpp"
@@ -266,7 +277,9 @@ ShardedRun sharded_flush_rate(const std::shared_ptr<rt::ModelRegistry>& registry
   const std::size_t chunk = static_cast<std::size_t>(4.0 * config.fs_hz);
   using clock = std::chrono::steady_clock;
   const auto start = clock::now();
-  rt::ShardedStreamClassifier classifier(registry, config, workers);
+  rt::EngineOptions options;
+  options.num_workers = workers;
+  rt::ShardedStreamClassifier classifier(registry, config, std::move(options));
   push_ward(classifier, ward, chunk);
   const auto results = classifier.flush();
   const double secs = std::chrono::duration<double>(clock::now() - start).count();
@@ -297,10 +310,12 @@ ShardedRun continuous_rate(const std::shared_ptr<rt::ModelRegistry>& registry,
     rt::EngineOptions options;
     options.queue_capacity = 256;
     options.backpressure = rt::BackpressurePolicy::kBlock;
+    options.num_workers = workers;
+    options.sink = [&delivered](std::span<const rt::WindowResult> batch) {
+      delivered += batch.size();
+    };
     const auto start = clock::now();
-    rt::ShardedStreamClassifier classifier(
-        registry, config, workers, std::move(options),
-        [&delivered](std::span<const rt::WindowResult> batch) { delivered += batch.size(); });
+    rt::ShardedStreamClassifier classifier(registry, config, std::move(options));
     push_ward(classifier, ward, chunk);
     classifier.flush();  // Fence: every pushed chunk classified and delivered.
     wall_s += std::chrono::duration<double>(clock::now() - start).count();
@@ -314,6 +329,140 @@ ShardedRun continuous_rate(const std::shared_ptr<rt::ModelRegistry>& registry,
     }
   } while (wall_s < 1.0);
   run.windows_per_s = static_cast<double>(total_windows) / wall_s;
+  return run;
+}
+
+// --- Signal-quality gate and multi-workload serving --------------------------
+
+/// The ward with electrode-pop bursts injected into every other patient:
+/// 50-sample 8.5 mV plateaus (rail-hitting pops, far above the 4 mV
+/// amplitude threshold) at three points per dirty stream, so the gate's
+/// span bookkeeping engages and the window counters are non-zero.
+std::map<int, ecg::EcgWaveform> synth_dirty_ward(std::size_t patients, double duration_s) {
+  auto ward = synth_ward(patients, duration_s);
+  bool dirty = true;
+  for (auto& [pid, wf] : ward) {
+    if (dirty)
+      for (const double at_s : {12.0, 47.0, 83.0}) {
+        const auto start = static_cast<std::size_t>(at_s * wf.fs_hz);
+        const auto stop = std::min(start + 50, wf.samples_mv.size());
+        for (std::size_t s = start; s < stop; ++s) wf.samples_mv[s] = 8.5;
+      }
+    dirty = !dirty;
+  }
+  return ward;
+}
+
+struct QualityRun {
+  double gate_ns_per_sample = 0.0;       ///< Marginal cost of scan() per sample.
+  std::uint64_t windows_annotated = 0;   ///< Annotate-policy pass over the ward.
+  std::uint64_t windows_suppressed = 0;  ///< Suppress-policy pass, same ward.
+  std::uint64_t artifact_spans = 0;
+  std::uint64_t rr_outliers = 0;
+};
+
+QualityRun quality_gate_run(const std::shared_ptr<rt::ModelRegistry>& registry,
+                            const std::map<int, ecg::EcgWaveform>& dirty_ward) {
+  QualityRun run;
+  // Per-sample scan cost, measured on the gate directly with telemetry-shaped
+  // 4 s chunks over one dirty stream. A fresh gate per pass keeps the span
+  // list replaying identically (spans are appended at the tail and scan never
+  // searches them, so the list's length does not feed back into the cost).
+  {
+    const auto& wf = dirty_ward.begin()->second;
+    ecg::QualityConfig qc;
+    qc.enable = true;
+    const auto chunk = static_cast<std::size_t>(4.0 * wf.fs_hz);
+    using clock = std::chrono::steady_clock;
+    double wall_s = 0.0;
+    std::uint64_t scanned = 0;
+    do {
+      ecg::SignalQualityGate gate(qc, wf.fs_hz);
+      const auto start = clock::now();
+      for (std::size_t off = 0; off < wf.samples_mv.size(); off += chunk) {
+        const std::size_t n = std::min(chunk, wf.samples_mv.size() - off);
+        gate.scan(std::span(wf.samples_mv).subspan(off, n), static_cast<std::int64_t>(off));
+      }
+      wall_s += std::chrono::duration<double>(clock::now() - start).count();
+      scanned += wf.samples_mv.size();
+      g_sink_i = static_cast<int>(gate.stats().artifact_hits);
+    } while (wall_s < 0.3);
+    run.gate_ns_per_sample = wall_s / static_cast<double>(scanned) * 1e9;
+  }
+  // Window accounting: the gate's spans and flags are chunk- and
+  // schedule-independent, so a single 2-worker pass per policy records the
+  // exact counters any worker count would produce.
+  for (const auto policy : {ecg::QualityPolicy::kAnnotate, ecg::QualityPolicy::kSuppress}) {
+    auto config = ward_stream_config();
+    config.quality.enable = true;
+    config.quality.policy = policy;
+    rt::EngineOptions options;
+    options.num_workers = 2;
+    rt::ShardedStreamClassifier classifier(registry, config, std::move(options));
+    push_ward(classifier, dirty_ward, static_cast<std::size_t>(4.0 * config.fs_hz));
+    classifier.flush();
+    const auto qs = classifier.quality_stats();
+    if (policy == ecg::QualityPolicy::kAnnotate) {
+      run.windows_annotated = qs.windows_annotated;
+      run.artifact_spans = qs.artifact_spans;
+      run.rr_outliers = qs.rr_outliers;
+    } else {
+      run.windows_suppressed = qs.windows_suppressed;
+    }
+  }
+  return run;
+}
+
+struct AfRun {
+  double apnea_only_wps = 0.0;  ///< Single-workload baseline on this ward.
+  double dual_total_wps = 0.0;  ///< Both workloads through one engine.
+  double dual_apnea_wps = 0.0;  ///< Apnea results/s within the dual run.
+  double dual_af_wps = 0.0;     ///< AF results/s within the dual run.
+  std::size_t af_windows = 0;   ///< AF windows per pass.
+};
+
+/// Apnea-only vs apnea+AF dual-workload serving on the same ward: the AF
+/// stage rides the per-patient substrate (beat ring, RR) the apnea pipeline
+/// already computes, so the dual run's total windows/s should approach 2x
+/// the baseline rather than paying full extraction twice.
+AfRun af_dual_workload_rate(const std::map<int, ecg::EcgWaveform>& ward, std::size_t workers) {
+  AfRun run;
+  const auto apnea_only = std::make_shared<rt::ModelRegistry>(rt::synthetic_full_feature_model());
+  run.apnea_only_wps =
+      continuous_rate(apnea_only, ward, workers, ward_stream_config()).windows_per_s;
+
+  auto config = ward_stream_config();
+  config.workloads = {rt::apnea_workload(), rt::af_workload()};
+  auto registry = std::make_shared<rt::ModelRegistry>();
+  registry->set_default(0, rt::synthetic_full_feature_model());
+  registry->set_default(1, rt::synthetic_af_model());
+  const std::size_t chunk = static_cast<std::size_t>(4.0 * config.fs_hz);
+  using clock = std::chrono::steady_clock;
+  double wall_s = 0.0;
+  std::size_t apnea_total = 0;
+  std::size_t af_total = 0;
+  do {
+    std::atomic<std::size_t> apnea{0};
+    std::atomic<std::size_t> af{0};
+    rt::EngineOptions options;
+    options.num_workers = workers;
+    options.queue_capacity = 256;
+    options.backpressure = rt::BackpressurePolicy::kBlock;
+    options.sink = [&apnea, &af](std::span<const rt::WindowResult> batch) {
+      for (const auto& r : batch) (r.workload == 0 ? apnea : af) += 1;
+    };
+    const auto start = clock::now();
+    rt::ShardedStreamClassifier classifier(registry, config, std::move(options));
+    push_ward(classifier, ward, chunk);
+    classifier.flush();
+    wall_s += std::chrono::duration<double>(clock::now() - start).count();
+    run.af_windows = af.load();
+    apnea_total += apnea.load();
+    af_total += af.load();
+  } while (wall_s < 1.0);
+  run.dual_apnea_wps = static_cast<double>(apnea_total) / wall_s;
+  run.dual_af_wps = static_cast<double>(af_total) / wall_s;
+  run.dual_total_wps = static_cast<double>(apnea_total + af_total) / wall_s;
   return run;
 }
 
@@ -473,12 +622,13 @@ StageRates stage_breakdown(const std::shared_ptr<rt::ModelRegistry>& registry,
 
   // Dry pass: count emitted windows and keep their raw features for the
   // classify-only stage.
-  std::vector<std::array<double, features::kNumFeatures>> raw_windows;
+  std::vector<std::vector<double>> raw_windows;
   {
     rt::WindowExtractor extractor(config);
     for (const auto& [pid, wf] : ward)
       extractor.push_samples(pid, wf.samples_mv, [&raw_windows](rt::ExtractedWindow&& w) {
-        raw_windows.push_back(w.raw_features);
+        const auto features = w.features_view();
+        raw_windows.emplace_back(features.begin(), features.end());
       });
   }
   rates.windows = raw_windows.size();
@@ -796,6 +946,7 @@ int main() {
   // (5 of 6 chunks per window, minus the per-stream warm-up misses)
   // dominates the measured hit rate, as it does on a running ward.
   const auto overlap_ward = synth_ward(4, 2400.0);
+  const auto dirty_ward = synth_dirty_ward(8, 120.0);
 
   const double float_single = measure(
       kNumWindows,
@@ -996,6 +1147,33 @@ int main() {
   const double lane_speedup_4p = lane_runs[4].wps / scalar_runs[4].wps;
   const double lane_speedup_8p = lane_runs[8].wps / scalar_runs[8].wps;
 
+  // --- Signal-quality gate and multi-workload serving --------------------------
+  std::printf("\nsignal-quality gate: 8 patients x 120 s, electrode-pop bursts injected into"
+              " every other patient\n");
+  const auto quality = quality_gate_run(registry, dirty_ward);
+  std::printf("  gate scan cost:   %8.2f ns/sample  (amplitude + slew + refractory, 4 s"
+              " chunks)\n",
+              quality.gate_ns_per_sample);
+  std::printf("  annotate policy:  %llu windows annotated  (%llu artifact spans, %llu rr"
+              " outliers)\n",
+              static_cast<unsigned long long>(quality.windows_annotated),
+              static_cast<unsigned long long>(quality.artifact_spans),
+              static_cast<unsigned long long>(quality.rr_outliers));
+  std::printf("  suppress policy:  %llu windows suppressed  (the same positions, withheld)\n",
+              static_cast<unsigned long long>(quality.windows_suppressed));
+
+  constexpr std::size_t kAfWorkers = 2;
+  std::printf("multi-workload serving: apnea + AF screening through one engine,"
+              " 16 patients x 120 s, %zu workers\n",
+              kAfWorkers);
+  const auto af = af_dual_workload_rate(ward, kAfWorkers);
+  std::printf("  apnea-only baseline:  %8.1f windows/s\n", af.apnea_only_wps);
+  std::printf("  apnea + af total:     %8.1f windows/s  (%.2fx the baseline; AF rides the"
+              " shared substrate)\n",
+              af.dual_total_wps, af.dual_total_wps / af.apnea_only_wps);
+  std::printf("  per workload:         %8.1f apnea/s, %8.1f af/s  (%zu af windows/pass)\n",
+              af.dual_apnea_wps, af.dual_af_wps, af.af_windows);
+
   // --- WFDB cohort replay ------------------------------------------------------
   io::CohortFixtureParams fixture;
   fixture.num_patients = 8;
@@ -1014,7 +1192,9 @@ int main() {
   };
   std::map<std::size_t, ReplayRate> replay;
   for (const std::size_t workers : {std::size_t{1}, std::size_t{2}}) {
-    rt::CohortReplayer replayer(registry, ward_stream_config(), workers);
+    rt::EngineOptions replay_options;
+    replay_options.num_workers = workers;
+    rt::CohortReplayer replayer(registry, ward_stream_config(), std::move(replay_options));
     double recorded_s = 0.0, wall_s = 0.0;
     std::size_t passes = 0;
     do {
@@ -1204,6 +1384,29 @@ int main() {
     std::fprintf(json, "      \"unmanaged_windows\": %zu,\n", unmanaged.windows);
     std::fprintf(json, "      \"managed_windows\": %zu\n", managed.windows);
     std::fprintf(json, "    }\n");
+    std::fprintf(json, "  },\n");
+    std::fprintf(json, "  \"quality\": {\n");
+    std::fprintf(json, "    \"patients\": 8, \"duration_s\": 120.0,\n");
+    std::fprintf(json, "    \"gate_ns_per_sample\": %.3f,\n", quality.gate_ns_per_sample);
+    std::fprintf(json, "    \"windows_annotated\": %llu,\n",
+                 static_cast<unsigned long long>(quality.windows_annotated));
+    std::fprintf(json, "    \"windows_suppressed\": %llu,\n",
+                 static_cast<unsigned long long>(quality.windows_suppressed));
+    std::fprintf(json, "    \"artifact_spans\": %llu,\n",
+                 static_cast<unsigned long long>(quality.artifact_spans));
+    std::fprintf(json, "    \"rr_outliers\": %llu\n",
+                 static_cast<unsigned long long>(quality.rr_outliers));
+    std::fprintf(json, "  },\n");
+    std::fprintf(json, "  \"af\": {\n");
+    std::fprintf(json, "    \"patients\": 16, \"duration_s\": 120.0, \"workers\": %zu,\n",
+                 kAfWorkers);
+    std::fprintf(json, "    \"apnea_only_wps\": %.1f,\n", af.apnea_only_wps);
+    std::fprintf(json, "    \"dual_total_wps\": %.1f,\n", af.dual_total_wps);
+    std::fprintf(json, "    \"dual_apnea_wps\": %.1f,\n", af.dual_apnea_wps);
+    std::fprintf(json, "    \"dual_af_wps\": %.1f,\n", af.dual_af_wps);
+    std::fprintf(json, "    \"dual_vs_single_ratio\": %.3f,\n",
+                 af.apnea_only_wps > 0.0 ? af.dual_total_wps / af.apnea_only_wps : 0.0);
+    std::fprintf(json, "    \"af_windows\": %zu\n", af.af_windows);
     std::fprintf(json, "  }\n");
     std::fprintf(json, "}\n");
     std::fclose(json);

@@ -84,7 +84,9 @@ int main() {
       }
     }
   };
-  rt::ShardedStreamClassifier classifier(registry, sconfig, 4, options, std::move(sink));
+  options.num_workers = 4;
+  options.sink = std::move(sink);
+  rt::ShardedStreamClassifier classifier(registry, sconfig, std::move(options));
   std::printf("runtime: %zu workers, continuous delivery, %zu-chunk bounded queues (%s)\n\n",
               classifier.num_workers(), options.queue_capacity,
               options.backpressure == rt::BackpressurePolicy::kBlock ? "block" : "drop-oldest");

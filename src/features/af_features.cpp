@@ -1,0 +1,81 @@
+#include "features/af_features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace svt::features {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+double af_rmssd_ratio(std::span<const double> rr_s) {
+  const std::size_t n = rr_s.size();
+  if (n < 2) return kNaN;
+  double sum_sq = 0.0;
+  double sum = rr_s[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    const double d = rr_s[i] - rr_s[i - 1];
+    sum_sq += d * d;
+    sum += rr_s[i];
+  }
+  const double rmssd = std::sqrt(sum_sq / static_cast<double>(n - 1));
+  const double mean = sum / static_cast<double>(n);
+  return mean > 0.0 ? rmssd / mean : kNaN;
+}
+
+double af_turning_point_ratio(std::span<const double> rr_s) {
+  const std::size_t n = rr_s.size();
+  if (n < 3) return kNaN;
+  std::size_t turning = 0;
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const bool peak = rr_s[i] > rr_s[i - 1] && rr_s[i] > rr_s[i + 1];
+    const bool trough = rr_s[i] < rr_s[i - 1] && rr_s[i] < rr_s[i + 1];
+    if (peak || trough) ++turning;
+  }
+  return static_cast<double>(turning) / static_cast<double>(n - 2);
+}
+
+double af_shannon_entropy(std::span<const double> rr_s, FeatureScratch& scratch) {
+  constexpr std::size_t kTrim = 8;    ///< Intervals dropped per tail.
+  constexpr std::size_t kBins = 16;
+  const std::size_t n = rr_s.size();
+  if (n < 2 * kTrim * 2) return kNaN;  // < 32: trimming would gut the histogram.
+  scratch.sorted.assign(rr_s.begin(), rr_s.end());
+  std::sort(scratch.sorted.begin(), scratch.sorted.end());
+  const std::span<const double> kept(scratch.sorted.data() + kTrim, n - 2 * kTrim);
+  const double lo = kept.front();
+  const double hi = kept.back();
+  if (hi <= lo) return 0.0;  // Metronome rhythm: a single occupied bin.
+
+  std::size_t counts[kBins] = {};
+  const double inv_range = 1.0 / (hi - lo);
+  for (const double x : kept) {
+    auto k = static_cast<std::ptrdiff_t>((x - lo) * inv_range * static_cast<double>(kBins));
+    k = std::clamp<std::ptrdiff_t>(k, 0, kBins - 1);
+    ++counts[k];
+  }
+
+  const auto total = static_cast<double>(kept.size());
+  double entropy = 0.0;
+  for (const std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / total;
+    entropy -= p * std::log(p);
+  }
+  // Normalise by the 16-bin maximum so the feature lands in [0, 1].
+  return entropy / std::log(static_cast<double>(kBins));
+}
+
+void compute_af_features(std::span<const double> rr_s, FeatureScratch& scratch,
+                         std::span<double> out) {
+  SVT_ASSERT(out.size() == kNumAfFeatures);
+  out[0] = af_rmssd_ratio(rr_s);
+  out[1] = af_turning_point_ratio(rr_s);
+  out[2] = af_shannon_entropy(rr_s, scratch);
+}
+
+}  // namespace svt::features

@@ -1,0 +1,54 @@
+// AF-screening features over an RR tachogram.
+//
+// Atrial fibrillation shows up in the RR series as irregular-irregularity:
+// beat-to-beat variability that is large *relative to the mean interval*
+// (rmssd ratio), direction changes far more frequent than sinus rhythm's
+// respiratory modulation produces (turning-point ratio), and an interval
+// histogram that spreads across many bins instead of piling into one
+// (Shannon entropy). Three scalar features are enough for a small screening
+// SVM — the classical Moody/Tateno-style detectors use exactly this family.
+//
+// Edge semantics are part of the contract (asserted by
+// tests/test_af_features.cpp): a window too short for a statistic yields
+// NaN rather than a silently degenerate value, so downstream consumers can
+// distinguish "no evidence" from "evidence of regularity":
+//   rmssd_ratio          needs >= 2 intervals (one successive difference);
+//   turning_point_ratio  needs >= 3 intervals (one interior point);
+//   shannon_entropy      needs >= 32 intervals (8 trimmed per side must
+//                        leave a populated histogram).
+// A non-positive mean RR (degenerate input) also yields NaN for the ratio.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "features/feature_scratch.hpp"
+
+namespace svt::features {
+
+/// Feature vector layout served by the AF workload.
+inline constexpr std::size_t kNumAfFeatures = 3;
+
+/// RMSSD of successive RR differences, normalised by the mean interval
+/// (dimensionless; high under AF). NaN for < 2 intervals or mean <= 0.
+double af_rmssd_ratio(std::span<const double> rr_s);
+
+/// Fraction of interior intervals that are strict local extrema of the
+/// tachogram (the turning-point test for serial randomness; ~2/3 for an
+/// i.i.d. sequence). Plateaus (ties) are not turning points. NaN for < 3
+/// intervals.
+double af_turning_point_ratio(std::span<const double> rr_s);
+
+/// Shannon entropy of a 16-bin histogram over the sorted RR series with the
+/// 8 smallest and 8 largest intervals trimmed (outlier-robust), normalised
+/// to [0, 1] by log(16). Returns 0 when every kept interval is identical
+/// (hi <= lo), NaN for < 32 intervals. `scratch.sorted` is used for the
+/// sort; its previous contents are overwritten.
+double af_shannon_entropy(std::span<const double> rr_s, FeatureScratch& scratch);
+
+/// All kNumAfFeatures in order: {rmssd_ratio, turning_point_ratio,
+/// shannon_entropy}. `out.size()` must equal kNumAfFeatures.
+void compute_af_features(std::span<const double> rr_s, FeatureScratch& scratch,
+                         std::span<double> out);
+
+}  // namespace svt::features

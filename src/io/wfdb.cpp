@@ -101,10 +101,10 @@ SignalSpec parse_signal_line(const std::string& line) {
   SignalSpec spec;
   spec.file_name = tokens[0];
   long format = 0;
-  if (!parse_long(tokens[1], format) || (format != 212 && format != 16))
-    fail("unsupported signal format '" + tokens[1] + "' (supported: 212, 16)");
+  if (!parse_long(tokens[1], format) || (format != 212 && format != 16 && format != 80))
+    fail("unsupported signal format '" + tokens[1] + "' (supported: 212, 16, 80)");
   spec.format = static_cast<int>(format);
-  spec.adc_resolution = spec.format == 212 ? 12 : 16;
+  spec.adc_resolution = spec.format == 212 ? 12 : (spec.format == 80 ? 8 : 16);
 
   // Optional positional numeric fields; the first token that does not parse
   // as its slot starts the free-text description.
@@ -214,6 +214,21 @@ void encode_16(const std::vector<int>& samples, std::vector<unsigned char>& byte
   }
 }
 
+/// Format 80: one byte per sample, offset binary (stored byte = adc + 128).
+std::vector<int> decode_80(const std::vector<unsigned char>& bytes, std::size_t total,
+                           const std::string& file) {
+  if (bytes.size() != total)
+    fail("signal file " + file + ": " + std::to_string(bytes.size()) + " bytes, expected " +
+         std::to_string(total) + " for " + std::to_string(total) + " format-80 samples");
+  std::vector<int> samples(total);
+  for (std::size_t s = 0; s < total; ++s) samples[s] = static_cast<int>(bytes[s]) - 128;
+  return samples;
+}
+
+void encode_80(const std::vector<int>& samples, std::vector<unsigned char>& bytes) {
+  for (const int v : samples) bytes.push_back(static_cast<unsigned char>(v + 128));
+}
+
 std::int16_t sample_checksum(const std::vector<int>& samples) {
   std::uint32_t sum = 0;
   for (const int v : samples) sum += static_cast<std::uint32_t>(v);
@@ -251,12 +266,14 @@ std::vector<FileGroup> group_by_file(const RecordHeader& header) {
 int format_min_value(int format) {
   if (format == 212) return -2048;
   if (format == 16) return -32768;
+  if (format == 80) return -128;
   fail("unsupported format " + std::to_string(format));
 }
 
 int format_max_value(int format) {
   if (format == 212) return 2047;
   if (format == 16) return 32767;
+  if (format == 80) return 127;
   fail("unsupported format " + std::to_string(format));
 }
 
@@ -322,8 +339,9 @@ WfdbRecord read_record(const std::string& dir, const std::string& record_name) {
     const auto path = std::filesystem::path(dir) / group.file_name;
     const auto bytes = read_binary_file(path);
     const std::size_t total = header.num_samples * group.channels.size();
-    const auto flat = group.format == 212 ? decode_212(bytes, total, group.file_name)
-                                          : decode_16(bytes, total, group.file_name);
+    const auto flat = group.format == 212  ? decode_212(bytes, total, group.file_name)
+                      : group.format == 80 ? decode_80(bytes, total, group.file_name)
+                                           : decode_16(bytes, total, group.file_name);
     for (std::size_t t = 0; t < header.num_samples; ++t)
       for (std::size_t k = 0; k < group.channels.size(); ++k)
         record.adc[group.channels[k]][t] = flat[t * group.channels.size() + k];
@@ -368,9 +386,13 @@ void write_record(const std::string& dir, RecordHeader header,
       for (std::size_t k = 0; k < group.channels.size(); ++k)
         flat[t * group.channels.size() + k] = adc[group.channels[k]][t];
     std::vector<unsigned char> bytes;
-    bytes.reserve(group.format == 212 ? (flat.size() / 2) * 3 + 2 : flat.size() * 2);
+    bytes.reserve(group.format == 212  ? (flat.size() / 2) * 3 + 2
+                  : group.format == 80 ? flat.size()
+                                       : flat.size() * 2);
     if (group.format == 212)
       encode_212(flat, bytes);
+    else if (group.format == 80)
+      encode_80(flat, bytes);
     else
       encode_16(flat, bytes);
     const auto path = std::filesystem::path(dir) / group.file_name;

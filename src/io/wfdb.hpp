@@ -13,8 +13,10 @@
 //    when fields are omitted;
 //  * signal decoding for format 212 (two 12-bit two's-complement samples
 //    packed into 3 bytes; a record with an odd total sample count ends in a
-//    2-byte half-group) and format 16 (little-endian int16), with
-//    multi-channel frames de-interleaved per signal;
+//    2-byte half-group), format 16 (little-endian int16), and format 80
+//    (one byte per sample in offset binary: stored byte = adc + 128, so the
+//    representable range is [-128, 127]), with multi-channel frames
+//    de-interleaved per signal;
 //  * ADC-units -> physical-units (mV) conversion via each signal's
 //    gain/baseline;
 //  * a matching writer, so the offline dev box can generate fixture records
@@ -44,7 +46,7 @@ inline constexpr double kDefaultAdcGain = 200.0;
 /// One signal (channel) of a record, as described by its header line.
 struct SignalSpec {
   std::string file_name;        ///< Signal file holding this channel.
-  int format = 16;              ///< Storage format: 212 or 16.
+  int format = 16;              ///< Storage format: 212, 16, or 80.
   double adc_gain = kDefaultAdcGain;  ///< ADC units per mV.
   int baseline = 0;             ///< ADC value corresponding to 0 mV.
   int adc_resolution = 12;      ///< Significant bits per sample.

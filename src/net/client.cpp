@@ -117,6 +117,8 @@ void GatewayClient::receive_loop() {
             d.decision_value = r.decision_value;
             d.label = r.label;
             d.num_beats = r.num_beats;
+            d.workload = r.workload;
+            d.quality = r.quality;
             decisions_.push_back(d);
           }
           break;

@@ -43,6 +43,8 @@ struct ReceivedDecision {
   double decision_value = 0.0;
   std::int32_t label = 0;
   std::uint32_t num_beats = 0;
+  std::uint32_t workload = 0;  ///< Index into the hello-ack workload list.
+  std::uint32_t quality = 0;   ///< ecg::quality_flags bitmask (0 = clean).
 };
 
 class GatewayClient {

@@ -133,6 +133,7 @@ const char* error_code_name(ErrorCode code) {
 void append_hello(std::vector<std::uint8_t>& out, const HelloFrame& hello) {
   const std::size_t at = begin_frame(out, FrameType::kHello);
   put_u16(out, hello.version);
+  put_u16(out, hello.max_workloads);
   seal_frame(out, at, FrameType::kHello);
 }
 
@@ -142,6 +143,12 @@ void append_hello_ack(std::vector<std::uint8_t>& out, const HelloAckFrame& ack) 
   put_f64(out, ack.fs_hz);
   put_f64(out, ack.window_s);
   put_f64(out, ack.stride_s);
+  put_u16(out, static_cast<std::uint16_t>(ack.workloads.size()));
+  for (const WorkloadDescriptor& w : ack.workloads) {
+    put_u16(out, static_cast<std::uint16_t>(w.name.size()));
+    out.insert(out.end(), w.name.begin(), w.name.end());
+    put_u16(out, w.num_features);
+  }
   seal_frame(out, at, FrameType::kHelloAck);
 }
 
@@ -187,6 +194,8 @@ void append_stats(std::vector<std::uint8_t>& out, const StatsFrame& stats) {
   put_u64(out, stats.chunks_migrated);
   put_u64(out, stats.stride_widenings);
   put_u64(out, stats.chunks_shed);
+  put_u64(out, stats.windows_annotated);
+  put_u64(out, stats.windows_suppressed);
   seal_frame(out, at, FrameType::kStats);
 }
 
@@ -195,12 +204,14 @@ void append_decisions(std::vector<std::uint8_t>& out, std::int32_t patient_id,
   const std::size_t at = begin_frame(out, FrameType::kDecision);
   put_i32(out, patient_id);
   put_u32(out, static_cast<std::uint32_t>(decisions.size()));
-  out.reserve(out.size() + decisions.size() * 24);
+  out.reserve(out.size() + decisions.size() * 32);
   for (const DecisionRecord& d : decisions) {
     put_f64(out, d.start_s);
     put_f64(out, d.decision_value);
     put_i32(out, d.label);
     put_u32(out, d.num_beats);
+    put_u32(out, d.workload);
+    put_u32(out, d.quality);
   }
   seal_frame(out, at, FrameType::kDecision);
 }
@@ -215,18 +226,40 @@ void append_error(std::vector<std::uint8_t>& out, const ErrorFrame& error) {
 // --- Payload parsing ---------------------------------------------------------
 
 bool parse_hello(std::span<const std::uint8_t> payload, HelloFrame& out) {
-  if (payload.size() != 2) return false;
+  if (payload.size() != 4) return false;
   out.version = get_u16(payload.data());
+  out.max_workloads = get_u16(payload.data() + 2);
   return true;
 }
 
 bool parse_hello_ack(std::span<const std::uint8_t> payload, HelloAckFrame& out) {
-  if (payload.size() != 2 + 3 * 8) return false;
+  // Fixed prefix, then a size-checked variable-length workload table: every
+  // descriptor's declared name length must fit what remains, and the table
+  // must consume the payload exactly.
+  constexpr std::size_t kPrefix = 2 + 3 * 8 + 2;
+  if (payload.size() < kPrefix) return false;
   out.version = get_u16(payload.data());
   out.fs_hz = get_f64(payload.data() + 2);
   out.window_s = get_f64(payload.data() + 10);
   out.stride_s = get_f64(payload.data() + 18);
-  return true;
+  const std::size_t num_workloads = get_u16(payload.data() + 26);
+  out.workloads.clear();
+  out.workloads.reserve(num_workloads);
+  std::size_t at = kPrefix;
+  for (std::size_t w = 0; w < num_workloads; ++w) {
+    if (payload.size() - at < 2) return false;
+    const std::size_t name_len = get_u16(payload.data() + at);
+    at += 2;
+    if (payload.size() - at < name_len + 2) return false;
+    WorkloadDescriptor desc;
+    desc.name.assign(payload.begin() + static_cast<std::ptrdiff_t>(at),
+                     payload.begin() + static_cast<std::ptrdiff_t>(at + name_len));
+    at += name_len;
+    desc.num_features = get_u16(payload.data() + at);
+    at += 2;
+    out.workloads.push_back(std::move(desc));
+  }
+  return at == payload.size();
 }
 
 bool parse_stream_open(std::span<const std::uint8_t> payload, StreamOpenFrame& out) {
@@ -243,7 +276,7 @@ bool parse_end_stream(std::span<const std::uint8_t> payload, EndStreamFrame& out
 }
 
 bool parse_stats(std::span<const std::uint8_t> payload, StatsFrame& out) {
-  if (payload.size() != 12 * 8) return false;
+  if (payload.size() != 14 * 8) return false;
   const std::uint8_t* p = payload.data();
   out.windows_delivered = get_u64(p);
   out.windows_rejected = get_u64(p + 8);
@@ -257,6 +290,8 @@ bool parse_stats(std::span<const std::uint8_t> payload, StatsFrame& out) {
   out.chunks_migrated = get_u64(p + 72);
   out.stride_widenings = get_u64(p + 80);
   out.chunks_shed = get_u64(p + 88);
+  out.windows_annotated = get_u64(p + 96);
+  out.windows_suppressed = get_u64(p + 104);
   return true;
 }
 
@@ -282,12 +317,14 @@ bool parse_sample_chunk(std::span<const std::uint8_t> payload, SampleChunkView& 
 }
 
 DecisionRecord DecisionBatchView::record(std::size_t i) const {
-  const std::uint8_t* p = records + 24 * i;
+  const std::uint8_t* p = records + 32 * i;
   DecisionRecord d;
   d.start_s = get_f64(p);
   d.decision_value = get_f64(p + 8);
   d.label = get_i32(p + 16);
   d.num_beats = get_u32(p + 20);
+  d.workload = get_u32(p + 24);
+  d.quality = get_u32(p + 28);
   return d;
 }
 
@@ -295,7 +332,7 @@ bool parse_decisions(std::span<const std::uint8_t> payload, DecisionBatchView& o
   if (payload.size() < 8) return false;
   out.patient_id = get_i32(payload.data());
   out.num_decisions = get_u32(payload.data() + 4);
-  if (payload.size() != 8 + out.num_decisions * 24) return false;
+  if (payload.size() != 8 + out.num_decisions * 32) return false;
   out.records = payload.data() + 8;
   return true;
 }

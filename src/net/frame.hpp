@@ -16,16 +16,20 @@
 // Frame types and payloads (all integers little-endian, all floats IEEE-754
 // binary64 little-endian):
 //
-//   kHello       u16 protocol version           client -> server, first frame
-//   kHelloAck    u16 version, f64 fs_hz, f64 window_s, f64 stride_s
+//   kHello       u16 protocol version, u16 max_workloads (0 = accept any)
+//                                               client -> server, first frame
+//   kHelloAck    u16 version, f64 fs_hz, f64 window_s, f64 stride_s,
+//                u16 num_workloads, num_workloads x WorkloadDescriptor
+//                (u16 name_len, name_len x u8 UTF-8 name, u16 num_features)
 //   kStreamOpen  i32 patient_id, f64 fs_hz      fs must equal the server's
 //   kSampleChunk i32 patient_id, u32 count, count x f64 samples (mV)
 //   kEndStream   i32 patient_id                 finite stream ended
 //   kBye         (empty)                        client done; server fences,
 //                                               answers kStats, closes
-//   kStats       12 x u64 counters              see StatsFrame
+//   kStats       14 x u64 counters              see StatsFrame
 //   kDecision    i32 patient_id, u32 count, count x DecisionRecord
-//                (f64 start_s, f64 decision, i32 label, u32 num_beats)
+//                (f64 start_s, f64 decision, i32 label, u32 num_beats,
+//                 u32 workload, u32 quality_flags)
 //   kError       u32 code, UTF-8 message        typed refusal; sender closes
 //
 // Decoding is incremental: FrameDecoder consumes bytes in arbitrary slices
@@ -47,11 +51,16 @@ namespace svt::net {
 
 inline constexpr std::uint16_t kMagic = 0x5653;  // "SV" when read LE.
 /// Version history: v1 carried 8 u64 counters in kStats; v2 grew it to 12
-/// (the ward-scale scheduler counters). Payloads are size-checked, so mixed
-/// versions must never talk past the handshake — the decoder rejects a
-/// foreign version byte on the first frame (kBadVersion) and the gateway
-/// refuses a mismatched kHello, instead of failing silently at stats parse.
-inline constexpr std::uint8_t kProtocolVersion = 2;
+/// (the ward-scale scheduler counters); v3 is the multi-workload protocol —
+/// DecisionRecord gained workload id + quality flags (24 -> 32 bytes),
+/// kHello gained the client's accepted workload count, kHelloAck describes
+/// each served workload (name + feature count), and kStats grew to 14
+/// counters (quality-gate annotations/suppressions). Payloads are
+/// size-checked, so mixed versions must never talk past the handshake — the
+/// decoder rejects a foreign version byte on the first frame (kBadVersion)
+/// and the gateway refuses a mismatched kHello, instead of failing silently
+/// at stats parse.
+inline constexpr std::uint8_t kProtocolVersion = 3;
 inline constexpr std::size_t kHeaderBytes = 12;
 /// Upper bound on one frame's payload: a 4 s chunk at 250 Hz is ~8 KiB, so
 /// 1 MiB leaves room for minutes-long chunks while making a garbage length
@@ -101,6 +110,17 @@ std::uint32_t crc32(std::span<const std::uint8_t> bytes);
 
 struct HelloFrame {
   std::uint16_t version = kProtocolVersion;
+  /// Most workloads the client is prepared to demultiplex; 0 = accept
+  /// whatever the server serves. The gateway refuses (kConfigMismatch) when
+  /// it serves more than a non-zero bound.
+  std::uint16_t max_workloads = 0;
+};
+
+/// One served workload as announced in the hello-ack: the registered name
+/// and its per-window feature count (rt::Workload::num_features).
+struct WorkloadDescriptor {
+  std::string name;
+  std::uint16_t num_features = 0;
 };
 
 struct HelloAckFrame {
@@ -108,6 +128,9 @@ struct HelloAckFrame {
   double fs_hz = 0.0;
   double window_s = 0.0;
   double stride_s = 0.0;
+  /// Served workloads, in workload-id order (DecisionRecord::workload
+  /// indexes this list).
+  std::vector<WorkloadDescriptor> workloads;
 };
 
 struct StreamOpenFrame {
@@ -135,14 +158,19 @@ struct StatsFrame {
   std::uint64_t chunks_migrated = 0;    ///< Queued chunks moved between shards.
   std::uint64_t stride_widenings = 0;   ///< Deadline stride escalations.
   std::uint64_t chunks_shed = 0;        ///< Chunks dropped by forced shedding.
+  // Quality-gate counters (v3; zero when the gate is off).
+  std::uint64_t windows_annotated = 0;   ///< Emitted with non-zero quality flags.
+  std::uint64_t windows_suppressed = 0;  ///< Withheld by the suppress policy.
 };
 
-/// One classified window on the wire (24 bytes).
+/// One classified window on the wire (32 bytes).
 struct DecisionRecord {
   double start_s = 0.0;
   double decision_value = 0.0;
   std::int32_t label = 0;
   std::uint32_t num_beats = 0;
+  std::uint32_t workload = 0;  ///< Index into the hello-ack workload list.
+  std::uint32_t quality = 0;   ///< ecg::quality_flags bitmask (0 = clean).
 };
 
 struct ErrorFrame {
@@ -196,7 +224,7 @@ bool parse_sample_chunk(std::span<const std::uint8_t> payload, SampleChunkView& 
 struct DecisionBatchView {
   std::int32_t patient_id = 0;
   std::size_t num_decisions = 0;
-  const std::uint8_t* records = nullptr;  ///< num_decisions x 24 bytes.
+  const std::uint8_t* records = nullptr;  ///< num_decisions x 32 bytes.
   DecisionRecord record(std::size_t i) const;
 };
 bool parse_decisions(std::span<const std::uint8_t> payload, DecisionBatchView& out);

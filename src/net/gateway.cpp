@@ -164,6 +164,9 @@ StatsFrame ServeGateway::snapshot_stats_frame() {
   stats.chunks_migrated = sched.migrated_chunks;
   stats.stride_widenings = sched.stride_widenings;
   stats.chunks_shed = sched.shed_chunks;
+  const rt::EngineStats engine_stats = engine_.stats();
+  stats.windows_annotated = engine_stats.windows_annotated;
+  stats.windows_suppressed = engine_stats.windows_suppressed;
   return stats;
 }
 
@@ -218,6 +221,8 @@ void ServeGateway::deliver(std::span<const rt::WindowResult> batch) {
     d.decision_value = w.decision_value;
     d.label = w.label;
     d.num_beats = static_cast<std::uint32_t>(w.num_beats);
+    d.workload = w.workload;
+    d.quality = w.quality;
     records.push_back(d);
   }
   OutItem item;
@@ -322,12 +327,28 @@ void ServeGateway::reader_loop(const std::shared_ptr<Connection>& conn) {
                  "client speaks version " + std::to_string(hello.version));
             break;
           }
+          // Per-workload negotiation: a client that bounds how many
+          // workloads it can demultiplex (non-zero max) must accept every
+          // one this engine serves — decision frames interleave all of
+          // them, so a partial subscription cannot be honoured.
+          if (hello.max_workloads != 0 && hello.max_workloads < engine_.num_workloads()) {
+            fail(ErrorCode::kConfigMismatch,
+                 "client accepts " + std::to_string(hello.max_workloads) +
+                     " workloads, server serves " + std::to_string(engine_.num_workloads()));
+            break;
+          }
           helloed = true;
           OutItem ack;
           HelloAckFrame payload;
           payload.fs_hz = engine_.config().fs_hz;
           payload.window_s = engine_.config().window_s;
           payload.stride_s = engine_.config().stride_s;
+          for (const auto& workload : engine_.workloads()) {
+            WorkloadDescriptor desc;
+            desc.name = workload->name();
+            desc.num_features = static_cast<std::uint16_t>(workload->num_features());
+            payload.workloads.push_back(std::move(desc));
+          }
           append_hello_ack(ack.bytes, payload);
           conn->send_queue.push_control(std::move(ack));
           break;

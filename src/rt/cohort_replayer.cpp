@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "core/quantize.hpp"
+#include "features/af_features.hpp"
 #include "features/feature_types.hpp"
 #include "io/wfdb.hpp"
 #include "svm/kernel.hpp"
@@ -48,14 +49,6 @@ CohortReplayer::CohortReplayer(std::shared_ptr<ModelRegistry> registry, StreamCo
                 };
                 return std::move(options);
               }()) {}
-
-CohortReplayer::CohortReplayer(std::shared_ptr<ModelRegistry> registry, StreamConfig config,
-                               std::size_t num_workers, EngineOptions options, ResultSink sink)
-    : CohortReplayer(std::move(registry), config, [&] {
-        options.num_workers = std::max(options.num_workers, num_workers);
-        if (sink) options.sink = std::move(sink);
-        return std::move(options);
-      }()) {}
 
 int CohortReplayer::patient_id_of(const std::string& record_name) {
   std::size_t begin = record_name.size();
@@ -197,17 +190,20 @@ ReplayReport CohortReplayer::replay_records(const std::string& dir,
   return report;
 }
 
-ServableModel synthetic_full_feature_model(std::uint64_t seed) {
-  const std::size_t nfeat = features::kNumFeatures;
-  constexpr std::size_t kNumSvs = 68;  // The paper's tailored SV budget.
+namespace {
+
+/// Shared builder for the synthetic serving models: identity selection over
+/// `nfeat` raw features, seeded z-score scaler, random quantised quadratic
+/// SVM with `num_svs` support vectors.
+ServableModel synthetic_model(std::size_t nfeat, std::size_t num_svs, std::uint64_t seed) {
   std::mt19937_64 rng(seed);
   std::uniform_real_distribution<double> sv_dist(-2.0, 2.0);
   std::uniform_real_distribution<double> alpha_dist(-1.0, 1.0);
   svm::SvmModel model;
   model.kernel = svm::quadratic_kernel();
-  model.support_vectors.resize(kNumSvs, std::vector<double>(nfeat));
-  model.alpha_y.resize(kNumSvs);
-  for (std::size_t i = 0; i < kNumSvs; ++i) {
+  model.support_vectors.resize(num_svs, std::vector<double>(nfeat));
+  model.alpha_y.resize(num_svs);
+  for (std::size_t i = 0; i < num_svs; ++i) {
     for (auto& v : model.support_vectors[i]) v = sv_dist(rng);
     model.alpha_y[i] = alpha_dist(rng);
   }
@@ -224,6 +220,19 @@ ServableModel synthetic_full_feature_model(std::uint64_t seed) {
   auto quantized = core::QuantizedModel::build(model, core::QuantConfig{});
   return ServableModel(std::move(selected), std::move(scaler), std::move(model),
                        std::move(quantized));
+}
+
+}  // namespace
+
+ServableModel synthetic_full_feature_model(std::uint64_t seed) {
+  // 68 support vectors: the paper's tailored SV budget. The RNG draw
+  // sequence matches the historical inline builder, so the replay golden
+  // file is unchanged by the refactor.
+  return synthetic_model(features::kNumFeatures, 68, seed);
+}
+
+ServableModel synthetic_af_model(std::uint64_t seed) {
+  return synthetic_model(features::kNumAfFeatures, 16, seed);
 }
 
 }  // namespace svt::rt

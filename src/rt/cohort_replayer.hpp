@@ -91,14 +91,10 @@ class CohortReplayer {
   /// stats alone. The replayer wraps the sink with its own counting sink on
   /// the engine — do not replace it via engine().set_result_sink(), or
   /// per-record window counts go dark.
-  CohortReplayer(std::shared_ptr<ModelRegistry> registry, StreamConfig config,
-                 EngineOptions options);
-
-  /// Deprecated positional shim (pre-scheduler API): forwards to the
-  /// unified constructor with options.num_workers = max(num_workers,
-  /// options.num_workers) and options.sink = sink (when set).
-  CohortReplayer(std::shared_ptr<ModelRegistry> registry, StreamConfig config = {},
-                 std::size_t num_workers = 1, EngineOptions options = {}, ResultSink sink = {});
+  /// (The pre-scheduler positional (registry, config, num_workers, sink)
+  /// shim is gone; pass workers/sink through rt::EngineOptions.)
+  explicit CohortReplayer(std::shared_ptr<ModelRegistry> registry, StreamConfig config = {},
+                          EngineOptions options = {});
 
   /// Replay every record listed in `<dir>/RECORDS`.
   ReplayReport replay_directory(const std::string& dir, const ReplayOptions& options = {});
@@ -134,5 +130,11 @@ class CohortReplayer {
 /// stream depends only on the seed — never on a training run — which is
 /// what keeps the replay golden file stable across builds.
 ServableModel synthetic_full_feature_model(std::uint64_t seed = 21);
+
+/// Same idea over the AF-screening workload's 3-feature schema (rmssd
+/// ratio, turning-point ratio, RR Shannon entropy): identity selection,
+/// seeded scaler, random quantised quadratic SVM. Pairs with
+/// rt::af_workload() in multi-workload fixtures and benches.
+ServableModel synthetic_af_model(std::uint64_t seed = 43);
 
 }  // namespace svt::rt

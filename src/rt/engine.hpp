@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
@@ -30,13 +31,17 @@
 
 namespace svt::rt {
 
-/// One classified window.
+/// One classified window, for one workload. A stream serving W workloads
+/// yields W results per window position, sharing (patient_id, start_s) and
+/// distinguished by `workload`.
 struct WindowResult {
   int patient_id = 0;
   double start_s = 0.0;         ///< Window start within the patient's stream.
   double decision_value = 0.0;  ///< Float (or dequantised fixed-point) f(x).
-  int label = 0;                ///< +1 = ictal, -1 = interictal.
+  int label = 0;                ///< +1 = positive class, -1 = negative.
   std::size_t num_beats = 0;    ///< R peaks detected in the window.
+  std::uint32_t workload = 0;   ///< Index into the stream's workload list.
+  std::uint32_t quality = 0;    ///< ecg::quality_flags bitmask (0 = clean).
 };
 
 /// Receives classified windows as soon as a patient's batch completes. Each
@@ -110,6 +115,11 @@ struct EngineStats {
   std::size_t delivered_windows = 0;
   std::size_t rejected_windows = 0;
   std::size_t dropped_chunks = 0;
+  /// Quality-gate outcomes (both zero when the gate is off): window
+  /// positions emitted with non-zero quality flags / withheld by the
+  /// suppress policy. Counted per window position, not per workload.
+  std::size_t windows_annotated = 0;
+  std::size_t windows_suppressed = 0;
   SchedulerStats scheduler;
 };
 

@@ -89,35 +89,67 @@ ServableModel ServableModel::load(std::istream& is) {
                        std::move(quantized));
 }
 
-ModelRegistry::ModelRegistry(ServableModel default_model)
-    : default_(std::make_shared<const ServableModel>(std::move(default_model))) {}
+ModelRegistry::ModelRegistry(ServableModel default_model) {
+  defaults_[0] = std::make_shared<const ServableModel>(std::move(default_model));
+}
 
 void ModelRegistry::set_default(std::shared_ptr<const ServableModel> model) {
+  set_default(0, std::move(model));
+}
+
+void ModelRegistry::set_default(std::uint32_t workload,
+                                std::shared_ptr<const ServableModel> model) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  default_ = std::move(model);
+  if (model) {
+    defaults_[workload] = std::move(model);
+  } else {
+    defaults_.erase(workload);
+  }
   ++generation_;
+}
+
+void ModelRegistry::set_default(std::uint32_t workload, ServableModel model) {
+  set_default(workload, std::make_shared<const ServableModel>(std::move(model)));
 }
 
 void ModelRegistry::install(int patient_id, std::shared_ptr<const ServableModel> model) {
-  if (!model) throw std::invalid_argument("ModelRegistry::install: null model");
-  const std::lock_guard<std::mutex> lock(mutex_);
-  models_[patient_id] = std::move(model);
-  ++generation_;
+  install(0, patient_id, std::move(model));
 }
 
 void ModelRegistry::install(int patient_id, ServableModel model) {
-  install(patient_id, std::make_shared<const ServableModel>(std::move(model)));
+  install(0, patient_id, std::make_shared<const ServableModel>(std::move(model)));
 }
 
-void ModelRegistry::erase(int patient_id) {
+void ModelRegistry::install(std::uint32_t workload, int patient_id,
+                            std::shared_ptr<const ServableModel> model) {
+  if (!model) throw std::invalid_argument("ModelRegistry::install: null model");
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (models_.erase(patient_id) > 0) ++generation_;
+  models_[Key{workload, patient_id}] = std::move(model);
+  ++generation_;
+}
+
+void ModelRegistry::install(std::uint32_t workload, int patient_id, ServableModel model) {
+  install(workload, patient_id, std::make_shared<const ServableModel>(std::move(model)));
+}
+
+void ModelRegistry::erase(int patient_id) { erase(0, patient_id); }
+
+void ModelRegistry::erase(std::uint32_t workload, int patient_id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (models_.erase(Key{workload, patient_id}) > 0) ++generation_;
 }
 
 std::shared_ptr<const ServableModel> ModelRegistry::resolve(int patient_id) const {
+  return resolve(0, patient_id);
+}
+
+std::shared_ptr<const ServableModel> ModelRegistry::resolve(std::uint32_t workload,
+                                                            int patient_id) const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = models_.find(patient_id);
-  return it != models_.end() ? it->second : default_;
+  const auto it = models_.find(Key{workload, patient_id});
+  if (it != models_.end()) return it->second;
+  const auto def = defaults_.find(workload);
+  return def != defaults_.end() ? def->second : nullptr;
 }
 
 std::size_t ModelRegistry::num_patient_models() const {

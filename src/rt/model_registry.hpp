@@ -36,6 +36,7 @@
 #include <mutex>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/quantize.hpp"
@@ -89,29 +90,42 @@ class ServableModel {
   std::optional<PackedModel> packed_;
 };
 
-/// Thread-safe patient -> model map with a cohort-wide default.
+/// Thread-safe (workload, patient) -> model map with a per-workload
+/// default. Workload 0 is the primary pipeline (apnea in-tree); the
+/// single-argument overloads address it, so pre-multi-workload callers are
+/// source-compatible and serve exactly what they always served.
 class ModelRegistry {
  public:
   ModelRegistry() = default;
+  /// Workload-0 cohort default.
   explicit ModelRegistry(ServableModel default_model);
 
-  /// The fallback served to patients without a dedicated entry (null clears).
+  /// The fallback served to a workload's patients without a dedicated entry
+  /// (null clears). The single-argument overload addresses workload 0.
   void set_default(std::shared_ptr<const ServableModel> model);
+  void set_default(std::uint32_t workload, std::shared_ptr<const ServableModel> model);
+  void set_default(std::uint32_t workload, ServableModel model);
 
-  /// Install (or hot-swap) a patient's dedicated model. Atomic with respect
-  /// to resolve(): concurrent lookups see either the old or the new model,
-  /// never a partial state.
+  /// Install (or hot-swap) a patient's dedicated model for one workload.
+  /// Atomic with respect to resolve(): concurrent lookups see either the
+  /// old or the new model, never a partial state.
   void install(int patient_id, std::shared_ptr<const ServableModel> model);
   void install(int patient_id, ServableModel model);
+  void install(std::uint32_t workload, int patient_id,
+               std::shared_ptr<const ServableModel> model);
+  void install(std::uint32_t workload, int patient_id, ServableModel model);
 
-  /// Remove a patient's dedicated model (falls back to the default).
+  /// Remove a patient's dedicated workload-0 / per-workload model (falls
+  /// back to that workload's default).
   void erase(int patient_id);
+  void erase(std::uint32_t workload, int patient_id);
 
-  /// The model currently serving a patient: their dedicated entry if one is
-  /// installed, else the default, else null.
+  /// The model currently serving (workload, patient): the dedicated entry
+  /// if one is installed, else the workload's default, else null.
   std::shared_ptr<const ServableModel> resolve(int patient_id) const;
+  std::shared_ptr<const ServableModel> resolve(std::uint32_t workload, int patient_id) const;
 
-  /// Patients with a dedicated entry.
+  /// Dedicated (workload, patient) entries across all workloads.
   std::size_t num_patient_models() const;
 
   /// Monotonic mutation counter: incremented by every set_default, install,
@@ -119,9 +133,12 @@ class ModelRegistry {
   std::uint64_t generation() const;
 
  private:
+  /// (workload, patient): ordered so workload-contiguous iteration works.
+  using Key = std::pair<std::uint32_t, int>;
+
   mutable std::mutex mutex_;
-  std::shared_ptr<const ServableModel> default_;
-  std::map<int, std::shared_ptr<const ServableModel>> models_;
+  std::map<std::uint32_t, std::shared_ptr<const ServableModel>> defaults_;
+  std::map<Key, std::shared_ptr<const ServableModel>> models_;
   std::uint64_t generation_ = 0;
 };
 

@@ -8,17 +8,6 @@
 
 namespace svt::rt {
 
-namespace {
-
-/// Fold the deprecated positional arguments into the unified options struct.
-EngineOptions merge_legacy(EngineOptions options, std::size_t num_workers, ResultSink sink) {
-  options.num_workers = std::max(options.num_workers, num_workers);
-  if (sink) options.sink = std::move(sink);
-  return options;
-}
-
-}  // namespace
-
 ShardedStreamClassifier::ShardedStreamClassifier(std::shared_ptr<ModelRegistry> registry,
                                                  StreamConfig config, EngineOptions options)
     : registry_(std::move(registry)), config_(config), options_(std::move(options)) {
@@ -50,18 +39,6 @@ ShardedStreamClassifier::ShardedStreamClassifier(const core::TailoredDetector& d
     : ShardedStreamClassifier(
           std::make_shared<ModelRegistry>(ServableModel::from_detector(detector)), config,
           std::move(options)) {}
-
-ShardedStreamClassifier::ShardedStreamClassifier(std::shared_ptr<ModelRegistry> registry,
-                                                 StreamConfig config, std::size_t num_workers,
-                                                 EngineOptions options, ResultSink sink)
-    : ShardedStreamClassifier(std::move(registry), config,
-                              merge_legacy(std::move(options), num_workers, std::move(sink))) {}
-
-ShardedStreamClassifier::ShardedStreamClassifier(const core::TailoredDetector& detector,
-                                                 StreamConfig config, std::size_t num_workers,
-                                                 EngineOptions options, ResultSink sink)
-    : ShardedStreamClassifier(detector, config,
-                              merge_legacy(std::move(options), num_workers, std::move(sink))) {}
 
 ShardedStreamClassifier::~ShardedStreamClassifier() {
   if (deadline_thread_.joinable()) {
@@ -212,6 +189,26 @@ SchedulerStats ShardedStreamClassifier::scheduler_stats() const {
 features::SegmentCacheStats ShardedStreamClassifier::cache_stats() const {
   features::SegmentCacheStats total;
   for (const auto& shard : shards_) total += shard->extractor.cache_stats();
+  // A patient whose stream goes quiet right after a migration stays parked
+  // on its route until the next push lazily attaches it — its travelling
+  // cache lives in no extractor, so fold parked state in here.
+  const std::lock_guard<std::mutex> lock(route_mutex_);
+  for (const auto& [pid, route] : routes_)
+    if (route.parked && route.parked->cache) total += route.parked->cache->stats();
+  return total;
+}
+
+ecg::QualityStats ShardedStreamClassifier::quality_stats() const {
+  // Gate stats travel with a migrating patient, so summing the shard
+  // extractors is exact when the engine is quiescent (after flush()) —
+  // provided parked patients (detached by the victim, not yet attached by
+  // the new owner; permanent if the stream never pushes again) are counted
+  // too. A mid-migration read can still transiently miss in-flight state.
+  ecg::QualityStats total;
+  for (const auto& shard : shards_) total += shard->extractor.quality_stats();
+  const std::lock_guard<std::mutex> lock(route_mutex_);
+  for (const auto& [pid, route] : routes_)
+    if (route.parked && route.parked->gate) total += route.parked->gate->stats();
   return total;
 }
 
@@ -220,6 +217,8 @@ EngineStats ShardedStreamClassifier::stats() const {
   s.delivered_windows = delivered_.load();
   s.rejected_windows = rejected_.load();
   s.dropped_chunks = dropped_chunks();
+  s.windows_annotated = annotated_.load();
+  s.windows_suppressed = suppressed_.load();
   s.scheduler = scheduler_stats();
   return s;
 }
@@ -402,6 +401,21 @@ void ShardedStreamClassifier::worker_loop(std::size_t self, Shard& shard) {
       rejected_ += rejected_now - shard.rejected_reported;
       shard.rejected_reported = rejected_now;
     }
+    // Same watermark pattern for the quality-gate counters. These are the
+    // extractor's OWN monotone event counts (they do not travel with a
+    // migrating patient), so the delta is never negative.
+    if (config_.quality.enable) {
+      const std::size_t annotated_now = shard.extractor.annotated_windows();
+      if (annotated_now != shard.annotated_reported) {
+        annotated_ += annotated_now - shard.annotated_reported;
+        shard.annotated_reported = annotated_now;
+      }
+      const std::size_t suppressed_now = shard.extractor.suppressed_windows();
+      if (suppressed_now != shard.suppressed_reported) {
+        suppressed_ += suppressed_now - shard.suppressed_reported;
+        shard.suppressed_reported = suppressed_now;
+      }
+    }
   };
   const auto note_error = [&] {
     // Record the first error for the next flush() and keep serving: one
@@ -557,43 +571,63 @@ void ShardedStreamClassifier::worker_loop(std::size_t self, Shard& shard) {
 void ShardedStreamClassifier::classify_batch(int patient_id,
                                              std::span<const ExtractedWindow> windows,
                                              Shard& shard) {
-  // Snapshot the patient's model once per batch: this is the hot-swap fence.
-  // The batch runs to completion on the snapshot even if install() replaces
-  // the registry entry mid-batch; the next batch sees the new model.
-  const auto model = registry_->resolve(patient_id);
-  if (!model)
-    throw std::runtime_error("ShardedStreamClassifier: no model for patient " +
-                             std::to_string(patient_id));
-
   // All staging lives in the shard's scratch: rows, values and the kernel's
   // transpose/quantise buffers keep their capacity between batches, so the
   // steady-state serve loop performs no heap allocation.
   const std::size_t n = windows.size();
   ClassifyScratch& scratch = shard.scratch;
-  if (scratch.rows.size() < n) scratch.rows.resize(n);
-  for (std::size_t k = 0; k < n; ++k)
-    model->prepare_row(windows[k].raw_features, scratch.rows[k]);
-  const std::span<const std::vector<double>> rows(scratch.rows.data(), n);
-
-  auto& values = scratch.values;
-  if (model->quantized()) {
-    model->quantized()->dequantized_decisions(rows, scratch.kernel, values);
-  } else if (model->packed()) {
-    values.resize(n);
-    model->packed()->decision_values(rows, values, scratch.kernel);
-  } else {
-    values.resize(n);
-    model->model().decision_values(rows, values);
-  }
-
   auto& batch = scratch.batch;
   batch.resize(n);
   for (std::size_t k = 0; k < n; ++k) {
     batch[k].patient_id = patient_id;
     batch[k].start_s = windows[k].start_s;
     batch[k].num_beats = windows[k].num_beats;
-    batch[k].decision_value = values[k];
-    batch[k].label = values[k] >= 0.0 ? +1 : -1;
+    batch[k].workload = windows[k].workload;
+    batch[k].quality = windows[k].quality;
+  }
+
+  // One batched kernel call per workload: gather that workload's windows in
+  // emission order, classify, scatter the values back. A single-workload
+  // stream takes exactly one call over the whole batch in emission order —
+  // the historical behaviour, bit for bit.
+  const std::size_t num_workloads = shard.extractor.num_workloads();
+  for (std::uint32_t w = 0; w < num_workloads; ++w) {
+    auto& index = scratch.index;
+    index.clear();
+    for (std::size_t k = 0; k < n; ++k)
+      if (windows[k].workload == w) index.push_back(k);
+    if (index.empty()) continue;
+
+    // Snapshot the (workload, patient) model once per batch: this is the
+    // hot-swap fence. The batch runs to completion on the snapshot even if
+    // install() replaces the registry entry mid-batch; the next batch sees
+    // the new model.
+    const auto model = registry_->resolve(w, patient_id);
+    if (!model)
+      throw std::runtime_error("ShardedStreamClassifier: no model for workload " +
+                               std::to_string(w) + ", patient " +
+                               std::to_string(patient_id));
+
+    const std::size_t m = index.size();
+    if (scratch.rows.size() < m) scratch.rows.resize(m);
+    for (std::size_t k = 0; k < m; ++k)
+      model->prepare_row(windows[index[k]].features_view(), scratch.rows[k]);
+    const std::span<const std::vector<double>> rows(scratch.rows.data(), m);
+
+    auto& values = scratch.values;
+    if (model->quantized()) {
+      model->quantized()->dequantized_decisions(rows, scratch.kernel, values);
+    } else if (model->packed()) {
+      values.resize(m);
+      model->packed()->decision_values(rows, values, scratch.kernel);
+    } else {
+      values.resize(m);
+      model->model().decision_values(rows, values);
+    }
+    for (std::size_t k = 0; k < m; ++k) {
+      batch[index[k]].decision_value = values[k];
+      batch[index[k]].label = values[k] >= 0.0 ? +1 : -1;
+    }
   }
   deliver(batch);
 }
@@ -682,7 +716,9 @@ std::vector<WindowResult> ShardedStreamClassifier::flush() {
     results.swap(collected_);
   }
   std::sort(results.begin(), results.end(), [](const WindowResult& a, const WindowResult& b) {
-    return a.patient_id != b.patient_id ? a.patient_id < b.patient_id : a.start_s < b.start_s;
+    if (a.patient_id != b.patient_id) return a.patient_id < b.patient_id;
+    if (a.start_s != b.start_s) return a.start_s < b.start_s;
+    return a.workload < b.workload;
   });
   return results;
 }

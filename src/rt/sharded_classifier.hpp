@@ -134,25 +134,18 @@ class ShardedStreamClassifier final : public Engine {
   /// registry, a bad stream config (same rules as WindowExtractor), or
   /// deadline mode over an unbounded queue (deadline.target_p99_s > 0 with
   /// queue_capacity == 0 — forced shedding needs a bound to evict against).
-  ShardedStreamClassifier(std::shared_ptr<ModelRegistry> registry, StreamConfig config,
-                          EngineOptions options);
+  ShardedStreamClassifier(std::shared_ptr<ModelRegistry> registry, StreamConfig config = {},
+                          EngineOptions options = {});
 
   /// Unified constructor over one cohort-wide detector (the registry holds
-  /// it as the default; per-patient models can still be installed later).
+  /// it as the workload-0 default; per-patient and per-workload models can
+  /// still be installed later).
   ShardedStreamClassifier(const core::TailoredDetector& detector, StreamConfig config,
-                          EngineOptions options);
-
-  /// Deprecated positional shim (pre-scheduler API): forwards to the unified
-  /// constructor with options.num_workers = max(num_workers,
-  /// options.num_workers) and options.sink = sink (when set).
-  ShardedStreamClassifier(std::shared_ptr<ModelRegistry> registry, StreamConfig config = {},
-                          std::size_t num_workers = 1, EngineOptions options = {},
-                          ResultSink sink = {});
-
-  /// Deprecated positional shim over a cohort-wide detector.
-  ShardedStreamClassifier(const core::TailoredDetector& detector, StreamConfig config = {},
-                          std::size_t num_workers = 1, EngineOptions options = {},
-                          ResultSink sink = {});
+                          EngineOptions options = {});
+  // The pre-scheduler positional (registry, config, num_workers, options,
+  // sink) constructors are gone: every in-repo caller moved to
+  // rt::EngineOptions when the multi-workload API landed. Set
+  // options.num_workers / options.sink instead.
 
   ~ShardedStreamClassifier() override;
   ShardedStreamClassifier(const ShardedStreamClassifier&) = delete;
@@ -243,7 +236,15 @@ class ShardedStreamClassifier final : public Engine {
   /// call (same contract as an exact shard_of()).
   features::SegmentCacheStats cache_stats() const;
 
-  /// Uniform counters (rt::Engine).
+  /// Aggregate quality-gate counters summed over every shard's extractor.
+  /// All zeros when the gate is off. Quiescent read like cache_stats():
+  /// fence with flush() first — gate state migrates with the patient, so
+  /// only a fence makes the per-shard sums coherent.
+  ecg::QualityStats quality_stats() const;
+
+  /// Uniform counters (rt::Engine). windows_annotated/windows_suppressed
+  /// are maintained by worker-side watermarks (like rejected_windows), so
+  /// they are safe to read mid-stream and exact after a flush.
   EngineStats stats() const override;
 
   /// Per-batch delivery latencies in seconds: for every delivered batch,
@@ -264,6 +265,13 @@ class ShardedStreamClassifier final : public Engine {
   const StreamConfig& config() const { return config_; }
   const EngineOptions& options() const { return options_; }
 
+  /// The resolved workload list (every shard serves the same list; see
+  /// StreamConfig::workloads).
+  const std::vector<std::shared_ptr<const Workload>>& workloads() const {
+    return shards_.front()->extractor.workloads();
+  }
+  std::size_t num_workloads() const { return workloads().size(); }
+
  private:
   struct Task {
     int patient_id = 0;
@@ -282,6 +290,7 @@ class ShardedStreamClassifier final : public Engine {
     std::vector<std::vector<double>> rows;  ///< Prepared (selected+scaled) rows.
     std::vector<double> values;
     std::vector<WindowResult> batch;
+    std::vector<std::size_t> index;  ///< Batch positions of one workload's windows.
     KernelScratch kernel;
   };
 
@@ -292,6 +301,8 @@ class ShardedStreamClassifier final : public Engine {
     WindowExtractor extractor;          ///< Touched only by the worker thread.
     ClassifyScratch scratch;            ///< Touched only by the worker thread.
     std::size_t rejected_reported = 0;  ///< Worker-local watermark.
+    std::size_t annotated_reported = 0;   ///< Quality watermarks (worker-local,
+    std::size_t suppressed_reported = 0;  ///< against the extractor's counters).
     mutable std::mutex latency_mutex;   ///< Guards the latency reservoir.
     std::vector<double> latencies_s;    ///< Most recent delivered batches.
     std::size_t latency_next = 0;       ///< Overwrite cursor once full.
@@ -427,6 +438,8 @@ class ShardedStreamClassifier final : public Engine {
 
   std::atomic<std::size_t> rejected_{0};
   std::atomic<std::size_t> delivered_{0};
+  std::atomic<std::size_t> annotated_{0};
+  std::atomic<std::size_t> suppressed_{0};
 };
 
 }  // namespace svt::rt

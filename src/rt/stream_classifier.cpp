@@ -1,20 +1,41 @@
 #include "rt/stream_classifier.hpp"
 
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace svt::rt {
 
+namespace {
+
+std::vector<ServableModel> single_model(ServableModel model) {
+  std::vector<ServableModel> models;
+  models.push_back(std::move(model));
+  return models;
+}
+
+}  // namespace
+
 StreamClassifier::StreamClassifier(ServableModel model, StreamConfig config)
-    : model_(std::move(model)), extractor_(config) {}
+    : StreamClassifier(single_model(std::move(model)), std::move(config)) {}
+
+StreamClassifier::StreamClassifier(std::vector<ServableModel> models, StreamConfig config)
+    : models_(std::move(models)), extractor_(std::move(config)) {
+  if (models_.size() != extractor_.num_workloads())
+    throw std::invalid_argument(
+        "StreamClassifier: one model per registered workload required (got " +
+        std::to_string(models_.size()) + " for " +
+        std::to_string(extractor_.num_workloads()) + " workloads)");
+}
 
 StreamClassifier::StreamClassifier(const core::TailoredDetector& detector, StreamConfig config)
-    : StreamClassifier(ServableModel::from_detector(detector), config) {}
+    : StreamClassifier(ServableModel::from_detector(detector), std::move(config)) {}
 
 void StreamClassifier::push_samples(int patient_id, std::span<const double> samples_mv) {
   extractor_.push_samples(patient_id, samples_mv, [this](ExtractedWindow&& window) {
     // The model's per-window front half (feature selection + scaling); the
     // back half (the decision kernel) is deferred to flush(), where all
-    // queued rows go through one batched call.
+    // queued rows go through one batched call per workload.
     queue_window(window);
   });
 }
@@ -25,11 +46,13 @@ bool StreamClassifier::end_stream(int patient_id) {
 }
 
 void StreamClassifier::queue_window(const ExtractedWindow& window) {
-  pending_rows_.push_back(model_.prepare_row(window.raw_features));
+  pending_rows_.push_back(models_[window.workload].prepare_row(window.features_view()));
   WindowResult meta;
   meta.patient_id = window.patient_id;
   meta.start_s = window.start_s;
   meta.num_beats = window.num_beats;
+  meta.workload = window.workload;
+  meta.quality = window.quality;
   pending_meta_.push_back(meta);
 }
 
@@ -41,26 +64,39 @@ std::vector<WindowResult> StreamClassifier::flush() {
   delivered_windows_ += results.size();
   if (results.empty()) return results;
 
-  if (model_.quantized()) {
-    // Fixed-point deployment: labels come from the bit-exact batched integer
-    // pipeline; the dequantised accumulator doubles as the decision value.
-    const auto values = model_.quantized()->dequantized_decisions(rows);
-    for (std::size_t w = 0; w < results.size(); ++w) {
-      results[w].decision_value = values[w];
-      results[w].label = values[w] >= 0.0 ? +1 : -1;
-    }
-    return results;
-  }
+  // One batched kernel call per workload: gather that workload's rows in
+  // queue order, classify, scatter the values back. With a single workload
+  // this is exactly one call over all rows in push order — the historical
+  // (pre-multi-workload) behaviour, bit for bit.
+  std::vector<std::size_t> index;
+  std::vector<std::vector<double>> workload_rows;
+  std::vector<double> values;
+  for (std::uint32_t w = 0; w < models_.size(); ++w) {
+    index.clear();
+    for (std::size_t i = 0; i < results.size(); ++i)
+      if (results[i].workload == w) index.push_back(i);
+    if (index.empty()) continue;
+    workload_rows.clear();
+    for (const std::size_t i : index) workload_rows.push_back(std::move(rows[i]));
 
-  std::vector<double> values(rows.size());
-  if (model_.packed()) {
-    model_.packed()->decision_values(rows, values);
-  } else {
-    model_.model().decision_values(rows, values);
-  }
-  for (std::size_t w = 0; w < results.size(); ++w) {
-    results[w].decision_value = values[w];
-    results[w].label = values[w] >= 0.0 ? +1 : -1;
+    const ServableModel& model = models_[w];
+    if (model.quantized()) {
+      // Fixed-point deployment: labels come from the bit-exact batched
+      // integer pipeline; the dequantised accumulator doubles as the
+      // decision value.
+      values = model.quantized()->dequantized_decisions(workload_rows);
+    } else {
+      values.resize(workload_rows.size());
+      if (model.packed()) {
+        model.packed()->decision_values(workload_rows, values);
+      } else {
+        model.model().decision_values(workload_rows, values);
+      }
+    }
+    for (std::size_t k = 0; k < index.size(); ++k) {
+      results[index[k]].decision_value = values[k];
+      results[index[k]].label = values[k] >= 0.0 ? +1 : -1;
+    }
   }
   return results;
 }

@@ -42,8 +42,14 @@ class StreamClassifier final : public Engine {
   /// The model's SVM is packed once up front when it uses the quadratic
   /// kernel (other kernels fall back to the per-window float path). Throws
   /// std::invalid_argument on a non-positive sampling rate, window, or
-  /// stride, or stride_s > window_s.
+  /// stride, stride_s > window_s, or a config registering more than one
+  /// workload (this overload serves exactly one).
   explicit StreamClassifier(ServableModel model, StreamConfig config = {});
+
+  /// Serve one model per registered workload (models[w] classifies workload
+  /// w's windows). Throws std::invalid_argument when the count disagrees
+  /// with the config's workload list.
+  StreamClassifier(std::vector<ServableModel> models, StreamConfig config);
 
   /// Wrap a tailored detector: serves ServableModel::from_detector(detector),
   /// which copies the deployable parts bit-exactly.
@@ -73,6 +79,8 @@ class StreamClassifier final : public Engine {
     EngineStats s;
     s.delivered_windows = delivered_windows_;
     s.rejected_windows = rejected_windows();
+    s.windows_annotated = extractor_.annotated_windows();
+    s.windows_suppressed = extractor_.suppressed_windows();
     return s;
   }
 
@@ -82,6 +90,12 @@ class StreamClassifier final : public Engine {
   /// Segment-cache counters of the incremental feature pipeline (all zeros
   /// on non-stride-aligned configurations).
   features::SegmentCacheStats cache_stats() const { return extractor_.cache_stats(); }
+
+  /// Quality-gate counters (all zeros when the gate is off).
+  ecg::QualityStats quality_stats() const { return extractor_.quality_stats(); }
+
+  /// The stream's resolved workload list (see StreamConfig::workloads).
+  std::size_t num_workloads() const { return extractor_.num_workloads(); }
 
   /// Samples currently buffered for a patient (0 for unknown patients).
   std::size_t buffered_samples(int patient_id) const {
@@ -95,12 +109,14 @@ class StreamClassifier final : public Engine {
   /// its end have been pushed (see WindowExtractor::emission_lag_samples).
   std::size_t emission_lag_samples() const { return extractor_.emission_lag_samples(); }
   const StreamConfig& config() const { return extractor_.config(); }
-  const ServableModel& model() const { return model_; }
+  /// Workload 0's model (the only one for single-workload streams).
+  const ServableModel& model() const { return models_.front(); }
+  const ServableModel& model(std::size_t workload) const { return models_.at(workload); }
 
  private:
   void queue_window(const ExtractedWindow& window);
 
-  ServableModel model_;
+  std::vector<ServableModel> models_;  ///< One per workload, same order.
   WindowExtractor extractor_;
   std::vector<std::vector<double>> pending_rows_;  ///< Scaled, selected features.
   std::vector<WindowResult> pending_meta_;

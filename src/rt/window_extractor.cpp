@@ -7,13 +7,31 @@
 
 #include "dsp/resample.hpp"
 #include "dsp/statistics.hpp"
-#include "features/ar_features.hpp"
-#include "features/extractor.hpp"
-#include "features/hrv_features.hpp"
-#include "features/lorentz_features.hpp"
-#include "features/psd_features.hpp"
 
 namespace svt::rt {
+
+namespace {
+
+/// Segment-cached PSD source: applies the compute_psd_features gates to the
+/// assembled window, then serves the averaged memoized periodograms.
+class CachePsdSource final : public WindowPsdSource {
+ public:
+  CachePsdSource(features::SegmentFeatureCache& cache, std::int64_t m0,
+                 std::span<const double> edr)
+      : cache_(cache), m0_(m0), edr_(edr) {}
+
+  const dsp::PsdEstimate* window_psd(features::FeatureScratch& scratch) override {
+    if (edr_.size() < 32 || dsp::stddev_population(edr_) <= 0.0) return nullptr;
+    return &cache_.window_psd(m0_, scratch.spectral);
+  }
+
+ private:
+  features::SegmentFeatureCache& cache_;
+  std::int64_t m0_;
+  std::span<const double> edr_;
+};
+
+}  // namespace
 
 WindowExtractor::WindowExtractor(StreamConfig config) : config_(config) {
   if (config.fs_hz <= 0.0) throw std::invalid_argument("WindowExtractor: fs_hz <= 0");
@@ -38,6 +56,23 @@ WindowExtractor::WindowExtractor(StreamConfig config) : config_(config) {
   cache_layout_ = features::SegmentFeatureCache::plan(
       config_.fs_hz, config_.edr_fs_hz, static_cast<std::int64_t>(stride_samples_),
       static_cast<std::int64_t>(window_samples_));
+  // Resolve the workload list: empty = the single-apnea default (workload 0
+  // is the paper's pipeline, bit-identical to the pre-workload engine).
+  workloads_ = config_.workloads.empty()
+                   ? std::vector<std::shared_ptr<const Workload>>{apnea_workload()}
+                   : config_.workloads;
+  for (const auto& workload : workloads_) {
+    if (!workload) throw std::invalid_argument("WindowExtractor: null workload");
+    const std::size_t n = workload->num_features();
+    if (n == 0 || n > kMaxWorkloadFeatures)
+      throw std::invalid_argument("WindowExtractor: workload feature count out of range");
+  }
+  // Validate the quality configuration up front (not on the first push):
+  // the probe gate exercises the same checks every per-patient gate would.
+  if (config_.quality.enable) {
+    const ecg::SignalQualityGate quality_probe(config_.quality, config_.fs_hz);
+    (void)quality_probe;
+  }
 }
 
 std::size_t WindowExtractor::claim_pack() {
@@ -74,6 +109,8 @@ WindowExtractor::PatientState& WindowExtractor::find_or_create(int patient_id) {
   if (cache_layout_)
     state.cache =
         std::make_unique<features::SegmentFeatureCache>(*cache_layout_, config_.incremental);
+  if (config_.quality.enable)
+    state.gate = std::make_unique<ecg::SignalQualityGate>(config_.quality, config_.fs_hz);
   ++pack.active;
   return patients_.emplace(patient_id, std::move(state)).first->second;
 }
@@ -88,6 +125,7 @@ std::optional<WindowExtractor::DetachedPatient> WindowExtractor::detach_patient(
   out.pushed = state.pushed;
   out.consumed = state.consumed;
   out.cache = std::move(state.cache);  // Stats travel with the entries.
+  out.gate = std::move(state.gate);    // Spans/counters travel with the stream.
   if (--pack.active == 0) {
     retired_vector_samples_ += pack.detector.vector_samples();
     retired_scalar_samples_ += pack.detector.scalar_samples();
@@ -108,18 +146,25 @@ void WindowExtractor::attach_patient(int patient_id, DetachedPatient&& detached)
   state.pushed = detached.pushed;
   state.consumed = detached.consumed;
   state.cache = std::move(detached.cache);
+  state.gate = std::move(detached.gate);
   // A detached stream from a matching configuration carries its cache; be
   // robust to one that does not (correctness never depends on warm entries).
   if (cache_layout_ && !state.cache)
     state.cache =
         std::make_unique<features::SegmentFeatureCache>(*cache_layout_, config_.incremental);
   if (!cache_layout_) state.cache.reset();
+  // Same robustness for the gate (a fresh gate loses history; a matching
+  // migration always carries one, so this only covers mismatched configs).
+  if (config_.quality.enable && !state.gate)
+    state.gate = std::make_unique<ecg::SignalQualityGate>(config_.quality, config_.fs_hz);
+  if (!config_.quality.enable) state.gate.reset();
   ++pack.active;
   patients_.emplace(patient_id, std::move(state));
 }
 
 void WindowExtractor::release_patient(PatientState& state) {
   if (state.cache) retired_cache_stats_ += state.cache->stats();
+  if (state.gate) retired_quality_stats_ += state.gate->stats();
   Pack& pack = *packs_[state.pack];
   pack.detector.remove_lane(state.lane);
   if (--pack.active == 0) {
@@ -160,6 +205,10 @@ void WindowExtractor::push_batch(std::span<const PatientChunk> chunks, const Win
   // arrive contiguously and in stream order.
   for (const auto& chunk : chunks) {
     PatientState& state = patients_.find(chunk.patient_id)->second;
+    // Quality gate: scan the raw chunk at its absolute stream offset. The
+    // scan is per-sample sequential state only, so the resulting spans are
+    // independent of chunk boundaries (and of which shard runs the stream).
+    if (state.gate) state.gate->scan(chunk.samples_mv, state.pushed);
     state.pushed += static_cast<std::int64_t>(chunk.samples_mv.size());
     const auto& detector = packs_[state.pack]->detector;
     emit_ready_windows(chunk.patient_id, state, detector.final_through(state.lane), sink);
@@ -193,6 +242,9 @@ void WindowExtractor::emit_ready_windows(int patient_id, PatientState& state,
         state.cache ? state.consumed - static_cast<std::int64_t>(stride_samples_)
                     : state.consumed;
     detector.drop_beats_before(state.lane, retain);
+    // Artifact spans behind the retained horizon can never overlap a future
+    // window; drop them so span memory tracks the window, not the stream.
+    if (state.gate) state.gate->drop_spans_before(retain);
   }
 }
 
@@ -234,12 +286,15 @@ void WindowExtractor::emit_window(int patient_id, PatientState& state, const Win
   edr_scratch_.fs_hz = config_.edr_fs_hz;
   dsp::remove_mean(edr_scratch_.values);
 
-  ExtractedWindow out;
-  out.patient_id = patient_id;
-  out.start_s = static_cast<double>(start) / config_.fs_hz;
-  out.num_beats = nbeats;
-  features::extract_features(rr_scratch_, edr_scratch_, scratch_, out.raw_features);
-  sink(std::move(out));
+  // Substrate computed once; every registered workload extracts from it.
+  // The null PSD source selects the direct whole-window Welch computation —
+  // bit-identical to the pre-workload extract_features path.
+  WindowSubstrate substrate;
+  substrate.rr_s = rr_scratch_.rr_s;
+  substrate.edr = edr_scratch_.values;
+  substrate.edr_fs_hz = config_.edr_fs_hz;
+  substrate.num_beats = nbeats;
+  emit_for_workloads(patient_id, state, start, substrate, sink);
 }
 
 void WindowExtractor::emit_window_cached(int patient_id, PatientState& state,
@@ -260,31 +315,58 @@ void WindowExtractor::emit_window_cached(int patient_id, PatientState& state,
     return;
   }
 
-  ExtractedWindow out;
-  out.patient_id = patient_id;
-  out.start_s = static_cast<double>(start) / config_.fs_hz;
-  out.num_beats = view.beats;
-  // Same feature order and gates as extract_features, but the time-domain
-  // groups run on the assembled spans and the PSD group is fed the average
-  // of the memoized per-segment periodograms instead of re-running Welch
-  // over the whole window.
-  std::span<double> f(out.raw_features);
-  std::size_t off = 0;
-  features::compute_hrv_features(view.rr, scratch_, f.subspan(off, features::kNumHrvFeatures));
-  off += features::kNumHrvFeatures;
-  features::compute_lorentz_features(view.rr, scratch_,
-                                     f.subspan(off, features::kNumLorentzFeatures));
-  off += features::kNumLorentzFeatures;
-  features::compute_ar_features(view.edr, scratch_, f.subspan(off, features::kNumArFeatures));
-  off += features::kNumArFeatures;
-  const auto psd_out = f.subspan(off, features::kNumPsdFeatures);
-  std::fill(psd_out.begin(), psd_out.end(), 0.0);
-  // compute_psd_features' gates, applied to the assembled window.
-  if (view.edr.size() >= 32 && dsp::stddev_population(view.edr) > 0.0) {
-    const dsp::PsdEstimate& psd = cache.window_psd(m0, scratch_.spectral);
-    features::summarize_psd(psd, config_.edr_fs_hz, psd_out);
+  // Same substrate contract as the legacy path, but over the assembled
+  // spans — and the PSD source serves the average of the memoized
+  // per-segment periodograms instead of re-running Welch over the window
+  // (applying compute_psd_features' gates to the assembled EDR first).
+  CachePsdSource psd_source(cache, m0, view.edr);
+  WindowSubstrate substrate;
+  substrate.rr_s = view.rr;
+  substrate.edr = view.edr;
+  substrate.edr_fs_hz = config_.edr_fs_hz;
+  substrate.num_beats = view.beats;
+  substrate.psd = &psd_source;
+  emit_for_workloads(patient_id, state, start, substrate, sink);
+}
+
+void WindowExtractor::emit_for_workloads(int patient_id, PatientState& state,
+                                         std::int64_t start, const WindowSubstrate& substrate,
+                                         const WindowSink& sink) {
+  // Quality gating happens once per window position, before any workload
+  // runs: every workload of a suppressed window is withheld together, and
+  // an annotated window carries the same flags on every workload's result.
+  std::uint32_t flags = 0;
+  if (state.gate) {
+    const std::int64_t end = start + static_cast<std::int64_t>(window_samples_);
+    if (state.gate->overlaps_artifact(start, end)) flags |= ecg::quality_flags::kArtifact;
+    const std::size_t outliers = ecg::count_rr_outliers(substrate.rr_s, config_.quality);
+    if (outliers > 0) {
+      state.gate->note_rr_outliers(outliers);
+      flags |= ecg::quality_flags::kRrOutliers;
+    }
+    if (flags != 0) {
+      if (config_.quality.policy == ecg::QualityPolicy::kSuppress) {
+        state.gate->note_suppressed();
+        ++suppressed_;
+        return;
+      }
+      state.gate->note_annotated();
+      ++annotated_;
+    }
   }
-  sink(std::move(out));
+
+  for (std::uint32_t w = 0; w < workloads_.size(); ++w) {
+    const Workload& workload = *workloads_[w];
+    ExtractedWindow out;
+    out.patient_id = patient_id;
+    out.start_s = static_cast<double>(start) / config_.fs_hz;
+    out.num_beats = substrate.num_beats;
+    out.workload = w;
+    out.quality = flags;
+    out.num_features = workload.num_features();
+    workload.extract(substrate, scratch_, {out.raw_features.data(), out.num_features});
+    sink(std::move(out));
+  }
 }
 
 bool WindowExtractor::end_patient(int patient_id, const WindowSink& sink) {
@@ -332,6 +414,13 @@ features::SegmentCacheStats WindowExtractor::cache_stats() const {
   features::SegmentCacheStats total = retired_cache_stats_;
   for (const auto& [id, state] : patients_)
     if (state.cache) total += state.cache->stats();
+  return total;
+}
+
+ecg::QualityStats WindowExtractor::quality_stats() const {
+  ecg::QualityStats total = retired_quality_stats_;
+  for (const auto& [id, state] : patients_)
+    if (state.gate) total += state.gate->stats();
   return total;
 }
 

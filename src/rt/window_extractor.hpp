@@ -56,9 +56,11 @@
 #include <vector>
 
 #include "ecg/lane_qrs.hpp"
+#include "ecg/quality.hpp"
 #include "features/feature_scratch.hpp"
 #include "features/feature_types.hpp"
 #include "features/segment_cache.hpp"
+#include "rt/workload.hpp"
 
 namespace svt::rt {
 
@@ -77,15 +79,35 @@ struct StreamConfig {
   /// the parity reference (bit-identical output, none of the speedup).
   /// Non-aligned configurations use the legacy whole-window path either way.
   bool incremental = true;
+  /// Workloads served per window, indexed by position (the workload id on
+  /// every result). Empty = exactly {apnea_workload()} as workload 0 — the
+  /// back-compatible single-pipeline default. The per-patient substrate
+  /// (beat ring, RR, EDR) is computed once per window regardless of how
+  /// many workloads consume it. Every engine sharing a stream must use the
+  /// same list (it is part of the stream semantics, like window_s).
+  std::vector<std::shared_ptr<const Workload>> workloads;
+  /// Streaming signal-quality gate between detection and windowing (off by
+  /// default: zero per-sample work, bit-identical pipeline). Part of the
+  /// stream semantics like the window geometry — the single-threaded and
+  /// sharded engines agree exactly because they share this config.
+  ecg::QualityConfig quality;
 };
 
-/// One fully extracted (but not yet classified) analysis window.
+/// One fully extracted (but not yet classified) analysis window, for one
+/// workload. A stream serving W workloads emits W of these per window
+/// position, consecutively, in registration order.
 struct ExtractedWindow {
   int patient_id = 0;
   double start_s = 0.0;       ///< Window start within the patient's stream.
   std::size_t num_beats = 0;  ///< R peaks inside the window.
+  std::uint32_t workload = 0;  ///< Index into the stream's workload list.
+  std::uint32_t quality = 0;   ///< ecg::quality_flags bitmask (0 = clean).
+  /// Valid prefix of raw_features (the workload's num_features()).
+  std::size_t num_features = features::kNumFeatures;
   /// Full-length, unselected, unscaled features (fixed-size: no heap).
-  std::array<double, features::kNumFeatures> raw_features{};
+  std::array<double, kMaxWorkloadFeatures> raw_features{};
+
+  std::span<const double> features_view() const { return {raw_features.data(), num_features}; }
 };
 
 /// Receives each extracted window as soon as it is complete.
@@ -149,6 +171,11 @@ class WindowExtractor {
     /// carrying it keeps the destination shard's hit rate warm and its
     /// counters coherent.
     std::unique_ptr<features::SegmentFeatureCache> cache;
+    /// Quality-gate state (null when the gate is off). MUST travel: the
+    /// refractory countdown, open artifact spans and per-patient counters
+    /// are stream state — recreating them on the destination would lose
+    /// spans that overlap windows not yet emitted.
+    std::unique_ptr<ecg::SignalQualityGate> gate;
   };
 
   /// Export a patient's stream state and drop the patient from this
@@ -174,6 +201,24 @@ class WindowExtractor {
 
   /// Windows rejected for having fewer than min_beats R peaks.
   std::size_t rejected_windows() const { return rejected_; }
+
+  /// The resolved workload list (config.workloads, or the implicit
+  /// single-apnea default). Stable for the extractor's lifetime.
+  const std::vector<std::shared_ptr<const Workload>>& workloads() const { return workloads_; }
+  std::size_t num_workloads() const { return workloads_.size(); }
+
+  /// Aggregate quality-gate counters over live and retired patients
+  /// (detached patients carry theirs to the destination extractor, like the
+  /// segment-cache stats). All zeros when the gate is off.
+  ecg::QualityStats quality_stats() const;
+
+  /// Extractor-local annotate/suppress event counters. Unlike the per-gate
+  /// stats these do NOT travel with a migrating patient (events count where
+  /// they happened), so they are monotone per extractor — the property the
+  /// sharded engine's watermark accounting needs. Summed over all
+  /// extractors they equal the gate totals.
+  std::size_t annotated_windows() const { return annotated_; }
+  std::size_t suppressed_windows() const { return suppressed_; }
 
   /// Whether streams here run the incremental (segment-cached) feature
   /// pipeline: config.incremental and a stride-aligned configuration.
@@ -228,6 +273,8 @@ class WindowExtractor {
     /// Per-patient stride intermediates (null on the legacy path). Bounded:
     /// one window of chunk entries + one window of segment periodograms.
     std::unique_ptr<features::SegmentFeatureCache> cache;
+    /// Per-patient quality-gate state (null when the gate is off).
+    std::unique_ptr<ecg::SignalQualityGate> gate;
   };
 
   PatientState& find_or_create(int patient_id);
@@ -237,6 +284,11 @@ class WindowExtractor {
                           const WindowSink& sink);
   void emit_window(int patient_id, PatientState& state, const WindowSink& sink);
   void emit_window_cached(int patient_id, PatientState& state, const WindowSink& sink);
+  /// The shared back half of both emit paths: gate the window (annotate or
+  /// suppress), then run every registered workload over the substrate and
+  /// sink one ExtractedWindow per workload.
+  void emit_for_workloads(int patient_id, PatientState& state, std::int64_t start,
+                          const WindowSubstrate& substrate, const WindowSink& sink);
 
   StreamConfig config_;
   std::size_t window_samples_ = 0;
@@ -245,6 +297,8 @@ class WindowExtractor {
   std::vector<std::unique_ptr<Pack>> packs_;  ///< Null slots are reusable.
   std::map<int, PatientState> patients_;
   std::size_t rejected_ = 0;
+  std::size_t annotated_ = 0;   ///< Windows emitted with non-zero quality flags.
+  std::size_t suppressed_ = 0;  ///< Windows withheld by the suppress policy.
   std::size_t stride_factor_ = 1;  ///< Deadline-mode hop multiplier.
   std::uint64_t retired_vector_samples_ = 0;  ///< From released packs.
   std::uint64_t retired_scalar_samples_ = 0;
@@ -252,6 +306,9 @@ class WindowExtractor {
   /// nullopt selects the legacy whole-window emit path.
   std::optional<features::SegmentFeatureCache::Layout> cache_layout_;
   features::SegmentCacheStats retired_cache_stats_;  ///< From erased/ended patients.
+  /// Resolved workload list: config_.workloads, or {apnea_workload()}.
+  std::vector<std::shared_ptr<const Workload>> workloads_;
+  ecg::QualityStats retired_quality_stats_;  ///< From erased/ended patients.
 
   // Per-extractor scratch (extractors are single-threaded): reused across
   // every patient and window, so steady-state emission never allocates.

@@ -1,0 +1,156 @@
+// AF feature kernels against independent references: each statistic is
+// recomputed here with a naive textbook implementation and must agree
+// bit-for-bit (same operation order) or to double precision, and the NaN
+// edge contract (< 2 / < 3 / < 32 intervals, non-positive mean RR) is
+// asserted exactly — downstream consumers rely on NaN meaning "no
+// evidence", never a silently degenerate value.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "features/af_features.hpp"
+#include "features/feature_scratch.hpp"
+
+namespace svt::features {
+namespace {
+
+/// Naive reference: RMSSD over successive differences / mean interval.
+double ref_rmssd_ratio(const std::vector<double>& rr) {
+  double sum_sq = 0.0;
+  for (std::size_t i = 1; i < rr.size(); ++i) {
+    const double d = rr[i] - rr[i - 1];
+    sum_sq += d * d;
+  }
+  const double rmssd = std::sqrt(sum_sq / static_cast<double>(rr.size() - 1));
+  double mean = 0.0;
+  for (const double v : rr) mean += v;
+  mean /= static_cast<double>(rr.size());
+  return rmssd / mean;
+}
+
+/// Naive reference: strict local extrema over interior points.
+double ref_turning_point_ratio(const std::vector<double>& rr) {
+  std::size_t turning = 0;
+  for (std::size_t i = 1; i + 1 < rr.size(); ++i) {
+    if ((rr[i] > rr[i - 1] && rr[i] > rr[i + 1]) || (rr[i] < rr[i - 1] && rr[i] < rr[i + 1]))
+      ++turning;
+  }
+  return static_cast<double>(turning) / static_cast<double>(rr.size() - 2);
+}
+
+/// Naive reference: 16-bin Shannon entropy over the sorted series with 8
+/// intervals trimmed per tail, normalised by log(16).
+double ref_shannon_entropy(std::vector<double> rr) {
+  std::sort(rr.begin(), rr.end());
+  const std::vector<double> kept(rr.begin() + 8, rr.end() - 8);
+  const double lo = kept.front();
+  const double hi = kept.back();
+  if (hi <= lo) return 0.0;
+  std::vector<std::size_t> counts(16, 0);
+  for (const double x : kept) {
+    auto k = static_cast<std::ptrdiff_t>((x - lo) / (hi - lo) * 16.0);
+    ++counts[static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(k, 0, 15))];
+  }
+  double entropy = 0.0;
+  for (const std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(kept.size());
+    entropy -= p * std::log(p);
+  }
+  return entropy / std::log(16.0);
+}
+
+std::vector<double> random_rr(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(0.4, 1.4);  // 43-150 bpm.
+  std::vector<double> rr(n);
+  for (auto& v : rr) v = dist(rng);
+  return rr;
+}
+
+TEST(AfFeatures, RmssdRatioMatchesReference) {
+  for (const std::size_t n : {std::size_t{2}, std::size_t{3}, std::size_t{17}, std::size_t{200}}) {
+    const auto rr = random_rr(n, n);
+    EXPECT_DOUBLE_EQ(af_rmssd_ratio(rr), ref_rmssd_ratio(rr)) << "n " << n;
+  }
+  // Hand-checked: rr = {1, 2} -> rmssd = 1, mean = 1.5, ratio = 2/3.
+  EXPECT_DOUBLE_EQ(af_rmssd_ratio(std::vector<double>{1.0, 2.0}), 2.0 / 3.0);
+  // A metronome has zero successive variability.
+  EXPECT_DOUBLE_EQ(af_rmssd_ratio(std::vector<double>(10, 0.8)), 0.0);
+}
+
+TEST(AfFeatures, RmssdRatioNaNEdges) {
+  EXPECT_TRUE(std::isnan(af_rmssd_ratio({})));
+  EXPECT_TRUE(std::isnan(af_rmssd_ratio(std::vector<double>{0.8})));  // < 2 intervals.
+  // Degenerate non-positive mean (zeroed or sign-corrupted RR input).
+  EXPECT_TRUE(std::isnan(af_rmssd_ratio(std::vector<double>{0.0, 0.0})));
+  EXPECT_TRUE(std::isnan(af_rmssd_ratio(std::vector<double>{-1.0, -1.0, 0.5})));
+}
+
+TEST(AfFeatures, TurningPointRatioMatchesReference) {
+  for (const std::size_t n : {std::size_t{3}, std::size_t{4}, std::size_t{33}, std::size_t{500}}) {
+    const auto rr = random_rr(n, 100 + n);
+    EXPECT_DOUBLE_EQ(af_turning_point_ratio(rr), ref_turning_point_ratio(rr)) << "n " << n;
+  }
+  // Every interior point alternates: ratio 1.
+  EXPECT_DOUBLE_EQ(af_turning_point_ratio(std::vector<double>{1.0, 2.0, 1.0, 2.0, 1.0}), 1.0);
+  // Monotone series: no extrema.
+  EXPECT_DOUBLE_EQ(af_turning_point_ratio(std::vector<double>{1.0, 2.0, 3.0, 4.0}), 0.0);
+  // Plateaus (ties) are NOT turning points.
+  EXPECT_DOUBLE_EQ(af_turning_point_ratio(std::vector<double>{1.0, 2.0, 2.0, 1.0}), 0.0);
+}
+
+TEST(AfFeatures, TurningPointRatioNaNEdge) {
+  EXPECT_TRUE(std::isnan(af_turning_point_ratio({})));
+  EXPECT_TRUE(std::isnan(af_turning_point_ratio(std::vector<double>{0.8})));
+  EXPECT_TRUE(std::isnan(af_turning_point_ratio(std::vector<double>{0.8, 0.9})));  // < 3.
+}
+
+TEST(AfFeatures, ShannonEntropyMatchesReference) {
+  FeatureScratch scratch;
+  for (const std::size_t n : {std::size_t{32}, std::size_t{64}, std::size_t{300}}) {
+    const auto rr = random_rr(n, 7 * n);
+    EXPECT_DOUBLE_EQ(af_shannon_entropy(rr, scratch), ref_shannon_entropy(rr)) << "n " << n;
+    // Normalised: [0, 1] by construction.
+    EXPECT_GE(af_shannon_entropy(rr, scratch), 0.0);
+    EXPECT_LE(af_shannon_entropy(rr, scratch), 1.0);
+  }
+}
+
+TEST(AfFeatures, ShannonEntropyDegenerateAndNaNEdges) {
+  FeatureScratch scratch;
+  // < 32 intervals: trimming 8 per side would gut the histogram.
+  EXPECT_TRUE(std::isnan(af_shannon_entropy(random_rr(31, 1), scratch)));
+  EXPECT_TRUE(std::isnan(af_shannon_entropy({}, scratch)));
+  // Metronome rhythm: every kept interval identical -> a single occupied
+  // bin -> zero entropy (NOT NaN; regularity is evidence).
+  EXPECT_DOUBLE_EQ(af_shannon_entropy(std::vector<double>(40, 0.8), scratch), 0.0);
+  // Outlier robustness: 8 huge intervals per tail are trimmed away, so the
+  // middle metronome still reads as zero entropy.
+  std::vector<double> spiked(40, 0.8);
+  for (std::size_t i = 0; i < 8; ++i) spiked[i] = 10.0 + static_cast<double>(i);
+  for (std::size_t i = 0; i < 8; ++i) spiked[39 - i] = 0.01;
+  EXPECT_DOUBLE_EQ(af_shannon_entropy(spiked, scratch), 0.0);
+}
+
+TEST(AfFeatures, ComputeAfFeaturesPacksAllThreeInOrder) {
+  FeatureScratch scratch;
+  const auto rr = random_rr(80, 9);
+  std::vector<double> out(kNumAfFeatures, -7.0);
+  compute_af_features(rr, scratch, out);
+  EXPECT_DOUBLE_EQ(out[0], af_rmssd_ratio(rr));
+  EXPECT_DOUBLE_EQ(out[1], af_turning_point_ratio(rr));
+  EXPECT_DOUBLE_EQ(out[2], af_shannon_entropy(rr, scratch));
+
+  // A too-short window yields the per-feature NaN edges, not garbage.
+  compute_af_features(std::vector<double>{0.8, 0.9}, scratch, out);
+  EXPECT_FALSE(std::isnan(out[0]));  // 2 intervals: rmssd defined.
+  EXPECT_TRUE(std::isnan(out[1]));   // < 3: turning points undefined.
+  EXPECT_TRUE(std::isnan(out[2]));   // < 32: entropy undefined.
+}
+
+}  // namespace
+}  // namespace svt::features

@@ -48,6 +48,19 @@ TEST(NetFrame, HelloRoundTrip) {
   EXPECT_EQ(hello.version, kProtocolVersion);
 }
 
+TEST(NetFrame, HelloCarriesMaxWorkloads) {
+  std::vector<std::uint8_t> wire;
+  HelloFrame hello;
+  hello.max_workloads = 7;
+  append_hello(wire, hello);
+  FrameDecoder decoder;
+  const auto frame = decode_one(decoder, wire);
+  HelloFrame got;
+  ASSERT_TRUE(parse_hello(frame.payload, got));
+  EXPECT_EQ(got.version, kProtocolVersion);
+  EXPECT_EQ(got.max_workloads, 7);
+}
+
 TEST(NetFrame, HelloAckRoundTripPreservesF64Bits) {
   HelloAckFrame ack;
   ack.fs_hz = 256.0;
@@ -64,6 +77,50 @@ TEST(NetFrame, HelloAckRoundTripPreservesF64Bits) {
   EXPECT_EQ(got.fs_hz, ack.fs_hz);
   EXPECT_EQ(got.window_s, ack.window_s);
   EXPECT_EQ(got.stride_s, ack.stride_s);
+  EXPECT_TRUE(got.workloads.empty());
+}
+
+TEST(NetFrame, HelloAckWorkloadTableRoundTrip) {
+  HelloAckFrame ack;
+  ack.fs_hz = 100.0;
+  ack.window_s = 60.0;
+  ack.stride_s = 10.0;
+  ack.workloads.push_back({"apnea", 53});
+  ack.workloads.push_back({"af", 3});
+  ack.workloads.push_back({"", 0});  // Empty name must survive too.
+  std::vector<std::uint8_t> wire;
+  append_hello_ack(wire, ack);
+  FrameDecoder decoder;
+  const auto frame = decode_one(decoder, wire);
+  ASSERT_EQ(frame.type, FrameType::kHelloAck);
+  HelloAckFrame got;
+  ASSERT_TRUE(parse_hello_ack(frame.payload, got));
+  ASSERT_EQ(got.workloads.size(), 3u);
+  EXPECT_EQ(got.workloads[0].name, "apnea");
+  EXPECT_EQ(got.workloads[0].num_features, 53);
+  EXPECT_EQ(got.workloads[1].name, "af");
+  EXPECT_EQ(got.workloads[1].num_features, 3);
+  EXPECT_EQ(got.workloads[2].name, "");
+  EXPECT_EQ(got.workloads[2].num_features, 0);
+}
+
+TEST(NetFrame, HelloAckTruncatedWorkloadTableRejected) {
+  HelloAckFrame ack;
+  ack.workloads.push_back({"apnea", 53});
+  std::vector<std::uint8_t> wire;
+  append_hello_ack(wire, ack);
+  FrameDecoder decoder;
+  const auto frame = decode_one(decoder, wire);
+  HelloAckFrame got;
+  // Any cut inside the workload table must fail the parse, not read OOB.
+  for (std::size_t cut = 1; cut < frame.payload.size(); ++cut) {
+    EXPECT_FALSE(parse_hello_ack(frame.payload.subspan(0, frame.payload.size() - cut), got))
+        << "cut " << cut;
+  }
+  // Trailing garbage after a complete table is also a malformed payload.
+  std::vector<std::uint8_t> padded(frame.payload.begin(), frame.payload.end());
+  padded.push_back(0);
+  EXPECT_FALSE(parse_hello_ack(std::span<const std::uint8_t>(padded.data(), padded.size()), got));
 }
 
 TEST(NetFrame, StreamOpenEndStreamByeStatsRoundTrip) {
@@ -109,6 +166,27 @@ TEST(NetFrame, StreamOpenEndStreamByeStatsRoundTrip) {
   EXPECT_EQ(decoder.finish(), ErrorCode::kNone);
 }
 
+TEST(NetFrame, StatsCarriesQualityCounters) {
+  StatsFrame stats;
+  stats.windows_delivered = 11;
+  stats.windows_annotated = 5;
+  stats.windows_suppressed = 2;
+  std::vector<std::uint8_t> wire;
+  append_stats(wire, stats);
+  FrameDecoder decoder;
+  const auto frame = decode_one(decoder, wire);
+  ASSERT_EQ(frame.type, FrameType::kStats);
+  StatsFrame got;
+  ASSERT_TRUE(parse_stats(frame.payload, got));
+  EXPECT_EQ(got.windows_delivered, 11u);
+  EXPECT_EQ(got.windows_annotated, 5u);
+  EXPECT_EQ(got.windows_suppressed, 2u);
+  // A v2-sized (12-counter) stats payload no longer parses: the frame grew
+  // and the size check is exact.
+  ASSERT_GE(frame.payload.size(), 2 * 8u);
+  EXPECT_FALSE(parse_stats(frame.payload.subspan(0, frame.payload.size() - 2 * 8), got));
+}
+
 TEST(NetFrame, SampleChunkRoundTripIsBitExact) {
   const std::vector<double> samples = {0.0,
                                        -0.0,
@@ -137,9 +215,9 @@ TEST(NetFrame, SampleChunkRoundTripIsBitExact) {
 
 TEST(NetFrame, DecisionBatchRoundTrip) {
   std::vector<DecisionRecord> records(3);
-  records[0] = {0.0, -1.25, -1, 7};
-  records[1] = {10.0, 0.5, +1, 12};
-  records[2] = {20.0, 1.0 / 7.0, +1, 0};
+  records[0] = {0.0, -1.25, -1, 7, 0, 0};
+  records[1] = {10.0, 0.5, +1, 12, 1, 0x3};  // AF workload, both quality bits.
+  records[2] = {20.0, 1.0 / 7.0, +1, 0, 2, 0x1};
   std::vector<std::uint8_t> wire;
   append_decisions(wire, 9, records);
   FrameDecoder decoder;
@@ -155,7 +233,12 @@ TEST(NetFrame, DecisionBatchRoundTrip) {
     EXPECT_EQ(r.decision_value, records[i].decision_value);
     EXPECT_EQ(r.label, records[i].label);
     EXPECT_EQ(r.num_beats, records[i].num_beats);
+    EXPECT_EQ(r.workload, records[i].workload);
+    EXPECT_EQ(r.quality, records[i].quality);
   }
+  // A v2-sized (24-byte-record) payload no longer parses: records are 32
+  // bytes now and the size check is exact.
+  EXPECT_FALSE(parse_decisions(frame.payload.subspan(0, 8 + records.size() * 24), view));
 }
 
 TEST(NetFrame, ErrorFrameRoundTrip) {

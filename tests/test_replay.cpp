@@ -50,6 +50,13 @@ rt::StreamConfig short_window_config() {
   return config;
 }
 
+rt::EngineOptions engine_opts(std::size_t num_workers, rt::ResultSink sink = {}) {
+  rt::EngineOptions options;
+  options.num_workers = num_workers;
+  if (sink) options.sink = std::move(sink);
+  return options;
+}
+
 /// A fixture cohort whose records end exactly on a window boundary, so the
 /// trailing window is only recoverable through the end-of-record path.
 std::string fixture_dir(const std::string& tag, std::size_t patients = 4,
@@ -111,8 +118,8 @@ TEST(CohortReplay, BitIdenticalToDirectStreamingUnder124Workers) {
     Collector collector;
     auto registry =
         std::make_shared<rt::ModelRegistry>(rt::ServableModel::from_detector(detector()));
-    rt::CohortReplayer replayer(registry, short_window_config(), workers, rt::EngineOptions{},
-                                collector.sink());
+    rt::CohortReplayer replayer(registry, short_window_config(),
+                                engine_opts(workers, collector.sink()));
     const auto report = replayer.replay_directory(dir);
 
     ASSERT_EQ(collector.per_patient.size(), want.size()) << workers << " workers";
@@ -160,8 +167,8 @@ TEST(CohortReplay, EndStreamRecoversTrailingWindows) {
   Collector collector;
   auto registry =
       std::make_shared<rt::ModelRegistry>(rt::ServableModel::from_detector(detector()));
-  rt::CohortReplayer replayer(registry, short_window_config(), 2, rt::EngineOptions{},
-                              collector.sink());
+  rt::CohortReplayer replayer(registry, short_window_config(),
+                              engine_opts(2, collector.sink()));
   const auto report = replayer.replay_directory(dir);
   EXPECT_EQ(report.windows, n_with);  // The replayer wires end_stream per record.
 }
@@ -170,7 +177,7 @@ TEST(CohortReplay, PacedReplayHonoursTheSpeedMultiple) {
   const auto dir = fixture_dir("paced", 1, 12.0);
   auto registry =
       std::make_shared<rt::ModelRegistry>(rt::ServableModel::from_detector(detector()));
-  rt::CohortReplayer replayer(registry, short_window_config(), 1);
+  rt::CohortReplayer replayer(registry, short_window_config(), engine_opts(1));
   rt::ReplayOptions options;
   options.speed = 60.0;
   options.chunk_s = 2.0;
@@ -200,7 +207,8 @@ TEST(CohortReplay, MismatchedSamplingRateSkipsTheRecordNotTheCohort) {
   auto registry =
       std::make_shared<rt::ModelRegistry>(rt::ServableModel::from_detector(detector()));
   Collector collector;
-  rt::CohortReplayer replayer(registry, short_window_config(), 2, {}, collector.sink());
+  rt::CohortReplayer replayer(registry, short_window_config(),
+                              engine_opts(2, collector.sink()));
   const auto report = replayer.replay_directory(dir);
 
   EXPECT_EQ(report.skipped_records, 1u);
@@ -230,7 +238,7 @@ TEST(CohortReplay, DuplicatePatientIdsThrow) {
   const auto dir = fixture_dir("dup", 1, 10.0);
   auto registry =
       std::make_shared<rt::ModelRegistry>(rt::ServableModel::from_detector(detector()));
-  rt::CohortReplayer replayer(registry, short_window_config(), 1);
+  rt::CohortReplayer replayer(registry, short_window_config(), engine_opts(1));
   EXPECT_THROW(replayer.replay_records(dir, {"p001", "p001"}, {}), std::invalid_argument);
 }
 

@@ -61,6 +61,13 @@ rt::StreamConfig short_window_config() {
   return config;
 }
 
+rt::EngineOptions engine_opts(std::size_t num_workers, rt::ResultSink sink = {},
+                              rt::EngineOptions options = {}) {
+  options.num_workers = num_workers;
+  if (sink) options.sink = std::move(sink);
+  return options;
+}
+
 std::map<int, ecg::EcgWaveform> make_ward() {
   std::map<int, ecg::EcgWaveform> ward;
   int seed = 40;
@@ -145,8 +152,8 @@ TEST(ContinuousDelivery, OrderedAndBitIdenticalUnder124Workers) {
 
   for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
     Collector collector;
-    rt::ShardedStreamClassifier engine(detector(), short_window_config(), workers,
-                                       rt::EngineOptions{}, collector.sink());
+    rt::ShardedStreamClassifier engine(detector(), short_window_config(),
+                                       engine_opts(workers, collector.sink()));
     push_interleaved(engine, ward, 733);  // Odd chunk size: windows straddle chunks.
     EXPECT_TRUE(engine.flush().empty());  // Sink mode: flush is a pure fence.
 
@@ -165,8 +172,8 @@ TEST(ContinuousDelivery, ResultsArriveBeforeAnyFlush) {
   // The whole point of continuous mode: no fence is needed to get results.
   const auto wf = synth_ecg(55.0, 77);
   Collector collector;
-  rt::ShardedStreamClassifier engine(detector(), short_window_config(), 2, rt::EngineOptions{},
-                                     collector.sink());
+  rt::ShardedStreamClassifier engine(detector(), short_window_config(),
+                                     engine_opts(2, collector.sink()));
   engine.push_samples(1, wf.samples_mv);
   // Spin (bounded) until the pipeline classifies something — no flush().
   for (int i = 0; i < 10000 && engine.delivered_windows() == 0; ++i)
@@ -185,8 +192,8 @@ TEST(ContinuousDelivery, BoundedBlockingQueueDoesNotChangeResults) {
   options.queue_capacity = 2;
   options.backpressure = rt::BackpressurePolicy::kBlock;
   Collector collector;
-  rt::ShardedStreamClassifier engine(detector(), short_window_config(), 2, options,
-                                     collector.sink());
+  rt::ShardedStreamClassifier engine(detector(), short_window_config(),
+                                     engine_opts(2, collector.sink(), std::move(options)));
   push_interleaved(engine, ward, 733);
   engine.flush();
   EXPECT_TRUE(collector.time_ordered);
@@ -196,7 +203,7 @@ TEST(ContinuousDelivery, BoundedBlockingQueueDoesNotChangeResults) {
 
 TEST(ContinuousDelivery, SetSinkAfterConstructionSwitchesModes) {
   const auto wf = synth_ecg(55.0, 81);
-  rt::ShardedStreamClassifier engine(detector(), short_window_config(), 2);
+  rt::ShardedStreamClassifier engine(detector(), short_window_config(), engine_opts(2));
   engine.push_samples(1, wf.samples_mv);
   const auto collected = engine.flush();  // No sink yet: drain mode.
   ASSERT_FALSE(collected.empty());
@@ -227,8 +234,8 @@ TEST(ContinuousDelivery, HotSwapFencesOnBatchBoundary) {
 
   auto run = [&](bool swap_mid_stream, bool coarse_from_start) {
     Collector collector;
-    rt::ShardedStreamClassifier engine(d, short_window_config(), 2, rt::EngineOptions{},
-                                       collector.sink());
+    rt::ShardedStreamClassifier engine(d, short_window_config(),
+                                       engine_opts(2, collector.sink()));
     if (coarse_from_start) engine.registry().install(1, coarse_model);
     engine.push_samples(1, std::span(wf.samples_mv).first(half));
     engine.flush();  // Fence: everything before here used the initial model.
@@ -271,8 +278,8 @@ TEST(ContinuousDelivery, RegistryGenerationTracksSwaps) {
 TEST(ContinuousDelivery, EvictPatientRestartsStreamFromScratch) {
   const auto wf = synth_ecg(55.0, 93);
   Collector collector;
-  rt::ShardedStreamClassifier engine(detector(), short_window_config(), 2, rt::EngineOptions{},
-                                     collector.sink());
+  rt::ShardedStreamClassifier engine(detector(), short_window_config(),
+                                     engine_opts(2, collector.sink()));
   engine.push_samples(1, wf.samples_mv);
   engine.flush();
   const auto first = collector.per_patient[1];
@@ -297,7 +304,7 @@ TEST(ContinuousDelivery, ThrowingFlushRetainsOtherPatientsResults) {
   // the next flush — a partial failure must not discard good results.
   auto registry = std::make_shared<rt::ModelRegistry>();  // No default.
   registry->install(1, rt::ServableModel::from_detector(detector()));
-  rt::ShardedStreamClassifier engine(registry, short_window_config(), 2);
+  rt::ShardedStreamClassifier engine(registry, short_window_config(), engine_opts(2));
   const auto wf = synth_ecg(55.0, 19);
   engine.push_samples(1, wf.samples_mv);
   engine.push_samples(5, wf.samples_mv);
@@ -309,7 +316,7 @@ TEST(ContinuousDelivery, ThrowingFlushRetainsOtherPatientsResults) {
 
 TEST(ContinuousDelivery, WorkerSurvivesMissingModelAndFlushRethrows) {
   auto registry = std::make_shared<rt::ModelRegistry>();  // No default, no entries.
-  rt::ShardedStreamClassifier engine(registry, short_window_config(), 2);
+  rt::ShardedStreamClassifier engine(registry, short_window_config(), engine_opts(2));
   const auto wf = synth_ecg(30.0, 17);
   engine.push_samples(5, wf.samples_mv);
   EXPECT_THROW(engine.flush(), std::runtime_error);

@@ -407,7 +407,9 @@ TEST(IncrementalPipeline, ShardedEngineMatchesOracleAcrossWorkerCounts) {
   EXPECT_GT(reference.cache_stats().hit_rate(), 0.0);
 
   for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
-    rt::ShardedStreamClassifier sharded(shared_detector(), config, workers);
+    rt::EngineOptions options;
+    options.num_workers = workers;
+    rt::ShardedStreamClassifier sharded(shared_detector(), config, std::move(options));
     std::map<int, std::size_t> offsets;
     bool any_left = true;
     while (any_left) {  // Interleaved chunks across the ward.

@@ -65,6 +65,12 @@ rt::StreamConfig short_window_config() {
   return config;
 }
 
+rt::EngineOptions workers_opt(std::size_t n) {
+  rt::EngineOptions options;
+  options.num_workers = n;
+  return options;
+}
+
 /// A small ward with distinct, reproducible streams.
 std::map<int, ecg::EcgWaveform> make_ward() {
   std::map<int, ecg::EcgWaveform> ward;
@@ -128,7 +134,7 @@ void check_determinism(const core::TailoredDetector& detector, const char* what)
   ASSERT_FALSE(want.empty());
 
   for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
-    rt::ShardedStreamClassifier sharded(detector, short_window_config(), workers);
+    rt::ShardedStreamClassifier sharded(detector, short_window_config(), workers_opt(workers));
     EXPECT_EQ(sharded.num_workers(), workers);
     push_interleaved(sharded, ward, 733);  // Odd chunk size: windows straddle chunks.
     const auto got = by_patient(sharded.flush());
@@ -152,7 +158,7 @@ TEST(ShardedStreamClassifier, FlushCadenceDoesNotChangeResults) {
   const auto want = by_patient(reference.flush());
 
   // Same streams, four workers, flushing after every interleaving round.
-  rt::ShardedStreamClassifier sharded(quant_detector(), short_window_config(), 4);
+  rt::ShardedStreamClassifier sharded(quant_detector(), short_window_config(), workers_opt(4));
   std::vector<rt::WindowResult> all;
   std::map<int, std::size_t> offsets;
   bool any_left = true;
@@ -173,14 +179,14 @@ TEST(ShardedStreamClassifier, FlushCadenceDoesNotChangeResults) {
 }
 
 TEST(ShardedStreamClassifier, EmptyFlushAndUnknownPatient) {
-  rt::ShardedStreamClassifier sharded(quant_detector(), short_window_config(), 3);
+  rt::ShardedStreamClassifier sharded(quant_detector(), short_window_config(), workers_opt(3));
   EXPECT_TRUE(sharded.flush().empty());
   EXPECT_TRUE(sharded.flush().empty());  // Barrier protocol resets cleanly.
   EXPECT_EQ(sharded.rejected_windows(), 0u);
 }
 
 TEST(ShardedStreamClassifier, RejectsBeatlessWindows) {
-  rt::ShardedStreamClassifier sharded(quant_detector(), short_window_config(), 2);
+  rt::ShardedStreamClassifier sharded(quant_detector(), short_window_config(), workers_opt(2));
   // A flat line has no QRS complexes: every full window must be rejected.
   const std::vector<double> flat(static_cast<std::size_t>(sharded.config().fs_hz * 45.0), 0.0);
   sharded.push_samples(1, flat);
@@ -190,7 +196,7 @@ TEST(ShardedStreamClassifier, RejectsBeatlessWindows) {
 }
 
 TEST(ShardedStreamClassifier, ShardAssignmentIsStable) {
-  rt::ShardedStreamClassifier sharded(quant_detector(), short_window_config(), 4);
+  rt::ShardedStreamClassifier sharded(quant_detector(), short_window_config(), workers_opt(4));
   for (int pid = -5; pid < 40; ++pid) {
     const auto shard = sharded.shard_of(pid);
     EXPECT_LT(shard, sharded.num_workers());
@@ -214,7 +220,7 @@ TEST(ShardedStreamClassifier, HotSwapTakesEffectAtFlushBoundary) {
   const std::size_t half = wf.samples_mv.size() / 2;
 
   auto run = [&](bool swap_mid_stream, bool coarse_from_start) {
-    rt::ShardedStreamClassifier sharded(detector, short_window_config(), 2);
+    rt::ShardedStreamClassifier sharded(detector, short_window_config(), workers_opt(2));
     if (coarse_from_start) sharded.registry().install(1, coarse_model);
     sharded.push_samples(1, std::span(wf.samples_mv).first(half));
     auto first = sharded.flush();
@@ -248,7 +254,7 @@ TEST(ShardedStreamClassifier, FlushTerminatesAndLosesNothingUnderConcurrentPushe
   // window must appear exactly once, bit-identical to the single-threaded
   // engine — only the flush a window lands in is unspecified.
   const auto wf = synth_ecg(60.0, 55);
-  rt::ShardedStreamClassifier sharded(quant_detector(), short_window_config(), 2);
+  rt::ShardedStreamClassifier sharded(quant_detector(), short_window_config(), workers_opt(2));
   std::thread producer([&] {
     std::span<const double> rest(wf.samples_mv);
     while (!rest.empty()) {
@@ -270,18 +276,19 @@ TEST(ShardedStreamClassifier, FlushTerminatesAndLosesNothingUnderConcurrentPushe
 
 TEST(ShardedStreamClassifier, ThrowsWithoutAnyModel) {
   auto registry = std::make_shared<rt::ModelRegistry>();  // No default, no entries.
-  rt::ShardedStreamClassifier sharded(registry, short_window_config(), 2);
+  rt::ShardedStreamClassifier sharded(registry, short_window_config(), workers_opt(2));
   const auto wf = synth_ecg(30.0, 17);
   sharded.push_samples(5, wf.samples_mv);
   EXPECT_THROW(sharded.flush(), std::runtime_error);
 }
 
 TEST(ShardedStreamClassifier, RejectsBadConstruction) {
-  EXPECT_THROW(rt::ShardedStreamClassifier(nullptr, short_window_config(), 2),
+  EXPECT_THROW(rt::ShardedStreamClassifier(nullptr, short_window_config(), workers_opt(2)),
                std::invalid_argument);
   auto config = short_window_config();
   config.stride_s = 25.0;  // > window_s.
-  EXPECT_THROW(rt::ShardedStreamClassifier(quant_detector(), config, 2), std::invalid_argument);
+  EXPECT_THROW(rt::ShardedStreamClassifier(quant_detector(), config, workers_opt(2)),
+               std::invalid_argument);
 }
 
 }  // namespace

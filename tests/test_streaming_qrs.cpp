@@ -227,7 +227,7 @@ TEST(WindowExtractor, WindowsBitIdenticalToBatchReference) {
     const auto want = reference_features(beats, start, start + window, config.fs_hz,
                                          config.edr_fs_hz, &nbeats);
     EXPECT_EQ(w.num_beats, nbeats);
-    ASSERT_EQ(want.size(), w.raw_features.size());
+    ASSERT_EQ(want.size(), w.features_view().size());
     for (std::size_t j = 0; j < want.size(); ++j)
       EXPECT_EQ(w.raw_features[j], want[j]) << "feature " << j << " window " << w.start_s;
   }
@@ -326,7 +326,7 @@ TEST(WindowExtractor, EndPatientEmitsHeldBackTailWindows) {
         reference_features(beats, start, start + static_cast<std::int64_t>(window),
                            config.fs_hz, config.edr_fs_hz, &nbeats);
     EXPECT_EQ(w.num_beats, nbeats);
-    ASSERT_EQ(want.size(), w.raw_features.size());
+    ASSERT_EQ(want.size(), w.features_view().size());
     for (std::size_t j = 0; j < want.size(); ++j)
       EXPECT_EQ(w.raw_features[j], want[j]) << "feature " << j;
   }

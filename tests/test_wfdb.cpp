@@ -1,5 +1,5 @@
 // WFDB record reader/writer: header parsing (comments, defaults, gain
-// specs), format 212/16 packing round-trips in BOTH sample-count parities
+// specs), format 212/16/80 packing round-trips in BOTH sample-count parities
 // (the trailing half-group is the classic off-by-one trap), multi-channel
 // de-interleaving and ECG channel selection, ADC<->mV conversion, and the
 // corrupt-input failure modes (size mismatch, checksum mismatch).
@@ -52,6 +52,7 @@ io::RecordHeader one_signal_header(const std::string& name, int format, double g
   io::SignalSpec spec;
   spec.file_name = name + ".dat";
   spec.format = format;
+  spec.adc_resolution = format == 212 ? 12 : (format == 80 ? 8 : 16);
   spec.adc_gain = gain;
   spec.baseline = baseline;
   spec.description = "ECG lead I";
@@ -109,6 +110,10 @@ TEST(WfdbHeader, RecordLineDefaultsAndGainEdgeCases) {
   std::istringstream desc("r4 1\nr4.dat 212 200(0)/mV modified limb lead II\n");
   EXPECT_EQ(io::parse_header(desc).signals[0].description, "modified limb lead II");
 
+  // Format 80 defaults to 8 significant bits.
+  std::istringstream f80("r6 1\nr6.dat 80\n");
+  EXPECT_EQ(io::parse_header(f80).signals[0].adc_resolution, 8);
+
   // A malformed gain-shaped token is rejected atomically: the spec keeps
   // every default and the token starts the description instead.
   std::istringstream malformed("r5 1\nr5.dat 16 500/ desc\n");
@@ -154,9 +159,56 @@ TEST(WfdbSignal, Format16RoundTrips) {
   EXPECT_EQ(io::read_record(dir, "r16").adc[0], adc);
 }
 
+TEST(WfdbSignal, Format80RoundTripsOffsetBinary) {
+  const auto dir = test_dir("fmt80");
+  const std::size_t n = 777;
+  auto adc = random_adc(n, io::format_min_value(80), io::format_max_value(80), 13);
+  io::write_record(dir, one_signal_header("r80", 80), {adc});
+  const auto record = io::read_record(dir, "r80");
+  EXPECT_EQ(record.header.signals[0].adc_resolution, 8);
+  EXPECT_EQ(record.adc[0], adc);
+
+  // One byte per sample, stored as offset binary: byte == adc + 128, so
+  // -128 encodes as 0x00, 0 as 0x80, +127 as 0xFF.
+  const auto dat = std::filesystem::path(dir) / "r80.dat";
+  ASSERT_EQ(std::filesystem::file_size(dat), n);
+  std::ifstream f(dat, std::ios::binary);
+  std::vector<char> bytes(n);
+  f.read(bytes.data(), static_cast<std::streamsize>(n));
+  for (std::size_t s = 0; s < n; ++s)
+    ASSERT_EQ(static_cast<unsigned char>(bytes[s]), static_cast<unsigned>(adc[s] + 128))
+        << "sample " << s;
+}
+
+TEST(WfdbSignal, Format80CorruptionAndRangeAreCaught) {
+  const auto dir = test_dir("fmt80bad");
+  const auto adc = random_adc(64, io::format_min_value(80), io::format_max_value(80), 17);
+  io::write_record(dir, one_signal_header("c80", 80), {adc});
+  const auto dat = std::filesystem::path(dir) / "c80.dat";
+
+  // Flip one sample byte: the checksum must catch it.
+  {
+    std::fstream f(dat, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(9);
+    f.put(static_cast<char>(static_cast<unsigned char>(adc[9] + 128) ^ 0x11));
+  }
+  EXPECT_THROW(io::read_record(dir, "c80"), std::invalid_argument);
+
+  // Truncate by one byte: the size check must catch it.
+  io::write_record(dir, one_signal_header("c80", 80), {adc});
+  std::filesystem::resize_file(dat, std::filesystem::file_size(dat) - 1);
+  EXPECT_THROW(io::read_record(dir, "c80"), std::invalid_argument);
+
+  // Out-of-range samples rejected at write time, not wrapped into the byte.
+  EXPECT_THROW(io::write_record(dir, one_signal_header("c80", 80), {{128}}),
+               std::invalid_argument);
+  EXPECT_THROW(io::write_record(dir, one_signal_header("c80", 80), {{-129}}),
+               std::invalid_argument);
+}
+
 TEST(WfdbSignal, MultiChannelFramesDeinterleave) {
   const auto dir = test_dir("multi");
-  for (const int format : {212, 16}) {
+  for (const int format : {212, 16, 80}) {
     for (const std::size_t n : {std::size_t{100}, std::size_t{101}}) {
       auto header = one_signal_header("m" + std::to_string(format) + std::to_string(n), format);
       auto resp = header.signals[0];
